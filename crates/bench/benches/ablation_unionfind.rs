@@ -1,0 +1,55 @@
+//! Ablation: sequential vs lock-free union-find on the LB workload.
+//!
+//! PHCD uses the lock-free structure in every mode; this target measures
+//! the single-thread overhead of its atomics against the plain `Cell`
+//! based sequential structure, on the pure connection workload (LB).
+
+use hcd_bench::{banner, datasets, ratio, scale, secs};
+use hcd_unionfind::{ConcurrentPivotUnionFind, PivotUnionFind, UnionFindPivot};
+use std::time::Instant;
+
+fn main() {
+    banner("Ablation: sequential vs lock-free union-find (1 thread, LB workload)");
+    println!(
+        "{:<8} | {:>12} {:>12} {:>10}",
+        "Dataset", "seq UF (s)", "lockfree(s)", "overhead"
+    );
+    for d in datasets(&[]) {
+        let g = d.generate(scale());
+        let n = g.num_vertices();
+
+        let t0 = Instant::now();
+        let seq = PivotUnionFind::new_identity(n);
+        for v in g.vertices() {
+            for &u in g.neighbors(v) {
+                if u > v {
+                    seq.union(v, u);
+                }
+            }
+        }
+        let seq_t = t0.elapsed();
+
+        let t0 = Instant::now();
+        let conc = ConcurrentPivotUnionFind::new_identity(n);
+        for v in g.vertices() {
+            for &u in g.neighbors(v) {
+                if u > v {
+                    conc.union(v, u);
+                }
+            }
+        }
+        let conc_t = t0.elapsed();
+
+        assert_eq!(seq.num_components(), conc.num_components(), "{}", d.abbrev);
+        println!(
+            "{:<8} | {:>12} {:>12} {:>9.2}x",
+            d.abbrev,
+            secs(seq_t),
+            secs(conc_t),
+            ratio(conc_t, seq_t),
+        );
+    }
+    println!("\n(expected: modest single-thread overhead from the atomics —");
+    println!(" the price PHCD pays for running identically in every mode.)");
+    let _ = scale();
+}

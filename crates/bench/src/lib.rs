@@ -1,0 +1,185 @@
+//! Shared harness for the table/figure benchmark targets.
+//!
+//! Every `benches/*.rs` target regenerates one table or figure of the
+//! paper. Configuration comes from the environment:
+//!
+//! * `HCD_BENCH_SCALE` — `tiny` | `small` (default) | `full`: stand-in
+//!   dataset sizes.
+//! * `HCD_BENCH_MODE` — `sim` (default) | `real`: how parallel runtimes
+//!   are obtained. `sim` uses the work-span simulation of `hcd-par`
+//!   (required on single-core machines, see DESIGN.md substitution 1);
+//!   `real` measures wall time on actual rayon threads.
+//! * `HCD_BENCH_DATASETS` — comma-separated abbreviations to restrict
+//!   the dataset list.
+//! * `HCD_BENCH_REPS` — repetitions per measurement (default 1; the
+//!   minimum is reported).
+
+use std::time::{Duration, Instant};
+
+use hcd_datasets::{Dataset, Scale, DATASETS};
+use hcd_par::Executor;
+
+/// The thread counts swept in the paper's figures.
+pub const THREAD_SWEEP: [usize; 5] = [1, 5, 10, 20, 40];
+
+/// The six datasets the paper plots in its figures.
+pub const FIGURE_DATASETS: [&str; 6] = ["LJ", "H", "O", "FS", "SK", "UK"];
+
+/// How parallel runtimes are measured.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchMode {
+    /// Work-span simulation (single-core friendly).
+    Sim,
+    /// Real wall time on rayon threads.
+    Real,
+}
+
+impl BenchMode {
+    /// Reads `HCD_BENCH_MODE`.
+    pub fn from_env() -> BenchMode {
+        match std::env::var("HCD_BENCH_MODE").as_deref() {
+            Ok("real") => BenchMode::Real,
+            _ => BenchMode::Sim,
+        }
+    }
+}
+
+/// Repetitions per measurement (minimum is reported).
+pub fn reps() -> usize {
+    std::env::var("HCD_BENCH_REPS")
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .filter(|&r| r >= 1)
+        .unwrap_or(1)
+}
+
+/// An executor for `p` logical threads under the ambient bench mode.
+/// `p == 1` always runs truly sequentially.
+pub fn executor(p: usize) -> Executor {
+    if p == 1 {
+        return Executor::sequential();
+    }
+    match BenchMode::from_env() {
+        BenchMode::Sim => Executor::simulated(p),
+        BenchMode::Real => Executor::rayon(p),
+    }
+}
+
+/// Runs `f(exec)` and returns its (simulated or wall) duration plus the
+/// result. In simulation mode, parallel regions are re-priced at their
+/// critical path; in real/sequential mode this is plain wall time.
+pub fn time_once<T>(exec: &Executor, f: impl FnOnce(&Executor) -> T) -> (T, Duration) {
+    exec.take_sim_stats(); // reset
+    let t0 = Instant::now();
+    let out = f(exec);
+    let wall = t0.elapsed();
+    let dur = if exec.is_simulated() {
+        exec.take_sim_stats().simulated_time(wall)
+    } else {
+        wall
+    };
+    (out, dur)
+}
+
+/// Best-of-`reps()` timing.
+pub fn time_best<T>(exec: &Executor, mut f: impl FnMut(&Executor) -> T) -> (T, Duration) {
+    let (mut out, mut best) = time_once(exec, &mut f);
+    for _ in 1..reps() {
+        let (o, d) = time_once(exec, &mut f);
+        if d < best {
+            best = d;
+            out = o;
+        }
+    }
+    (out, best)
+}
+
+/// The dataset list honoring `HCD_BENCH_DATASETS`, restricted to
+/// `wanted` when that is non-empty.
+pub fn datasets(wanted: &[&str]) -> Vec<&'static Dataset> {
+    let filter = std::env::var("HCD_BENCH_DATASETS").ok();
+    DATASETS
+        .iter()
+        .filter(|d| {
+            let in_wanted = wanted.is_empty() || wanted.contains(&d.abbrev);
+            let in_env = filter
+                .as_deref()
+                .is_none_or(|f| f.split(',').any(|a| a.trim() == d.abbrev));
+            in_wanted && in_env
+        })
+        .collect()
+}
+
+/// The ambient scale.
+pub fn scale() -> Scale {
+    Scale::from_env()
+}
+
+/// Prints the standard header every target emits.
+pub fn banner(what: &str) {
+    println!("==========================================================");
+    println!("{what}");
+    println!(
+        "scale={:?} mode={:?} reps={}",
+        scale(),
+        BenchMode::from_env(),
+        reps()
+    );
+    println!("==========================================================");
+}
+
+/// Formats a duration in seconds with three significant decimals.
+pub fn secs(d: Duration) -> String {
+    format!("{:.4}", d.as_secs_f64())
+}
+
+/// A speedup ratio `base / other`, guarded against zero.
+pub fn ratio(base: Duration, other: Duration) -> f64 {
+    let o = other.as_secs_f64();
+    if o <= 0.0 {
+        f64::NAN
+    } else {
+        base.as_secs_f64() / o
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn executor_p1_is_sequential() {
+        assert_eq!(executor(1).mode_name(), "seq");
+    }
+
+    #[test]
+    fn time_once_sim_reprices() {
+        let exec = Executor::simulated(4);
+        let (sum, d) = time_once(&exec, |e| {
+            let acc = std::sync::atomic::AtomicU64::new(0);
+            e.for_each_index(10_000, |i| {
+                acc.fetch_add(i as u64, std::sync::atomic::Ordering::Relaxed);
+            });
+            acc.into_inner()
+        });
+        assert_eq!(sum, 10_000u64 * 9_999 / 2);
+        assert!(d > Duration::ZERO);
+    }
+
+    #[test]
+    fn dataset_filter() {
+        let all = datasets(&[]);
+        assert_eq!(all.len(), 10);
+        let figs = datasets(&FIGURE_DATASETS);
+        assert_eq!(figs.len(), 6);
+    }
+
+    #[test]
+    fn ratio_guards_zero() {
+        assert!(ratio(Duration::from_secs(1), Duration::ZERO).is_nan());
+        assert_eq!(
+            ratio(Duration::from_secs(2), Duration::from_secs(1)),
+            2.0
+        );
+    }
+}

@@ -1,0 +1,66 @@
+//! LB: the union-find lower bound of Table III.
+
+use hcd_graph::CsrGraph;
+use hcd_par::Executor;
+use hcd_unionfind::{ConcurrentPivotUnionFind, UnionFindPivot};
+
+/// Unions every adjacent vertex pair once — the minimum connection work
+/// any union-find-based HCD construction must perform. The paper reports
+/// PHCD's runtime relative to this as the "LB" columns of Table III.
+///
+/// Returns the populated union-find so callers can verify the result (and
+/// so the work is not optimized away).
+pub fn lb_union_all(g: &CsrGraph, exec: &Executor) -> ConcurrentPivotUnionFind {
+    let n = g.num_vertices();
+    let uf = ConcurrentPivotUnionFind::new_identity(n);
+    exec.for_each_chunk(
+        n,
+        || (),
+        |_, _, range| {
+            for v in range {
+                let v = v as u32;
+                for &u in g.neighbors(v) {
+                    if u > v {
+                        uf.union(v, u);
+                    }
+                }
+            }
+        },
+    );
+    uf
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcd_graph::traversal::connected_components;
+    use hcd_graph::GraphBuilder;
+
+    #[test]
+    fn lb_components_match_bfs_components() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (3, 4), (5, 6), (6, 7), (7, 5)])
+            .min_vertices(10)
+            .build();
+        let (labels, count) = connected_components(&g);
+        for exec in [Executor::sequential(), Executor::rayon(4)] {
+            let uf = lb_union_all(&g, &exec);
+            assert_eq!(uf.num_components(), count);
+            for u in g.vertices() {
+                for v in g.vertices() {
+                    assert_eq!(
+                        uf.same_set(u, v),
+                        labels[u as usize] == labels[v as usize]
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        let uf = lb_union_all(&g, &Executor::sequential());
+        assert_eq!(uf.num_components(), 0);
+    }
+}

@@ -1,0 +1,181 @@
+//! Brute-force HCD construction — the test oracle.
+
+use hcd_decomp::CoreDecomposition;
+use hcd_graph::traversal::connected_components_filtered;
+use hcd_graph::{CsrGraph, FxHashMap, VertexId};
+
+use crate::index::{Hcd, TreeNode, NO_NODE};
+
+/// Builds the HCD directly from Definitions 1–3: for every level `k`, the
+/// connected components of the subgraph induced by `{v : c(v) >= k}` are
+/// the k-cores; each k-core with a non-empty k-shell slice becomes a tree
+/// node, and parents are found by locating the same component at the
+/// largest smaller level that has a node.
+///
+/// `O(kmax · (n + m))` time and `O(kmax · n)` memory — test-scale only,
+/// but its correctness is immediate from the definitions, which makes it
+/// the ground truth every construction algorithm is checked against.
+pub fn naive_hcd(g: &CsrGraph, cores: &CoreDecomposition) -> Hcd {
+    let n = g.num_vertices();
+    let kmax = cores.kmax();
+
+    // Component labels per level.
+    let mut labels_per_k: Vec<Vec<u32>> = Vec::with_capacity(kmax as usize + 1);
+    for k in 0..=kmax {
+        let (labels, _) = connected_components_filtered(g, |v| cores.coreness(v) >= k);
+        labels_per_k.push(labels);
+    }
+
+    // Create nodes: one per (k, component) with a non-empty k-shell slice.
+    let mut node_of: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+    let mut nodes: Vec<TreeNode> = Vec::new();
+    let mut representative: Vec<VertexId> = Vec::new();
+    let mut tid = vec![NO_NODE; n];
+    for v in 0..n as VertexId {
+        let k = cores.coreness(v);
+        let comp = labels_per_k[k as usize][v as usize];
+        let id = *node_of.entry((k, comp)).or_insert_with(|| {
+            nodes.push(TreeNode {
+                k,
+                vertices: Vec::new(),
+                parent: NO_NODE,
+                children: Vec::new(),
+            });
+            representative.push(v);
+            (nodes.len() - 1) as u32
+        });
+        nodes[id as usize].vertices.push(v);
+        tid[v as usize] = id;
+    }
+
+    // Parents: for each node, scan down from k-1 for the first level whose
+    // component (containing the representative) also has a node.
+    for i in 0..nodes.len() {
+        let k = nodes[i].k;
+        let u = representative[i];
+        for kp in (0..k).rev() {
+            let l = labels_per_k[kp as usize][u as usize];
+            if let Some(&pid) = node_of.get(&(kp, l)) {
+                nodes[i].parent = pid;
+                nodes[pid as usize].children.push(i as u32);
+                break;
+            }
+        }
+    }
+
+    Hcd::from_parts(nodes, tid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcd_decomp::core_decomposition;
+    use hcd_graph::GraphBuilder;
+
+    use crate::testutil::figure1_graph;
+
+    #[test]
+    fn figure1_hierarchy_shape() {
+        let g = figure1_graph();
+        let cores = core_decomposition(&g);
+        assert_eq!(cores.kmax(), 4);
+        let hcd = naive_hcd(&g, &cores);
+        // Nodes: T4 (k=4, 6 vertices), T3.1 (k=3, 3 vertices),
+        // T3.2 (k=3, 4 vertices), T2 (k=2, 3 vertices).
+        assert_eq!(hcd.num_nodes(), 4);
+        let canon = hcd.canonicalize();
+        let ks: Vec<u32> = canon.nodes.iter().map(|n| n.k).collect();
+        assert_eq!(ks, vec![2, 3, 3, 4]);
+        let sizes: Vec<usize> = canon.nodes.iter().map(|n| n.vertices.len()).collect();
+        assert_eq!(sizes, vec![3, 3, 4, 6]);
+        // Root is the 2-core node.
+        assert_eq!(hcd.roots().len(), 1);
+        assert_eq!(hcd.node(hcd.roots()[0]).k, 2);
+        // T4's parent is T3.1 (the k=3 node with vertices {6,7,8}).
+        let t4 = canon.nodes.iter().position(|n| n.k == 4).unwrap();
+        let t4_parent = canon.nodes[t4].parent.unwrap() as usize;
+        assert_eq!(canon.nodes[t4_parent].k, 3);
+        assert_eq!(canon.nodes[t4_parent].vertices, vec![6, 7, 8]);
+    }
+
+    #[test]
+    fn every_vertex_appears_once() {
+        let g = figure1_graph();
+        let cores = core_decomposition(&g);
+        let hcd = naive_hcd(&g, &cores);
+        let total: usize = hcd.nodes().iter().map(|n| n.vertices.len()).sum();
+        assert_eq!(total, g.num_vertices());
+    }
+
+    #[test]
+    fn parent_skips_missing_levels() {
+        // K5 attached to a single degree-1 vertex: levels 4 and 1 only.
+        let mut b = GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b = b.edge(u, v);
+            }
+        }
+        let g = b.edge(0, 5).build();
+        let cores = core_decomposition(&g);
+        let hcd = naive_hcd(&g, &cores);
+        assert_eq!(hcd.num_nodes(), 2);
+        let canon = hcd.canonicalize();
+        assert_eq!(canon.nodes[0].k, 1);
+        assert_eq!(canon.nodes[1].k, 4);
+        assert_eq!(canon.nodes[1].parent, Some(0));
+    }
+
+    #[test]
+    fn disconnected_graph_gives_forest() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 0)]) // triangle
+            .edges([(3, 4)]) // edge
+            .min_vertices(6) // vertex 5 isolated
+            .build();
+        let cores = core_decomposition(&g);
+        let hcd = naive_hcd(&g, &cores);
+        assert_eq!(hcd.num_nodes(), 3);
+        assert_eq!(hcd.roots().len(), 3);
+        let canon = hcd.canonicalize();
+        assert_eq!(canon.nodes[0].k, 0);
+        assert_eq!(canon.nodes[0].vertices, vec![5]);
+    }
+
+    #[test]
+    fn isolated_vertices_form_separate_zero_nodes() {
+        let g = GraphBuilder::new().min_vertices(3).build();
+        let cores = core_decomposition(&g);
+        let hcd = naive_hcd(&g, &cores);
+        // 0-cores are maximal *connected* subgraphs: one node per vertex.
+        assert_eq!(hcd.num_nodes(), 3);
+        assert!(hcd.nodes().iter().all(|n| n.k == 0 && n.vertices.len() == 1));
+    }
+
+    #[test]
+    fn nested_cliques_form_a_chain() {
+        // K6 ⊃ inner structure: attach rings of decreasing density.
+        let mut b = GraphBuilder::new();
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                b = b.edge(u, v); // K6: coreness 5
+            }
+        }
+        // Ring of 4 vertices each adjacent to 3 clique vertices: coreness 3.
+        for (i, x) in (6..10u32).enumerate() {
+            let j = 6 + ((i + 1) % 4) as u32;
+            b = b.edge(x, j);
+            b = b.edge(x, (i % 3) as u32);
+            b = b.edge(x, ((i + 1) % 3) as u32);
+        }
+        let g = b.build();
+        let cores = core_decomposition(&g);
+        let hcd = naive_hcd(&g, &cores);
+        // Chain: one node per present level, each parent of the next.
+        let canon = hcd.canonicalize();
+        for w in canon.nodes.windows(2) {
+            assert!(w[0].k <= w[1].k);
+        }
+        assert_eq!(hcd.roots().len(), 1);
+    }
+}

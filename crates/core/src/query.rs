@@ -1,0 +1,107 @@
+//! Local queries on a built HCD (ShellStruct-style, paper §VII).
+
+use hcd_decomp::CoreDecomposition;
+use hcd_graph::VertexId;
+
+use crate::index::{Hcd, NO_NODE};
+
+/// The vertex set of the k-core containing `v`, answered from the index
+/// alone in time linear in the output.
+///
+/// Walks up from `tid(v)` to the highest ancestor whose level is still
+/// `>= k`; that ancestor's subtree is exactly the k-core (every k-core
+/// with `k <= c(v)` containing `v` equals the original core of such an
+/// ancestor — levels between two adjacent ancestors collapse onto the
+/// deeper one). Returns `None` when `k > c(v)`.
+pub fn core_containing(
+    hcd: &Hcd,
+    cores: &CoreDecomposition,
+    v: VertexId,
+    k: u32,
+) -> Option<Vec<VertexId>> {
+    if k > cores.coreness(v) {
+        return None;
+    }
+    let mut node = hcd.tid(v);
+    loop {
+        let parent = hcd.node(node).parent;
+        if parent == NO_NODE || hcd.node(parent).k < k {
+            break;
+        }
+        node = parent;
+    }
+    Some(hcd.subtree_vertices(node))
+}
+
+/// The *hierarchy position* of `v`: (depth of its tree node, subtree size
+/// of its node). Used by the engagement-analysis example — the paper
+/// notes \[15\] that engagement prediction improves when the position in
+/// the HCD complements raw coreness.
+pub fn hierarchy_position(hcd: &Hcd, v: VertexId) -> (usize, usize) {
+    let t = hcd.tid(v);
+    (hcd.depth(t), hcd.subtree_vertices(t).len())
+}
+
+/// Number of distinct k-cores (tree nodes) per level, `0..=kmax`.
+pub fn cores_per_level(hcd: &Hcd, kmax: u32) -> Vec<usize> {
+    let mut counts = vec![0usize; kmax as usize + 1];
+    for node in hcd.nodes() {
+        counts[node.k as usize] += 1;
+    }
+    counts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phcd::phcd;
+    use crate::testutil::figure1_graph;
+    use hcd_decomp::core_decomposition;
+    use hcd_par::Executor;
+
+    fn setup() -> (hcd_graph::CsrGraph, CoreDecomposition, Hcd) {
+        let g = figure1_graph();
+        let cores = core_decomposition(&g);
+        let hcd = phcd(&g, &cores, &Executor::sequential());
+        (g, cores, hcd)
+    }
+
+    #[test]
+    fn core_containing_matches_definition() {
+        let (g, cores, hcd) = setup();
+        use hcd_graph::traversal::bfs_filtered;
+        for v in g.vertices() {
+            for k in 0..=cores.coreness(v) {
+                let mut got = core_containing(&hcd, &cores, v, k).unwrap();
+                got.sort_unstable();
+                let mut want = bfs_filtered(&g, v, |u| cores.coreness(u) >= k);
+                want.sort_unstable();
+                assert_eq!(got, want, "v={v} k={k}");
+            }
+        }
+    }
+
+    #[test]
+    fn core_above_coreness_is_none() {
+        let (_, cores, hcd) = setup();
+        assert!(core_containing(&hcd, &cores, 15, 3).is_none());
+        assert!(core_containing(&hcd, &cores, 0, 5).is_none());
+    }
+
+    #[test]
+    fn positions_deepen_with_coreness() {
+        let (_, _, hcd) = setup();
+        let (d15, _) = hierarchy_position(&hcd, 15); // 2-shell
+        let (d6, _) = hierarchy_position(&hcd, 6); // 3-shell
+        let (d0, s0) = hierarchy_position(&hcd, 0); // 4-core
+        assert!(d15 < d6 && d6 < d0);
+        assert_eq!(s0, 6); // T4 is a leaf holding S4's six vertices
+    }
+
+    #[test]
+    fn level_histogram() {
+        let (_, cores, hcd) = setup();
+        let counts = cores_per_level(&hcd, cores.kmax());
+        assert_eq!(counts, vec![0, 0, 1, 2, 1]);
+    }
+}

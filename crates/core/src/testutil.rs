@@ -1,0 +1,35 @@
+//! Shared test fixtures (compiled only for tests).
+
+use hcd_graph::{CsrGraph, GraphBuilder};
+
+/// The paper's Figure 1 graph, reconstructed from the description: a
+/// 4-core `S4` (vertices 0–5), two 3-cores `S3.1 = S4 + {6,7,8}` and
+/// `S3.2 = {9..13}`, all inside the 2-core `S2` (the whole graph, whose
+/// 2-shell is `{13,14,15}`).
+pub fn figure1_graph() -> CsrGraph {
+    GraphBuilder::new()
+        // S4: 5-clique {0..5} plus vertex 5 with four clique edges.
+        .edges([
+            (0, 1),
+            (0, 2),
+            (0, 3),
+            (0, 4),
+            (1, 2),
+            (1, 3),
+            (1, 4),
+            (2, 3),
+            (2, 4),
+            (3, 4),
+            (5, 0),
+            (5, 1),
+            (5, 2),
+            (5, 3),
+        ])
+        // T3.1: coreness-3 triangle {6,7,8} each with one edge into S4.
+        .edges([(6, 7), (7, 8), (8, 6), (6, 0), (7, 1), (8, 2)])
+        // S3.2: a separate 3-core (K4 on {9..13}).
+        .edges([(9, 10), (9, 11), (9, 12), (10, 11), (10, 12), (11, 12)])
+        // 2-shell {13,14,15} tying the 3-cores together, peeling at k=3.
+        .edges([(13, 9), (13, 5), (14, 10), (14, 6), (15, 13), (15, 14)])
+        .build()
+}

@@ -1,0 +1,117 @@
+//! Erdős–Rényi `G(n, p)` graphs.
+
+use hcd_graph::{CsrGraph, GraphBuilder};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Samples `G(n, p)` with geometric edge skipping (`O(n + m)` expected,
+/// independent of `p` being small). Deterministic for a given seed.
+pub fn gnp(n: usize, p: f64, seed: u64) -> CsrGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability");
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new().min_vertices(n);
+    if n >= 2 && p > 0.0 {
+        if p >= 1.0 {
+            for u in 0..n as u32 {
+                for v in (u + 1)..n as u32 {
+                    builder = builder.edge(u, v);
+                }
+            }
+        } else {
+            // Iterate the strictly-upper-triangular pairs lexicographically,
+            // skipping a Geometric(p) count between successive edges.
+            let log1p = (1.0 - p).ln();
+            let mut idx: f64 = -1.0;
+            let total = n as f64 * (n as f64 - 1.0) / 2.0;
+            loop {
+                let r: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+                idx += 1.0 + (r.ln() / log1p).floor();
+                if idx >= total {
+                    break;
+                }
+                let (u, v) = pair_from_index(idx as u64, n as u64);
+                builder = builder.edge(u as u32, v as u32);
+            }
+        }
+    }
+    builder.build()
+}
+
+/// Maps a linear index to the `idx`-th pair `(u, v)` with `u < v` in
+/// lexicographic order.
+fn pair_from_index(idx: u64, n: u64) -> (u64, u64) {
+    // Row u starts at offset u*n - u*(u+3)/2 ... solve approximately then fix.
+    // Binary search for the row.
+    let mut lo = 0u64;
+    let mut hi = n - 1;
+    while lo < hi {
+        let mid = (lo + hi) / 2;
+        let row_end = row_start(mid + 1, n);
+        if idx < row_end {
+            hi = mid;
+        } else {
+            lo = mid + 1;
+        }
+    }
+    let u = lo;
+    let offset = row_start(u, n);
+    let v = u + 1 + (idx - offset);
+    (u, v)
+}
+
+/// Linear index of the first pair in row `u` (pairs (u, u+1..n)).
+fn row_start(u: u64, n: u64) -> u64 {
+    // sum_{i=0}^{u-1} (n-1-i) = u*(n-1) - u*(u-1)/2
+    u * (n - 1) - u * (u.saturating_sub(1)) / 2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = gnp(100, 0.05, 42);
+        let b = gnp(100, 0.05, 42);
+        assert_eq!(a, b);
+        let c = gnp(100, 0.05, 43);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn edge_count_near_expectation() {
+        let n = 400;
+        let p = 0.02;
+        let g = gnp(n, p, 7);
+        let expected = p * (n * (n - 1) / 2) as f64;
+        let got = g.num_edges() as f64;
+        assert!(
+            (got - expected).abs() < 4.0 * expected.sqrt() + 10.0,
+            "got {got}, expected ~{expected}"
+        );
+    }
+
+    #[test]
+    fn p_zero_and_one() {
+        assert_eq!(gnp(10, 0.0, 1).num_edges(), 0);
+        assert_eq!(gnp(10, 1.0, 1).num_edges(), 45);
+    }
+
+    #[test]
+    fn pair_indexing_is_bijective() {
+        let n = 7u64;
+        let mut seen = std::collections::HashSet::new();
+        for idx in 0..(n * (n - 1) / 2) {
+            let (u, v) = pair_from_index(idx, n);
+            assert!(u < v && v < n, "idx={idx} -> ({u},{v})");
+            assert!(seen.insert((u, v)));
+        }
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        assert_eq!(gnp(0, 0.5, 1).num_vertices(), 0);
+        assert_eq!(gnp(1, 0.5, 1).num_vertices(), 1);
+        assert_eq!(gnp(1, 0.5, 1).num_edges(), 0);
+    }
+}

@@ -1,0 +1,27 @@
+//! Synthetic graph generators and the paper-dataset stand-in registry.
+//!
+//! The paper evaluates on ten real networks of up to 3.7 billion edges
+//! (SNAP, LAW, NetworkRepository). Those are unavailable at reproduction
+//! scale, so this crate provides **seeded, deterministic** generators —
+//! Erdős–Rényi, Barabási–Albert, R-MAT, Watts–Strogatz, clique overlays,
+//! and a hierarchical "core tree" — and a [`registry`] of ten scaled
+//! stand-ins, one per paper dataset, chosen to preserve the structural
+//! properties the experiments exercise (heavy-tailed degrees, high
+//! `kmax`, rich HCD forests, giant components). See DESIGN.md,
+//! substitution 2.
+
+pub mod ba;
+pub mod er;
+pub mod overlay;
+pub mod planted;
+pub mod registry;
+pub mod rmat;
+pub mod ws;
+
+pub use ba::barabasi_albert;
+pub use er::gnp;
+pub use overlay::clique_overlay;
+pub use planted::core_tree;
+pub use registry::{Dataset, Scale, DATASETS};
+pub use rmat::rmat;
+pub use ws::watts_strogatz;

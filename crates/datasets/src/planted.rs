@@ -1,0 +1,102 @@
+//! Core-tree generator: graphs with rich, deep HCD hierarchies.
+
+use hcd_graph::{CsrGraph, GraphBuilder, VertexId};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Generates a graph whose HCD forest approximately follows a complete
+/// tree of the given `branching` and `depth`.
+///
+/// Each tree position owns a gadget of `gadget_size` fresh vertices wired
+/// as a random graph whose internal degree grows with depth (deeper
+/// gadgets are denser, hence higher coreness), plus a couple of sparse
+/// edges up into its parent gadget — enough to connect, too few to raise
+/// coreness. The exact node set of the resulting HCD is determined by the
+/// oracle in tests; this generator's job is workload richness (deep,
+/// branchy hierarchies with many tree nodes), not exact shape control.
+pub fn core_tree(branching: usize, depth: usize, gadget_size: usize, seed: u64) -> CsrGraph {
+    assert!(branching >= 1 && depth >= 1 && gadget_size >= 4);
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new();
+    let mut next_id: u32 = 0;
+
+    // BFS over tree positions: (parent gadget members, depth).
+    let mut frontier: Vec<(Vec<VertexId>, usize)> = vec![(Vec::new(), 0)];
+    while let Some((parent, d)) = frontier.pop() {
+        if d == depth {
+            continue;
+        }
+        let fanout = if d == 0 { 1 } else { branching };
+        for _ in 0..fanout {
+            // Fresh gadget vertices.
+            let members: Vec<VertexId> = (0..gadget_size).map(|i| next_id + i as u32).collect();
+            next_id += gadget_size as u32;
+            // Internal wiring: target degree rises with depth.
+            let target_deg = (2 + 3 * d).min(gadget_size - 1);
+            for (i, &v) in members.iter().enumerate() {
+                for j in 1..=target_deg {
+                    let u = members[(i + j) % gadget_size];
+                    if u != v {
+                        builder = builder.edge(v, u);
+                    }
+                }
+                // A sprinkle of random internal edges for irregularity.
+                if rng.gen_bool(0.3) {
+                    let u = members[rng.gen_range(0..gadget_size)];
+                    if u != v {
+                        builder = builder.edge(v, u);
+                    }
+                }
+            }
+            // Sparse uplinks into the parent gadget.
+            if !parent.is_empty() {
+                for _ in 0..2 {
+                    let v = members[rng.gen_range(0..gadget_size)];
+                    let u = parent[rng.gen_range(0..parent.len())];
+                    builder = builder.edge(v, u);
+                }
+            }
+            frontier.push((members, d + 1));
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcd_decomp::core_decomposition;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(core_tree(2, 3, 10, 4), core_tree(2, 3, 10, 4));
+    }
+
+    #[test]
+    fn vertex_count_follows_tree_size() {
+        // 1 + 2 + 4 gadgets of 10 vertices for branching 2, depth 3.
+        let g = core_tree(2, 3, 10, 1);
+        assert_eq!(g.num_vertices(), 70);
+    }
+
+    #[test]
+    fn coreness_grows_with_depth() {
+        let g = core_tree(2, 4, 12, 2);
+        let cores = core_decomposition(&g);
+        // Deeper gadgets are denser: kmax must exceed the root's degree.
+        assert!(cores.kmax() >= 6, "kmax = {}", cores.kmax());
+        // And multiple shells must exist (rich hierarchy).
+        let shells = cores.shells();
+        let nonempty = shells.iter().filter(|s| !s.is_empty()).count();
+        assert!(nonempty >= 3, "only {nonempty} shells");
+    }
+
+    #[test]
+    fn graph_is_connected() {
+        let g = core_tree(3, 3, 8, 6);
+        assert_eq!(
+            hcd_graph::traversal::largest_component_size(&g),
+            g.num_vertices()
+        );
+    }
+}

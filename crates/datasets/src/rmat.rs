@@ -1,0 +1,78 @@
+//! R-MAT recursive-matrix graphs (Chakrabarti, Zhan, Faloutsos 2004).
+
+use hcd_graph::{CsrGraph, GraphBuilder};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// Generates an R-MAT graph with `2^scale` vertices and `edge_factor ·
+/// 2^scale` sampled edges (duplicates and self-loops are cleaned up by
+/// the builder, so the final count is slightly lower). The partition
+/// probabilities `(a, b, c)` default to the Graph500 values when
+/// `None` is passed (`a=0.57, b=0.19, c=0.19`); heavier `a` skews the
+/// degree distribution harder. Models web and social networks.
+pub fn rmat(scale: u32, edge_factor: usize, probs: Option<(f64, f64, f64)>, seed: u64) -> CsrGraph {
+    let (a, b, c) = probs.unwrap_or((0.57, 0.19, 0.19));
+    assert!(a + b + c < 1.0 + 1e-9, "probabilities must sum below 1");
+    let n: usize = 1 << scale;
+    let m = edge_factor * n;
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new().min_vertices(n);
+    for _ in 0..m {
+        let (mut u, mut v) = (0usize, 0usize);
+        for _ in 0..scale {
+            u <<= 1;
+            v <<= 1;
+            let r: f64 = rng.gen();
+            if r < a {
+                // top-left
+            } else if r < a + b {
+                v |= 1;
+            } else if r < a + b + c {
+                u |= 1;
+            } else {
+                u |= 1;
+                v |= 1;
+            }
+        }
+        builder = builder.edge(u as u32, v as u32);
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(rmat(10, 8, None, 2), rmat(10, 8, None, 2));
+        assert_ne!(rmat(10, 8, None, 2), rmat(10, 8, None, 3));
+    }
+
+    #[test]
+    fn vertex_count_is_power_of_two() {
+        let g = rmat(9, 4, None, 1);
+        assert_eq!(g.num_vertices(), 512);
+    }
+
+    #[test]
+    fn edge_count_close_to_target() {
+        let g = rmat(12, 8, None, 5);
+        let target = 8 * 4096;
+        // Duplicates/self-loops remove some, but most survive.
+        assert!(g.num_edges() > target / 2);
+        assert!(g.num_edges() <= target);
+    }
+
+    #[test]
+    fn skewed_degrees() {
+        let g = rmat(12, 8, None, 7);
+        assert!(g.max_degree() as f64 > 10.0 * g.avg_degree());
+    }
+
+    #[test]
+    fn custom_probabilities_accepted() {
+        let g = rmat(8, 4, Some((0.45, 0.25, 0.15)), 1);
+        assert_eq!(g.num_vertices(), 256);
+    }
+}

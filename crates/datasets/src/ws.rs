@@ -1,0 +1,67 @@
+//! Watts–Strogatz small-world graphs.
+
+use hcd_graph::{CsrGraph, GraphBuilder};
+use rand::{Rng, SeedableRng};
+use rand_chacha::ChaCha8Rng;
+
+/// A ring of `n` vertices each connected to its `k` nearest neighbors
+/// (`k` even), with every edge rewired to a random endpoint with
+/// probability `beta`. High clustering coefficient at low `beta` — the
+/// workload that stresses type-B (triangle-based) metrics.
+pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
+    assert!(k.is_multiple_of(2), "k must be even");
+    assert!((0.0..=1.0).contains(&beta));
+    let mut rng = ChaCha8Rng::seed_from_u64(seed);
+    let mut builder = GraphBuilder::new().min_vertices(n);
+    if n == 0 || k == 0 {
+        return builder.build();
+    }
+    for v in 0..n {
+        for j in 1..=(k / 2) {
+            let mut u = (v + j) % n;
+            if rng.gen_bool(beta) {
+                u = rng.gen_range(0..n);
+            }
+            if u != v {
+                builder = builder.edge(v as u32, u as u32);
+            }
+        }
+    }
+    builder.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(
+            watts_strogatz(200, 6, 0.1, 4),
+            watts_strogatz(200, 6, 0.1, 4)
+        );
+    }
+
+    #[test]
+    fn zero_beta_is_a_ring_lattice() {
+        let g = watts_strogatz(20, 4, 0.0, 1);
+        assert_eq!(g.num_edges(), 40);
+        for v in g.vertices() {
+            assert_eq!(g.degree(v), 4);
+        }
+    }
+
+    #[test]
+    fn rewiring_changes_structure() {
+        let lattice = watts_strogatz(100, 4, 0.0, 2);
+        let random = watts_strogatz(100, 4, 0.9, 2);
+        assert_ne!(lattice, random);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        assert_eq!(watts_strogatz(0, 2, 0.5, 1).num_vertices(), 0);
+        let g = watts_strogatz(1, 2, 0.5, 1);
+        assert_eq!(g.num_edges(), 0);
+    }
+}

@@ -1,0 +1,173 @@
+//! Serial Batagelj–Zaversnik core decomposition.
+
+use hcd_graph::{CsrGraph, VertexId};
+
+use crate::CoreDecomposition;
+
+/// The `O(m)` bin-sort peeling algorithm of Batagelj & Zaversnik \[19\].
+///
+/// Vertices are kept bucketed by their *current* degree; the algorithm
+/// repeatedly removes a vertex of minimum current degree, assigns it that
+/// degree as coreness (monotonically clamped), and decrements its
+/// remaining neighbors, moving them between buckets in `O(1)` via the
+/// classic `bin`/`pos`/`vert` swap trick.
+pub fn core_decomposition(g: &CsrGraph) -> CoreDecomposition {
+    let n = g.num_vertices();
+    if n == 0 {
+        return CoreDecomposition::from_coreness(Vec::new());
+    }
+    let max_deg = g.max_degree();
+
+    // deg[v]: current degree during peeling.
+    let mut deg: Vec<u32> = (0..n as VertexId).map(|v| g.degree(v) as u32).collect();
+
+    // Bucket sort vertices by degree.
+    let mut bin = vec![0usize; max_deg + 2];
+    for &d in &deg {
+        bin[d as usize + 1] += 1;
+    }
+    for i in 0..=max_deg {
+        bin[i + 1] += bin[i];
+    }
+    let mut start = bin.clone(); // start[d] = first index of bucket d in vert
+    let mut vert = vec![0 as VertexId; n];
+    let mut pos = vec![0usize; n];
+    {
+        let mut cursor = bin.clone();
+        for v in 0..n as VertexId {
+            let d = deg[v as usize] as usize;
+            vert[cursor[d]] = v;
+            pos[v as usize] = cursor[d];
+            cursor[d] += 1;
+        }
+    }
+
+    let mut coreness = vec![0u32; n];
+    for i in 0..n {
+        let v = vert[i];
+        let dv = deg[v as usize];
+        coreness[v as usize] = dv;
+        // Peel v: decrement every neighbor of larger current degree.
+        for &u in g.neighbors(v) {
+            let du = deg[u as usize];
+            if du > dv {
+                // Swap u with the first element of its bucket, then shrink
+                // the bucket boundary so u lands in bucket du-1.
+                let pu = pos[u as usize];
+                let pw = start[du as usize];
+                let w = vert[pw];
+                if u != w {
+                    vert[pu] = w;
+                    vert[pw] = u;
+                    pos[w as usize] = pu;
+                    pos[u as usize] = pw;
+                }
+                start[du as usize] += 1;
+                deg[u as usize] = du - 1;
+            }
+        }
+    }
+    CoreDecomposition::from_coreness(coreness)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcd_graph::GraphBuilder;
+
+    #[test]
+    fn clique_coreness() {
+        // K5: every vertex has coreness 4.
+        let mut b = GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b = b.edge(u, v);
+            }
+        }
+        let g = b.build();
+        let cd = core_decomposition(&g);
+        assert!(cd.as_slice().iter().all(|&c| c == 4));
+        assert_eq!(cd.kmax(), 4);
+    }
+
+    #[test]
+    fn path_coreness_is_one() {
+        let g = GraphBuilder::new().edges([(0, 1), (1, 2), (2, 3)]).build();
+        let cd = core_decomposition(&g);
+        assert_eq!(cd.as_slice(), &[1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn isolated_vertices_have_coreness_zero() {
+        let g = GraphBuilder::new().edge(0, 1).min_vertices(4).build();
+        let cd = core_decomposition(&g);
+        assert_eq!(cd.coreness(2), 0);
+        assert_eq!(cd.coreness(3), 0);
+    }
+
+    #[test]
+    fn paper_figure_1_structure() {
+        // A graph in the spirit of Figure 1: a 4-clique core (coreness >= 3
+        // region) inside a sparser 2-core ring.
+        let g = GraphBuilder::new()
+            // K5 missing nothing: 5-clique => coreness 4 for 0..5
+            .edges([
+                (0, 1),
+                (0, 2),
+                (0, 3),
+                (0, 4),
+                (1, 2),
+                (1, 3),
+                (1, 4),
+                (2, 3),
+                (2, 4),
+                (3, 4),
+            ])
+            // a triangle attached to vertex 0: coreness 2
+            .edges([(5, 6), (6, 7), (7, 5), (5, 0), (6, 0)])
+            // a pendant path: coreness 1
+            .edges([(7, 8), (8, 9)])
+            .build();
+        let cd = core_decomposition(&g);
+        for v in 0..5 {
+            assert_eq!(cd.coreness(v), 4, "clique vertex {v}");
+        }
+        for v in 5..8 {
+            assert_eq!(cd.coreness(v), 2, "triangle vertex {v}");
+        }
+        assert_eq!(cd.coreness(8), 1);
+        assert_eq!(cd.coreness(9), 1);
+        assert_eq!(cd.kmax(), 4);
+    }
+
+    #[test]
+    fn star_center_coreness_one() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (0, 2), (0, 3), (0, 4), (0, 5)])
+            .build();
+        let cd = core_decomposition(&g);
+        assert!(cd.as_slice().iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn two_cliques_joined_by_bridge() {
+        let mut b = GraphBuilder::new();
+        for u in 0..4u32 {
+            for v in (u + 1)..4 {
+                b = b.edge(u, v); // K4 on 0..4
+            }
+        }
+        for u in 10..14u32 {
+            for v in (u + 1)..14 {
+                b = b.edge(u, v); // K4 on 10..14
+            }
+        }
+        let g = b.edge(3, 10).build();
+        let cd = core_decomposition(&g);
+        for v in [0u32, 1, 2, 3, 10, 11, 12, 13] {
+            assert_eq!(cd.coreness(v), 3);
+        }
+        // Unused ids 4..10 are isolated.
+        assert_eq!(cd.coreness(5), 0);
+    }
+}

@@ -1,0 +1,176 @@
+//! Parallel level-synchronous core decomposition (ParK/PKC style).
+
+use std::sync::atomic::{AtomicU32, Ordering};
+
+use hcd_graph::{CsrGraph, VertexId};
+use hcd_par::Executor;
+
+use crate::CoreDecomposition;
+
+/// Parallel peeling in the style of ParK \[24\] / PKC \[20\].
+///
+/// For each level `k = 0, 1, …` the frontier of vertices whose current
+/// degree equals `k` is peeled; removing a frontier vertex decrements its
+/// neighbors' degrees with a CAS loop that never drops a degree below the
+/// current level, and the thread whose decrement lands a neighbor exactly
+/// on the level claims it for the next frontier (so every vertex is
+/// peeled exactly once). Work is `O(n·kmax + m)`; the `n·kmax` term comes
+/// from the per-level scans, mitigated — as in PKC — by compacting the
+/// scan list to the still-alive vertices after every level.
+pub fn pkc_core_decomposition(g: &CsrGraph, exec: &Executor) -> CoreDecomposition {
+    let n = g.num_vertices();
+    if n == 0 {
+        return CoreDecomposition::from_coreness(Vec::new());
+    }
+
+    let deg: Vec<AtomicU32> = (0..n as VertexId)
+        .map(|v| AtomicU32::new(g.degree(v) as u32))
+        .collect();
+
+    let mut processed = 0usize;
+    let mut level: u32 = 0;
+    // Alive vertices, compacted after each level (the PKC optimization).
+    let mut alive: Vec<VertexId> = (0..n as VertexId).collect();
+
+    while processed < n {
+        // Scan the alive list: vertices at the current level seed the
+        // frontier; the rest survive into the next alive list.
+        let parts = exec.map_chunks(alive.len(), |_, range| {
+            let mut frontier = Vec::new();
+            let mut keep = Vec::new();
+            for &v in &alive[range] {
+                if deg[v as usize].load(Ordering::Relaxed) == level {
+                    frontier.push(v);
+                } else {
+                    keep.push(v);
+                }
+            }
+            (frontier, keep)
+        });
+        let mut frontier: Vec<VertexId> = Vec::new();
+        let mut next_alive: Vec<VertexId> = Vec::with_capacity(alive.len());
+        for (f, k) in parts {
+            frontier.extend(f);
+            next_alive.extend(k);
+        }
+        alive = next_alive;
+
+        // Peel the frontier in waves until it drains. Wave work is
+        // proportional to frontier degrees, so chunk by degree weight.
+        while !frontier.is_empty() {
+            processed += frontier.len();
+            let wave_prefix: Vec<u64> = {
+                let mut p = Vec::with_capacity(frontier.len() + 1);
+                p.push(0u64);
+                for &v in &frontier {
+                    p.push(p.last().unwrap() + g.degree(v) as u64 + 1);
+                }
+                p
+            };
+            let waves = exec.map_chunks_weighted(&wave_prefix, |_, range| {
+                let mut next = Vec::new();
+                for &v in &frontier[range] {
+                    for &u in g.neighbors(v) {
+                        // Decrement u unless it is already at (or below)
+                        // the level; the decrement that lands exactly on
+                        // `level` claims u for the next wave.
+                        let mut d = deg[u as usize].load(Ordering::Relaxed);
+                        while d > level {
+                            match deg[u as usize].compare_exchange_weak(
+                                d,
+                                d - 1,
+                                Ordering::AcqRel,
+                                Ordering::Acquire,
+                            ) {
+                                Ok(_) => {
+                                    if d - 1 == level {
+                                        next.push(u);
+                                    }
+                                    break;
+                                }
+                                Err(cur) => d = cur,
+                            }
+                        }
+                    }
+                }
+                next
+            });
+            frontier = waves.into_iter().flatten().collect();
+        }
+        // Vertices claimed mid-level were removed from neither `alive`
+        // nor double-counted: their degree now equals `level`, so the
+        // next level's scan would re-seed them — filter them out by
+        // degree < next level check. They were already processed, so
+        // drop them from `alive` now.
+        alive.retain(|&v| deg[v as usize].load(Ordering::Relaxed) > level);
+        level += 1;
+    }
+
+    let coreness: Vec<u32> = deg.into_iter().map(AtomicU32::into_inner).collect();
+    CoreDecomposition::from_coreness(coreness)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bz::core_decomposition;
+    use hcd_graph::GraphBuilder;
+
+    fn check_matches_bz(g: &CsrGraph) {
+        let expected = core_decomposition(g);
+        for exec in [
+            Executor::sequential(),
+            Executor::rayon(4),
+            Executor::simulated(3),
+        ] {
+            let got = pkc_core_decomposition(g, &exec);
+            assert_eq!(got, expected, "mode {}", exec.mode_name());
+        }
+    }
+
+    #[test]
+    fn matches_bz_on_small_graphs() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)])
+            .build();
+        check_matches_bz(&g);
+    }
+
+    #[test]
+    fn matches_bz_on_clique_chain() {
+        let mut b = GraphBuilder::new();
+        // Chain of K4s sharing one vertex each.
+        for c in 0..5u32 {
+            let base = c * 3;
+            let ids = [base, base + 1, base + 2, base + 3];
+            for i in 0..4 {
+                for j in (i + 1)..4 {
+                    b = b.edge(ids[i], ids[j]);
+                }
+            }
+        }
+        check_matches_bz(&b.build());
+    }
+
+    #[test]
+    fn matches_bz_with_isolated_vertices() {
+        let g = GraphBuilder::new().edge(0, 1).min_vertices(50).build();
+        check_matches_bz(&g);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().build();
+        let cd = pkc_core_decomposition(&g, &Executor::sequential());
+        assert!(cd.is_empty());
+    }
+
+    #[test]
+    fn star_graph_parallel() {
+        let mut b = GraphBuilder::new();
+        for i in 1..100u32 {
+            b = b.edge(0, i);
+        }
+        check_matches_bz(&b.build());
+    }
+}

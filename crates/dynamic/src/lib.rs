@@ -1,0 +1,25 @@
+//! Dynamic graphs: incremental core maintenance.
+//!
+//! Real networks change; recomputing the core decomposition from scratch
+//! after every edge update wastes the locality of the change. The paper
+//! points to hierarchical core *maintenance* \[15\] as the dynamic
+//! counterpart of PHCD; this crate provides the foundation:
+//!
+//! * [`DynamicGraph`] — an adjacency-set graph supporting edge insertion
+//!   and removal, convertible to/from [`hcd_graph::CsrGraph`];
+//! * [`DynamicCore`] — coreness maintained incrementally with the
+//!   traversal algorithm (Sariyüce et al., PVLDB 2013; Li, Yu & Mao,
+//!   TKDE 2014): an edge update changes coreness by at most one, and only
+//!   inside the *subcore* reachable from the update through vertices of
+//!   the same coreness — typically a tiny region;
+//! * on-demand HCD refresh: the hierarchy is rebuilt with PHCD only when
+//!   queried after updates (true incremental hierarchy maintenance is
+//!   the subject of \[15\] and left as future work, as in the paper).
+//!
+//! Every update path is property-tested against full recomputation.
+
+pub mod graph;
+pub mod maintain;
+
+pub use graph::DynamicGraph;
+pub use maintain::DynamicCore;

@@ -1,0 +1,400 @@
+//! Incremental core maintenance (traversal algorithm).
+
+use hcd_core::Hcd;
+use hcd_decomp::{core_decomposition, CoreDecomposition};
+use hcd_graph::{CsrGraph, FxHashMap, FxHashSet, VertexId};
+use hcd_par::Executor;
+
+use crate::graph::DynamicGraph;
+
+/// A dynamic graph with incrementally maintained coreness and an
+/// on-demand HCD.
+///
+/// Insertion and removal of an edge `{u, v}` change the coreness of a
+/// vertex by at most one, and only for vertices of coreness
+/// `c = min(c(u), c(v))` inside the *subcore* reachable from the edge
+/// through same-coreness vertices (Sariyüce et al. 2013; Li, Yu & Mao
+/// 2014). Each update therefore costs time proportional to that local
+/// region instead of `O(m)`.
+///
+/// # Examples
+///
+/// ```
+/// use hcd_dynamic::DynamicCore;
+///
+/// let mut dc = DynamicCore::new(4);
+/// dc.insert_edge(0, 1);
+/// dc.insert_edge(1, 2);
+/// dc.insert_edge(2, 0); // triangle: everyone reaches coreness 2
+/// assert_eq!(dc.coreness(0), 2);
+/// dc.remove_edge(1, 2);
+/// assert_eq!(dc.coreness(0), 1);
+/// ```
+pub struct DynamicCore {
+    g: DynamicGraph,
+    coreness: Vec<u32>,
+    cache: Option<(CsrGraph, Hcd)>,
+}
+
+impl DynamicCore {
+    /// An edgeless dynamic graph with `n` vertices (all coreness 0).
+    pub fn new(n: usize) -> Self {
+        DynamicCore {
+            g: DynamicGraph::new(n),
+            coreness: vec![0; n],
+            cache: None,
+        }
+    }
+
+    /// Imports a static graph, computing its decomposition once.
+    pub fn from_csr(g: &CsrGraph) -> Self {
+        let cores = core_decomposition(g);
+        DynamicCore {
+            g: DynamicGraph::from_csr(g),
+            coreness: cores.as_slice().to_vec(),
+            cache: None,
+        }
+    }
+
+    /// The underlying dynamic graph.
+    pub fn graph(&self) -> &DynamicGraph {
+        &self.g
+    }
+
+    /// Current coreness of `v`.
+    pub fn coreness(&self, v: VertexId) -> u32 {
+        self.coreness[v as usize]
+    }
+
+    /// The full coreness array.
+    pub fn coreness_slice(&self) -> &[u32] {
+        &self.coreness
+    }
+
+    /// A [`CoreDecomposition`] snapshot of the current state.
+    pub fn decomposition(&self) -> CoreDecomposition {
+        CoreDecomposition::from_coreness(self.coreness.clone())
+    }
+
+    /// Inserts `{u, v}` and repairs coreness. Returns `false` (and leaves
+    /// everything untouched) for duplicates and self-loops.
+    pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if !self.g.insert_edge(u, v) {
+            return false;
+        }
+        self.cache = None;
+        if self.coreness.len() < self.g.num_vertices() {
+            self.coreness.resize(self.g.num_vertices(), 0);
+        }
+        let c = self.coreness[u as usize].min(self.coreness[v as usize]);
+
+        // Candidate subcore: coreness-c vertices reachable from the
+        // endpoint(s) of coreness c through coreness-c vertices.
+        let mut subcore: FxHashSet<VertexId> = FxHashSet::default();
+        let mut stack: Vec<VertexId> = Vec::new();
+        for r in [u, v] {
+            if self.coreness[r as usize] == c && subcore.insert(r) {
+                stack.push(r);
+            }
+        }
+        while let Some(w) = stack.pop() {
+            for x in self.g.neighbors(w) {
+                if self.coreness[x as usize] == c && subcore.insert(x) {
+                    stack.push(x);
+                }
+            }
+        }
+
+        // Peel: candidates needing >= c+1 supporters (neighbors of higher
+        // coreness, or fellow survivors) keep their promotion.
+        let mut cd: FxHashMap<VertexId, u32> = FxHashMap::default();
+        for &w in &subcore {
+            let count = self
+                .g
+                .neighbors(w)
+                .filter(|&x| self.coreness[x as usize] > c || subcore.contains(&x))
+                .count() as u32;
+            cd.insert(w, count);
+        }
+        let mut queue: Vec<VertexId> = subcore
+            .iter()
+            .copied()
+            .filter(|w| cd[w] <= c)
+            .collect();
+        let mut evicted: FxHashSet<VertexId> = FxHashSet::default();
+        while let Some(w) = queue.pop() {
+            if !evicted.insert(w) {
+                continue;
+            }
+            for x in self.g.neighbors(w) {
+                if subcore.contains(&x) && !evicted.contains(&x) {
+                    let e = cd.get_mut(&x).expect("cd computed for subcore");
+                    *e -= 1;
+                    if *e <= c {
+                        queue.push(x);
+                    }
+                }
+            }
+        }
+        for &w in &subcore {
+            if !evicted.contains(&w) {
+                self.coreness[w as usize] = c + 1;
+            }
+        }
+        true
+    }
+
+    /// Removes `{u, v}` and repairs coreness. Returns `false` if the edge
+    /// was absent.
+    pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
+        if !self.g.remove_edge(u, v) {
+            return false;
+        }
+        self.cache = None;
+        let c = self.coreness[u as usize].min(self.coreness[v as usize]);
+        if c == 0 {
+            return true; // coreness-0 vertices cannot drop further
+        }
+
+        // Cascade demotions among coreness-c vertices whose support
+        // (neighbors of coreness >= c) fell below c. `cd` is computed
+        // lazily from the *current* state so later demotions see earlier
+        // ones.
+        let mut cd: FxHashMap<VertexId, u32> = FxHashMap::default();
+        let mut queue: Vec<VertexId> = Vec::new();
+        for r in [u, v] {
+            if self.coreness[r as usize] == c {
+                let count = self.support(r, c);
+                cd.insert(r, count);
+                if count < c {
+                    queue.push(r);
+                }
+            }
+        }
+        while let Some(w) = queue.pop() {
+            if self.coreness[w as usize] != c {
+                continue; // already demoted
+            }
+            self.coreness[w as usize] = c - 1;
+            let neighbors: Vec<VertexId> = self.g.neighbors(w).collect();
+            for x in neighbors {
+                if self.coreness[x as usize] != c {
+                    continue;
+                }
+                let entry = match cd.get_mut(&x) {
+                    Some(e) => {
+                        // w was counted when x's support was computed
+                        // (w still had coreness c then).
+                        *e -= 1;
+                        *e
+                    }
+                    None => {
+                        let count = self.support(x, c);
+                        cd.insert(x, count);
+                        count
+                    }
+                };
+                if entry < c {
+                    queue.push(x);
+                }
+            }
+        }
+        true
+    }
+
+    /// Number of `w`'s neighbors with coreness `>= c`.
+    fn support(&self, w: VertexId, c: u32) -> u32 {
+        self.g
+            .neighbors(w)
+            .filter(|&x| self.coreness[x as usize] >= c)
+            .count() as u32
+    }
+
+    /// The HCD of the current graph, rebuilt (with PHCD on a CSR
+    /// snapshot) only when updates occurred since the last call.
+    /// Returns `(graph snapshot, hierarchy)`.
+    pub fn hcd(&mut self, exec: &Executor) -> &(CsrGraph, Hcd) {
+        if self.cache.is_none() {
+            let snapshot = self.g.to_csr();
+            let cores = CoreDecomposition::from_coreness(self.coreness.clone());
+            let hcd = hcd_core::phcd(&snapshot, &cores, exec);
+            self.cache = Some((snapshot, hcd));
+        }
+        self.cache.as_ref().expect("just filled")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn assert_matches_recompute(dc: &DynamicCore) {
+        let snapshot = dc.graph().to_csr();
+        let expect = core_decomposition(&snapshot);
+        assert_eq!(
+            dc.coreness_slice(),
+            expect.as_slice(),
+            "incremental coreness diverged from recomputation"
+        );
+    }
+
+    #[test]
+    fn triangle_up_and_down() {
+        let mut dc = DynamicCore::new(3);
+        dc.insert_edge(0, 1);
+        assert_matches_recompute(&dc);
+        dc.insert_edge(1, 2);
+        assert_matches_recompute(&dc);
+        dc.insert_edge(2, 0);
+        assert_eq!(dc.coreness_slice(), &[2, 2, 2]);
+        dc.remove_edge(0, 1);
+        assert_eq!(dc.coreness_slice(), &[1, 1, 1]);
+        assert_matches_recompute(&dc);
+    }
+
+    #[test]
+    fn growing_a_clique_promotes_stepwise() {
+        let mut dc = DynamicCore::new(5);
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                dc.insert_edge(u, v);
+                assert_matches_recompute(&dc);
+            }
+        }
+        assert!(dc.coreness_slice().iter().all(|&c| c == 4));
+    }
+
+    #[test]
+    fn dismantling_a_clique_demotes_stepwise() {
+        let mut b = hcd_graph::GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b = b.edge(u, v);
+            }
+        }
+        let mut dc = DynamicCore::from_csr(&b.build());
+        let edges: Vec<(u32, u32)> = dc.graph().to_csr().edges().collect();
+        for (u, v) in edges {
+            dc.remove_edge(u, v);
+            assert_matches_recompute(&dc);
+        }
+        assert!(dc.coreness_slice().iter().all(|&c| c == 0));
+    }
+
+    #[test]
+    fn insertion_between_different_coreness_regions() {
+        // Triangle (coreness 2) + path (coreness 1); bridging them must
+        // not promote anyone.
+        let g = hcd_graph::GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 0), (3, 4)])
+            .build();
+        let mut dc = DynamicCore::from_csr(&g);
+        dc.insert_edge(0, 3);
+        assert_matches_recompute(&dc);
+        assert_eq!(dc.coreness(3), 1);
+        assert_eq!(dc.coreness(0), 2);
+    }
+
+    #[test]
+    fn duplicate_and_selfloop_are_noops() {
+        let mut dc = DynamicCore::new(3);
+        dc.insert_edge(0, 1);
+        let before = dc.coreness_slice().to_vec();
+        assert!(!dc.insert_edge(0, 1));
+        assert!(!dc.insert_edge(2, 2));
+        assert!(!dc.remove_edge(0, 2));
+        assert_eq!(dc.coreness_slice(), before.as_slice());
+    }
+
+    #[test]
+    fn hcd_cache_refreshes_after_updates() {
+        let mut dc = DynamicCore::new(0);
+        dc.insert_edge(0, 1);
+        dc.insert_edge(1, 2);
+        dc.insert_edge(2, 0);
+        let exec = Executor::sequential();
+        {
+            let (_, hcd) = dc.hcd(&exec);
+            assert_eq!(hcd.num_nodes(), 1);
+            assert_eq!(hcd.node(0).k, 2);
+        }
+        dc.insert_edge(2, 3);
+        let cores = dc.decomposition();
+        let (snapshot, hcd) = dc.hcd(&exec);
+        assert_eq!(snapshot.num_edges(), 4);
+        assert_eq!(hcd.num_nodes(), 2);
+        // The refreshed hierarchy matches a from-scratch construction.
+        let fresh = hcd_core::naive_hcd(snapshot, &cores);
+        assert_eq!(hcd.canonicalize(), fresh.canonicalize());
+    }
+
+    #[test]
+    fn grows_vertex_set_on_insert() {
+        let mut dc = DynamicCore::new(0);
+        dc.insert_edge(7, 3);
+        assert_eq!(dc.coreness(7), 1);
+        assert_eq!(dc.coreness(0), 0);
+        assert_matches_recompute(&dc);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[derive(Debug, Clone)]
+    enum Op {
+        Insert(u32, u32),
+        Remove(u32, u32),
+    }
+
+    fn arb_ops(max_n: u32, len: usize) -> impl Strategy<Value = Vec<Op>> {
+        prop::collection::vec(
+            (any::<bool>(), 0..max_n, 0..max_n).prop_map(|(ins, a, b)| {
+                if ins {
+                    Op::Insert(a, b)
+                } else {
+                    Op::Remove(a, b)
+                }
+            }),
+            1..len,
+        )
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        #[test]
+        fn random_update_sequences_match_recomputation(ops in arb_ops(16, 120)) {
+            let mut dc = DynamicCore::new(16);
+            for op in ops {
+                match op {
+                    Op::Insert(a, b) => {
+                        dc.insert_edge(a, b);
+                    }
+                    Op::Remove(a, b) => {
+                        dc.remove_edge(a, b);
+                    }
+                }
+                let snapshot = dc.graph().to_csr();
+                let expect = core_decomposition(&snapshot);
+                prop_assert_eq!(dc.coreness_slice(), expect.as_slice());
+            }
+        }
+
+        #[test]
+        fn insert_then_remove_is_identity(edges in prop::collection::vec((0..14u32, 0..14u32), 1..60), extra in (0..14u32, 0..14u32)) {
+            let mut dc = DynamicCore::new(14);
+            for (a, b) in edges {
+                dc.insert_edge(a, b);
+            }
+            let before = dc.coreness_slice().to_vec();
+            let (a, b) = extra;
+            if dc.insert_edge(a, b) {
+                dc.remove_edge(a, b);
+            }
+            prop_assert_eq!(dc.coreness_slice(), before.as_slice());
+        }
+    }
+}

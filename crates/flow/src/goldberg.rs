@@ -1,0 +1,169 @@
+//! Goldberg's exact densest subgraph via parametric min-cut.
+
+use hcd_graph::{CsrGraph, VertexId};
+
+use crate::dinic::Dinic;
+
+/// Finds the subgraph maximizing `m(S)/n(S)` exactly (note: *density*,
+/// i.e. half the average degree).
+///
+/// Goldberg (1984): guess a density `g`; build a network with source
+/// capacities `m`, sink capacities `m + 2g − d(v)`, and capacity-1
+/// internal edges; the min cut reveals whether some subgraph has density
+/// `> g`. Binary search over `g` needs only `O(log(n·(n−1)))` iterations
+/// because two distinct achievable densities differ by at least
+/// `1/(n(n−1))`.
+///
+/// Returns `(vertices, density)`; an empty graph yields `None`. Intended
+/// as a test oracle at moderate scale.
+pub fn densest_subgraph(g: &CsrGraph) -> Option<(Vec<VertexId>, f64)> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return None;
+    }
+    let m = g.num_edges();
+    if m == 0 {
+        // Any single vertex has density 0.
+        return Some((vec![0], 0.0));
+    }
+
+    let mut lo = 0.0f64;
+    let mut hi = m as f64;
+    let mut best: Vec<VertexId> = g.vertices().collect(); // density >= m/n > 0 overall? keep safe default
+    let min_gap = 1.0 / ((n as f64) * (n as f64 - 1.0).max(1.0));
+    while hi - lo >= min_gap {
+        let guess = (lo + hi) / 2.0;
+        match cut_side(g, guess) {
+            Some(side) if !side.is_empty() => {
+                best = side;
+                lo = guess;
+            }
+            _ => hi = guess,
+        }
+    }
+    let dens = density(g, &best);
+    Some((best, dens))
+}
+
+/// Density `m(S)/n(S)` of the sub-vertex-set `s`.
+pub fn density(g: &CsrGraph, s: &[VertexId]) -> f64 {
+    if s.is_empty() {
+        return 0.0;
+    }
+    let mut inside = vec![false; g.num_vertices()];
+    for &v in s {
+        inside[v as usize] = true;
+    }
+    let mut m = 0u64;
+    for &v in s {
+        for &u in g.neighbors(v) {
+            if u > v && inside[u as usize] {
+                m += 1;
+            }
+        }
+    }
+    m as f64 / s.len() as f64
+}
+
+/// One Goldberg cut: the non-trivial source side for density guess `gd`,
+/// or `None` when no subgraph beats `gd`.
+fn cut_side(g: &CsrGraph, gd: f64) -> Option<Vec<VertexId>> {
+    let n = g.num_vertices();
+    let m = g.num_edges() as f64;
+    let source = n;
+    let sink = n + 1;
+    let mut net = Dinic::new(n + 2);
+    for v in g.vertices() {
+        net.add_edge(source, v as usize, m);
+        net.add_edge(v as usize, sink, m + 2.0 * gd - g.degree(v) as f64);
+        for &u in g.neighbors(v) {
+            if u > v {
+                net.add_edge(v as usize, u as usize, 1.0);
+                net.add_edge(u as usize, v as usize, 1.0);
+            }
+        }
+    }
+    let flow = net.max_flow(source, sink);
+    // If the min cut keeps any vertex on the source side, a subgraph of
+    // density > gd exists.
+    if (n as f64) * m - flow > 1e-7 {
+        let side = net.min_cut_side(source);
+        let vertices: Vec<VertexId> = g.vertices().filter(|&v| side[v as usize]).collect();
+        if vertices.is_empty() {
+            None
+        } else {
+            Some(vertices)
+        }
+    } else {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcd_graph::GraphBuilder;
+
+    #[test]
+    fn clique_is_its_own_densest_subgraph() {
+        let mut b = GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b = b.edge(u, v);
+            }
+        }
+        // Sparse tail.
+        let g = b.edges([(0, 5), (5, 6)]).build();
+        let (s, d) = densest_subgraph(&g).unwrap();
+        let mut s = s;
+        s.sort_unstable();
+        assert_eq!(s, vec![0, 1, 2, 3, 4]);
+        assert!((d - 2.0).abs() < 1e-6); // K5: 10 edges / 5 vertices
+    }
+
+    #[test]
+    fn whole_graph_when_uniformly_dense() {
+        // A cycle: density 1 everywhere; any subset has <= density 1.
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 3), (3, 0)])
+            .build();
+        let (_, d) = densest_subgraph(&g).unwrap();
+        assert!((d - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn edgeless_graph() {
+        let g = GraphBuilder::new().min_vertices(3).build();
+        let (_, d) = densest_subgraph(&g).unwrap();
+        assert_eq!(d, 0.0);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(3);
+        for _ in 0..10 {
+            let n = rng.gen_range(3..10u32);
+            let mut b = GraphBuilder::new().min_vertices(n as usize);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen_bool(0.5) {
+                        b = b.edge(u, v);
+                    }
+                }
+            }
+            let g = b.build();
+            let (_, got) = densest_subgraph(&g).unwrap();
+            // Brute force over all non-empty subsets.
+            let mut want = 0.0f64;
+            for mask in 1u32..(1 << n) {
+                let s: Vec<u32> = (0..n).filter(|&v| mask & (1 << v) != 0).collect();
+                want = want.max(density(&g, &s));
+            }
+            assert!(
+                (got - want).abs() < 1e-6,
+                "got {got}, brute force {want}, n={n}"
+            );
+        }
+    }
+}

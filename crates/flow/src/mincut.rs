@@ -1,0 +1,154 @@
+//! Stoer–Wagner global minimum cut.
+
+use hcd_graph::{CsrGraph, VertexId};
+
+/// Computes a global minimum edge cut of a connected graph with unit
+/// edge weights: returns `(cut_value, side)` where `side` is one shore
+/// of the cut (original vertex ids of `g`).
+///
+/// Classic Stoer–Wagner (1997) over an adjacency matrix with vertex
+/// merging: `O(n³)` time, `O(n²)` space — a reference implementation for
+/// the k-ECC decomposition, not a scalable solver.
+///
+/// Returns `None` for graphs with fewer than 2 vertices.
+pub fn stoer_wagner(g: &CsrGraph) -> Option<(u64, Vec<VertexId>)> {
+    let n = g.num_vertices();
+    if n < 2 {
+        return None;
+    }
+    // Dense weight matrix.
+    let mut w = vec![vec![0u64; n]; n];
+    for v in g.vertices() {
+        for &u in g.neighbors(v) {
+            w[v as usize][u as usize] += 1;
+        }
+    }
+    // merged[i]: original vertices currently contracted into supernode i.
+    let mut members: Vec<Vec<VertexId>> = (0..n as VertexId).map(|v| vec![v]).collect();
+    let mut active: Vec<usize> = (0..n).collect();
+
+    let mut best: Option<(u64, Vec<VertexId>)> = None;
+    while active.len() > 1 {
+        // Maximum adjacency ordering ("minimum cut phase").
+        let mut in_a = vec![false; n];
+        let mut weight_to_a = vec![0u64; n];
+        let mut order = Vec::with_capacity(active.len());
+        for _ in 0..active.len() {
+            let &next = active
+                .iter()
+                .filter(|&&v| !in_a[v])
+                .max_by_key(|&&v| weight_to_a[v])
+                .expect("active set non-empty");
+            in_a[next] = true;
+            order.push(next);
+            for &v in &active {
+                if !in_a[v] {
+                    weight_to_a[v] += w[next][v];
+                }
+            }
+        }
+        let t = *order.last().expect("phase visits every supernode");
+        let s = order[order.len() - 2];
+        let cut_of_phase = weight_to_a[t];
+        let candidate = (cut_of_phase, members[t].clone());
+        if best.as_ref().is_none_or(|(b, _)| candidate.0 < *b) {
+            best = Some(candidate);
+        }
+        // Merge t into s.
+        let moved = std::mem::take(&mut members[t]);
+        members[s].extend(moved);
+        for &v in &active {
+            if v != s && v != t {
+                w[s][v] += w[t][v];
+                w[v][s] = w[s][v];
+            }
+        }
+        active.retain(|&v| v != t);
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcd_graph::GraphBuilder;
+
+    #[test]
+    fn bridge_has_cut_one() {
+        // Two triangles joined by one edge.
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 0)])
+            .edges([(3, 4), (4, 5), (5, 3)])
+            .edge(2, 3)
+            .build();
+        let (cut, side) = stoer_wagner(&g).unwrap();
+        assert_eq!(cut, 1);
+        let mut side = side;
+        side.sort_unstable();
+        assert!(side == vec![0, 1, 2] || side == vec![3, 4, 5]);
+    }
+
+    #[test]
+    fn clique_cut_is_degree() {
+        let mut b = GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b = b.edge(u, v);
+            }
+        }
+        let (cut, side) = stoer_wagner(&b.build()).unwrap();
+        assert_eq!(cut, 4);
+        assert!(side.len() == 1 || side.len() == 4);
+    }
+
+    #[test]
+    fn cycle_cut_is_two() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 3), (3, 4), (4, 0)])
+            .build();
+        let (cut, _) = stoer_wagner(&g).unwrap();
+        assert_eq!(cut, 2);
+    }
+
+    #[test]
+    fn matches_flow_based_connectivity_on_random_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(5);
+        for _ in 0..15 {
+            let n = rng.gen_range(3..9u32);
+            let mut b = GraphBuilder::new().min_vertices(n as usize);
+            // Ensure connectivity with a cycle, then add noise.
+            for i in 0..n {
+                b = b.edge(i, (i + 1) % n);
+            }
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen_bool(0.35) {
+                        b = b.edge(u, v);
+                    }
+                }
+            }
+            let g = b.build();
+            let (cut, _) = stoer_wagner(&g).unwrap();
+            // Global min cut = min over t of maxflow(0, t).
+            let mut expect = u64::MAX;
+            for t in 1..n as usize {
+                let mut net = crate::Dinic::new(g.num_vertices());
+                for (a, bb) in g.edges() {
+                    net.add_edge(a as usize, bb as usize, 1.0);
+                    net.add_edge(bb as usize, a as usize, 1.0);
+                }
+                expect = expect.min(net.max_flow(0, t).round() as u64);
+            }
+            assert_eq!(cut, expect, "n={n}");
+        }
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        assert!(stoer_wagner(&GraphBuilder::new().min_vertices(1).build()).is_none());
+        let g = GraphBuilder::new().edge(0, 1).build();
+        let (cut, _) = stoer_wagner(&g).unwrap();
+        assert_eq!(cut, 1);
+    }
+}

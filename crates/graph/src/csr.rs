@@ -1,0 +1,290 @@
+//! Compressed sparse row (CSR) graph representation.
+
+use std::fmt;
+
+/// Vertex identifier.
+///
+/// Vertices are dense integers in `0..n`. A 32-bit id halves the memory
+/// traffic of adjacency scans compared with `usize` on 64-bit targets,
+/// which matters for the cache-bound peeling loops in core decomposition.
+pub type VertexId = u32;
+
+/// An immutable undirected simple graph in CSR form.
+///
+/// Each undirected edge `{u, v}` is stored as two directed arcs, one in
+/// each endpoint's adjacency slice. Adjacency slices are sorted by vertex
+/// id and contain no duplicates or self-loops. Construct via
+/// [`crate::GraphBuilder`] or the readers in [`crate::io`].
+///
+/// # Examples
+///
+/// ```
+/// use hcd_graph::GraphBuilder;
+///
+/// let g = GraphBuilder::new().edges([(0, 1), (1, 2), (2, 0)]).build();
+/// assert_eq!(g.num_vertices(), 3);
+/// assert_eq!(g.num_edges(), 3);
+/// assert_eq!(g.neighbors(1), &[0, 2]);
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    neighbors: Vec<VertexId>,
+}
+
+impl CsrGraph {
+    /// Builds a graph directly from CSR arrays.
+    ///
+    /// `offsets` must have length `n + 1` with `offsets[0] == 0`, be
+    /// non-decreasing, and end at `neighbors.len()`. Each adjacency slice
+    /// must be sorted, duplicate-free, self-loop-free, and symmetric
+    /// (`v ∈ N(u)` iff `u ∈ N(v)`). These invariants are debug-asserted;
+    /// prefer [`crate::GraphBuilder`], which establishes them for you.
+    pub fn from_csr(offsets: Vec<usize>, neighbors: Vec<VertexId>) -> Self {
+        assert!(!offsets.is_empty(), "offsets must contain at least [0]");
+        assert_eq!(offsets[0], 0, "offsets must start at 0");
+        assert_eq!(
+            *offsets.last().unwrap(),
+            neighbors.len(),
+            "offsets must end at neighbors.len()"
+        );
+        let g = CsrGraph { offsets, neighbors };
+        debug_assert!(g.check_invariants().is_ok(), "CSR invariants violated");
+        g
+    }
+
+    /// An empty graph with `n` isolated vertices.
+    pub fn empty(n: usize) -> Self {
+        CsrGraph {
+            offsets: vec![0; n + 1],
+            neighbors: Vec::new(),
+        }
+    }
+
+    /// Number of vertices `n`.
+    #[inline]
+    pub fn num_vertices(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges `m`.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Number of directed arcs (`2m`); the length of the neighbor array.
+    #[inline]
+    pub fn num_arcs(&self) -> usize {
+        self.neighbors.len()
+    }
+
+    /// Degree of `v`.
+    #[inline]
+    pub fn degree(&self, v: VertexId) -> usize {
+        let v = v as usize;
+        self.offsets[v + 1] - self.offsets[v]
+    }
+
+    /// The sorted adjacency slice of `v`.
+    #[inline]
+    pub fn neighbors(&self, v: VertexId) -> &[VertexId] {
+        let v = v as usize;
+        &self.neighbors[self.offsets[v]..self.offsets[v + 1]]
+    }
+
+    /// Whether the undirected edge `{u, v}` exists (binary search).
+    pub fn has_edge(&self, u: VertexId, v: VertexId) -> bool {
+        let (a, b) = if self.degree(u) <= self.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        self.neighbors(a).binary_search(&b).is_ok()
+    }
+
+    /// Iterator over all vertex ids `0..n`.
+    pub fn vertices(&self) -> impl Iterator<Item = VertexId> + '_ {
+        0..self.num_vertices() as VertexId
+    }
+
+    /// Iterator over each undirected edge exactly once, as `(u, v)` with
+    /// `u < v`.
+    pub fn edges(&self) -> impl Iterator<Item = (VertexId, VertexId)> + '_ {
+        self.vertices().flat_map(move |u| {
+            self.neighbors(u)
+                .iter()
+                .copied()
+                .filter(move |&v| u < v)
+                .map(move |v| (u, v))
+        })
+    }
+
+    /// Maximum degree, or 0 for an empty graph.
+    pub fn max_degree(&self) -> usize {
+        (0..self.num_vertices() as VertexId)
+            .map(|v| self.degree(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Average degree `2m / n`, or 0.0 for an empty graph.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_arcs() as f64 / self.num_vertices() as f64
+        }
+    }
+
+    /// The raw CSR offset array (length `n + 1`).
+    pub fn offsets(&self) -> &[usize] {
+        &self.offsets
+    }
+
+    /// The raw neighbor array (length `2m`).
+    pub fn raw_neighbors(&self) -> &[VertexId] {
+        &self.neighbors
+    }
+
+    /// Validates every CSR invariant, returning a description of the first
+    /// violation. Used by tests and by the binary reader on untrusted
+    /// input.
+    pub fn check_invariants(&self) -> Result<(), String> {
+        let n = self.num_vertices();
+        for v in 0..n {
+            if self.offsets[v] > self.offsets[v + 1] {
+                return Err(format!("offsets decrease at vertex {v}"));
+            }
+        }
+        for v in 0..n as VertexId {
+            let adj = self.neighbors(v);
+            for w in adj.windows(2) {
+                if w[0] >= w[1] {
+                    return Err(format!("adjacency of {v} not strictly sorted"));
+                }
+            }
+            for &u in adj {
+                if u as usize >= n {
+                    return Err(format!("neighbor {u} of {v} out of range"));
+                }
+                if u == v {
+                    return Err(format!("self-loop at {v}"));
+                }
+                if self.neighbors(u).binary_search(&v).is_err() {
+                    return Err(format!("edge ({v},{u}) not symmetric"));
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for CsrGraph {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "CsrGraph {{ n: {}, m: {} }}",
+            self.num_vertices(),
+            self.num_edges()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn triangle_plus_tail() -> CsrGraph {
+        // 0-1-2 triangle, 2-3 tail, 4 isolated.
+        GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+            .min_vertices(5)
+            .build()
+    }
+
+    #[test]
+    fn counts() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.num_vertices(), 5);
+        assert_eq!(g.num_edges(), 4);
+        assert_eq!(g.num_arcs(), 8);
+    }
+
+    #[test]
+    fn degrees_and_neighbors() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.degree(0), 2);
+        assert_eq!(g.degree(2), 3);
+        assert_eq!(g.degree(4), 0);
+        assert_eq!(g.neighbors(2), &[0, 1, 3]);
+        assert_eq!(g.neighbors(4), &[] as &[VertexId]);
+    }
+
+    #[test]
+    fn has_edge_both_directions() {
+        let g = triangle_plus_tail();
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 0));
+        assert!(g.has_edge(3, 2));
+        assert!(!g.has_edge(0, 3));
+        assert!(!g.has_edge(4, 0));
+    }
+
+    #[test]
+    fn edges_iterator_yields_each_edge_once() {
+        let g = triangle_plus_tail();
+        let edges: Vec<_> = g.edges().collect();
+        assert_eq!(edges, vec![(0, 1), (0, 2), (1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn degree_statistics() {
+        let g = triangle_plus_tail();
+        assert_eq!(g.max_degree(), 3);
+        assert!((g.avg_degree() - 8.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(3);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.max_degree(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+        assert!(g.check_invariants().is_ok());
+    }
+
+    #[test]
+    fn zero_vertex_graph() {
+        let g = CsrGraph::empty(0);
+        assert_eq!(g.num_vertices(), 0);
+        assert_eq!(g.edges().count(), 0);
+        assert_eq!(g.avg_degree(), 0.0);
+    }
+
+    #[test]
+    fn invariant_checker_catches_asymmetry() {
+        let g = CsrGraph {
+            offsets: vec![0, 1, 1],
+            neighbors: vec![1],
+        };
+        assert!(g.check_invariants().is_err());
+    }
+
+    #[test]
+    fn invariant_checker_catches_self_loop() {
+        let g = CsrGraph {
+            offsets: vec![0, 1],
+            neighbors: vec![0],
+        };
+        assert!(g.check_invariants().is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "offsets must end")]
+    fn from_csr_rejects_bad_offsets() {
+        CsrGraph::from_csr(vec![0, 2], vec![1]);
+    }
+}

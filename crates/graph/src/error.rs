@@ -1,0 +1,70 @@
+//! Error type for graph I/O and validation.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced by graph parsing, serialization, and validation.
+#[derive(Debug)]
+pub enum GraphError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A line of a text edge list could not be parsed.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// Explanation of the failure.
+        message: String,
+    },
+    /// A binary graph file had an invalid header or inconsistent arrays.
+    Format(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::Io(e) => write!(f, "i/o error: {e}"),
+            GraphError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            GraphError::Format(msg) => write!(f, "format error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GraphError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for GraphError {
+    fn from(e: io::Error) -> Self {
+        GraphError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats() {
+        let e = GraphError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert_eq!(e.to_string(), "parse error at line 3: bad token");
+        let e = GraphError::Format("truncated".into());
+        assert!(e.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn io_error_is_source() {
+        use std::error::Error;
+        let e = GraphError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        assert!(e.source().is_some());
+    }
+}

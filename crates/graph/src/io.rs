@@ -1,0 +1,232 @@
+//! Graph readers and writers.
+//!
+//! Two formats are supported:
+//!
+//! * **Text edge list** — one `u v` pair per line, `#`/`%` comments, any
+//!   whitespace separator. This is the format SNAP and most public graph
+//!   repositories distribute.
+//! * **Compact binary** — a little-endian dump of the CSR arrays with a
+//!   magic header, for fast reload of generated benchmark graphs.
+
+use std::fs::File;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use crate::builder::build_from_edges;
+use crate::csr::{CsrGraph, VertexId};
+use crate::error::GraphError;
+
+const BINARY_MAGIC: &[u8; 8] = b"HCDCSR01";
+
+/// Parses a text edge list from any reader.
+///
+/// Lines starting with `#` or `%` and blank lines are skipped. Each data
+/// line must contain at least two integer tokens; extra tokens (e.g.
+/// weights or timestamps) are ignored. The result is symmetrized and
+/// deduplicated.
+pub fn read_edge_list<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
+    let mut edges: Vec<(VertexId, VertexId)> = Vec::new();
+    let buf = BufReader::new(reader);
+    let mut line = String::new();
+    let mut buf = buf;
+    let mut lineno = 0usize;
+    let mut min_vertices = 0usize;
+    loop {
+        line.clear();
+        if buf.read_line(&mut line)? == 0 {
+            break;
+        }
+        lineno += 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') || trimmed.starts_with('%') {
+            // Our own writer records the vertex count in the header so
+            // trailing isolated vertices survive a roundtrip; foreign
+            // files without it lose nothing they could express.
+            if let Some(n) = trimmed
+                .split_whitespace()
+                .find_map(|tok| tok.strip_prefix("n=").and_then(|x| x.parse().ok()))
+            {
+                min_vertices = min_vertices.max(n);
+            }
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let u = parse_token(it.next(), lineno)?;
+        let v = parse_token(it.next(), lineno)?;
+        edges.push((u, v));
+    }
+    Ok(build_from_edges(edges, min_vertices))
+}
+
+fn parse_token(tok: Option<&str>, line: usize) -> Result<VertexId, GraphError> {
+    let tok = tok.ok_or_else(|| GraphError::Parse {
+        line,
+        message: "expected two vertex ids".into(),
+    })?;
+    tok.parse::<VertexId>().map_err(|e| GraphError::Parse {
+        line,
+        message: format!("invalid vertex id {tok:?}: {e}"),
+    })
+}
+
+/// Reads a text edge list from a file path.
+pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<CsrGraph, GraphError> {
+    read_edge_list(File::open(path)?)
+}
+
+/// Writes a graph as a text edge list (each undirected edge once).
+pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    writeln!(w, "# hcd edge list: n={} m={}", g.num_vertices(), g.num_edges())?;
+    for (u, v) in g.edges() {
+        writeln!(w, "{u} {v}")?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes the compact binary CSR format.
+pub fn write_binary<W: Write>(g: &CsrGraph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(BINARY_MAGIC)?;
+    w.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
+    w.write_all(&(g.num_arcs() as u64).to_le_bytes())?;
+    for &off in g.offsets() {
+        w.write_all(&(off as u64).to_le_bytes())?;
+    }
+    for &nb in g.raw_neighbors() {
+        w.write_all(&nb.to_le_bytes())?;
+    }
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes the compact binary CSR format to a file path.
+pub fn write_binary_file<P: AsRef<Path>>(g: &CsrGraph, path: P) -> Result<(), GraphError> {
+    write_binary(g, File::create(path)?)
+}
+
+/// Reads the compact binary CSR format, validating all invariants.
+pub fn read_binary<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
+    let mut r = BufReader::new(reader);
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != BINARY_MAGIC {
+        return Err(GraphError::Format("bad magic header".into()));
+    }
+    let n = read_u64(&mut r)? as usize;
+    let arcs = read_u64(&mut r)? as usize;
+    let mut offsets = Vec::with_capacity(n + 1);
+    for _ in 0..=n {
+        offsets.push(read_u64(&mut r)? as usize);
+    }
+    if offsets.first() != Some(&0) || offsets.last() != Some(&arcs) {
+        return Err(GraphError::Format("inconsistent offsets".into()));
+    }
+    let mut neighbors = Vec::with_capacity(arcs);
+    let mut buf = [0u8; 4];
+    for _ in 0..arcs {
+        r.read_exact(&mut buf)?;
+        neighbors.push(u32::from_le_bytes(buf));
+    }
+    let g = CsrGraph::from_csr(offsets, neighbors);
+    g.check_invariants().map_err(GraphError::Format)?;
+    Ok(g)
+}
+
+/// Reads the compact binary CSR format from a file path.
+pub fn read_binary_file<P: AsRef<Path>>(path: P) -> Result<CsrGraph, GraphError> {
+    read_binary(File::open(path)?)
+}
+
+fn read_u64<R: Read>(r: &mut R) -> Result<u64, GraphError> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn sample() -> CsrGraph {
+        GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 0), (2, 3), (4, 5)])
+            .build()
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn text_parses_comments_and_extra_columns() {
+        let text = "# comment\n% another\n\n0 1 42 weight\n1 2\n";
+        let g = read_edge_list(text.as_bytes()).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.has_edge(0, 1));
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn text_reports_parse_error_with_line() {
+        let text = "0 1\nx y\n";
+        match read_edge_list(text.as_bytes()) {
+            Err(GraphError::Parse { line, .. }) => assert_eq!(line, 2),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn text_requires_two_tokens() {
+        let text = "0\n";
+        assert!(matches!(
+            read_edge_list(text.as_bytes()),
+            Err(GraphError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn binary_roundtrip() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_rejects_bad_magic() {
+        let buf = b"NOTMAGIC".to_vec();
+        assert!(matches!(
+            read_binary(&buf[..]),
+            Err(GraphError::Format(_)) | Err(GraphError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn binary_rejects_truncation() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        buf.truncate(buf.len() - 3);
+        assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let g = sample();
+        let dir = std::env::temp_dir();
+        let path = dir.join("hcd_io_test.bin");
+        write_binary_file(&g, &path).unwrap();
+        let g2 = read_binary_file(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(g, g2);
+    }
+}

@@ -1,0 +1,81 @@
+//! Summary statistics used when reporting dataset tables.
+
+use crate::csr::CsrGraph;
+use crate::traversal::largest_component_size;
+
+/// Basic statistics of a graph, in the shape of the paper's Table II
+/// columns that depend only on the graph itself (`n`, `m`, `davg`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of vertices.
+    pub n: usize,
+    /// Number of undirected edges.
+    pub m: usize,
+    /// Average degree `2m / n`.
+    pub avg_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Size of the largest connected component.
+    pub largest_cc: usize,
+}
+
+impl GraphStats {
+    /// Computes all statistics in one pass plus a BFS sweep.
+    pub fn compute(g: &CsrGraph) -> Self {
+        GraphStats {
+            n: g.num_vertices(),
+            m: g.num_edges(),
+            avg_degree: g.avg_degree(),
+            max_degree: g.max_degree(),
+            largest_cc: largest_component_size(g),
+        }
+    }
+}
+
+/// Degree histogram: `hist[d]` is the number of vertices of degree `d`.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let mut hist = vec![0usize; g.max_degree() + 1];
+    for v in g.vertices() {
+        hist[g.degree(v)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    #[test]
+    fn stats_of_star() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (0, 2), (0, 3), (0, 4)])
+            .build();
+        let s = GraphStats::compute(&g);
+        assert_eq!(s.n, 5);
+        assert_eq!(s.m, 4);
+        assert_eq!(s.max_degree, 4);
+        assert_eq!(s.largest_cc, 5);
+        assert!((s.avg_degree - 1.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (3, 4)])
+            .min_vertices(6)
+            .build();
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 6);
+        assert_eq!(h[0], 1); // vertex 5
+        assert_eq!(h[1], 4); // 0, 2, 3, 4
+        assert_eq!(h[2], 1); // 1
+    }
+
+    #[test]
+    fn histogram_of_empty_graph() {
+        let g = GraphBuilder::new().min_vertices(3).build();
+        let h = degree_histogram(&g);
+        assert_eq!(h, vec![3]);
+    }
+}

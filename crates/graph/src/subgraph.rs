@@ -1,0 +1,137 @@
+//! Induced subgraphs with id remapping.
+
+use crate::csr::{CsrGraph, VertexId};
+
+/// A subgraph induced by a vertex subset, with a dense id remapping.
+///
+/// The induced graph relabels the selected vertices `0..k` (in ascending
+/// original id order) so it can be fed back into any algorithm in the
+/// workspace; [`InducedSubgraph::original_id`] maps back.
+///
+/// # Examples
+///
+/// ```
+/// use hcd_graph::{GraphBuilder, InducedSubgraph};
+///
+/// let g = GraphBuilder::new().edges([(0, 1), (1, 2), (2, 3)]).build();
+/// let sub = InducedSubgraph::new(&g, &[1, 2, 3]);
+/// assert_eq!(sub.graph().num_vertices(), 3);
+/// assert_eq!(sub.graph().num_edges(), 2);
+/// assert_eq!(sub.original_id(0), 1);
+/// ```
+pub struct InducedSubgraph {
+    graph: CsrGraph,
+    to_original: Vec<VertexId>,
+}
+
+impl InducedSubgraph {
+    /// Induces the subgraph on `vertices` (duplicates are ignored).
+    pub fn new(g: &CsrGraph, vertices: &[VertexId]) -> Self {
+        let mut sorted: Vec<VertexId> = vertices.to_vec();
+        sorted.sort_unstable();
+        sorted.dedup();
+
+        let mut to_new = vec![VertexId::MAX; g.num_vertices()];
+        for (new_id, &v) in sorted.iter().enumerate() {
+            to_new[v as usize] = new_id as VertexId;
+        }
+
+        let mut offsets = Vec::with_capacity(sorted.len() + 1);
+        offsets.push(0usize);
+        let mut neighbors = Vec::new();
+        for &v in &sorted {
+            for &u in g.neighbors(v) {
+                let nu = to_new[u as usize];
+                if nu != VertexId::MAX {
+                    neighbors.push(nu);
+                }
+            }
+            offsets.push(neighbors.len());
+        }
+        // Neighbor ids were remapped monotonically, so slices stay sorted.
+        InducedSubgraph {
+            graph: CsrGraph::from_csr(offsets, neighbors),
+            to_original: sorted,
+        }
+    }
+
+    /// The induced graph with dense ids `0..k`.
+    pub fn graph(&self) -> &CsrGraph {
+        &self.graph
+    }
+
+    /// Maps a dense subgraph id back to the original graph id.
+    pub fn original_id(&self, sub_id: VertexId) -> VertexId {
+        self.to_original[sub_id as usize]
+    }
+
+    /// The full dense-to-original id table (ascending).
+    pub fn original_ids(&self) -> &[VertexId] {
+        &self.to_original
+    }
+
+    /// Consumes the wrapper, returning `(graph, id table)`.
+    pub fn into_parts(self) -> (CsrGraph, Vec<VertexId>) {
+        (self.graph, self.to_original)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path5() -> CsrGraph {
+        GraphBuilder::new().edges([(0, 1), (1, 2), (2, 3), (3, 4)]).build()
+    }
+
+    #[test]
+    fn induces_edges_within_subset_only() {
+        let g = path5();
+        let s = InducedSubgraph::new(&g, &[0, 1, 3, 4]);
+        assert_eq!(s.graph().num_vertices(), 4);
+        assert_eq!(s.graph().num_edges(), 2); // 0-1 and 3-4
+    }
+
+    #[test]
+    fn remapping_is_monotone() {
+        let g = path5();
+        let s = InducedSubgraph::new(&g, &[4, 2, 0]);
+        assert_eq!(s.original_ids(), &[0, 2, 4]);
+        assert_eq!(s.original_id(1), 2);
+    }
+
+    #[test]
+    fn duplicates_ignored() {
+        let g = path5();
+        let s = InducedSubgraph::new(&g, &[1, 1, 2, 2]);
+        assert_eq!(s.graph().num_vertices(), 2);
+        assert_eq!(s.graph().num_edges(), 1);
+    }
+
+    #[test]
+    fn empty_subset() {
+        let g = path5();
+        let s = InducedSubgraph::new(&g, &[]);
+        assert_eq!(s.graph().num_vertices(), 0);
+        assert_eq!(s.graph().num_edges(), 0);
+    }
+
+    #[test]
+    fn induced_graph_passes_invariants() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .build();
+        let s = InducedSubgraph::new(&g, &[0, 2, 3]);
+        assert!(s.graph().check_invariants().is_ok());
+        assert_eq!(s.graph().num_edges(), 3); // triangle 0-2-3
+    }
+
+    #[test]
+    fn into_parts_roundtrip() {
+        let g = path5();
+        let (sub, ids) = InducedSubgraph::new(&g, &[2, 3]).into_parts();
+        assert_eq!(sub.num_edges(), 1);
+        assert_eq!(ids, vec![2, 3]);
+    }
+}

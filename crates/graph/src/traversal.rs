@@ -1,0 +1,165 @@
+//! Breadth-first search and connected components.
+
+use crate::csr::{CsrGraph, VertexId};
+
+/// Label of the component containing each vertex, or `NO_COMPONENT` for
+/// vertices excluded by a filter.
+pub const NO_COMPONENT: u32 = u32::MAX;
+
+/// BFS from `source`, visiting only vertices accepted by `filter`.
+///
+/// Returns the visited vertex set in discovery order. `source` itself must
+/// pass the filter or the result is empty. This is the primitive behind the
+/// paper's *local k-core search* (RC): a BFS from `v` restricted to
+/// vertices of coreness `>= c(v)`.
+pub fn bfs_filtered<F: Fn(VertexId) -> bool>(
+    g: &CsrGraph,
+    source: VertexId,
+    filter: F,
+) -> Vec<VertexId> {
+    if !filter(source) {
+        return Vec::new();
+    }
+    let mut visited = vec![false; g.num_vertices()];
+    let mut queue = std::collections::VecDeque::new();
+    let mut order = Vec::new();
+    visited[source as usize] = true;
+    queue.push_back(source);
+    while let Some(v) = queue.pop_front() {
+        order.push(v);
+        for &u in g.neighbors(v) {
+            if !visited[u as usize] && filter(u) {
+                visited[u as usize] = true;
+                queue.push_back(u);
+            }
+        }
+    }
+    order
+}
+
+/// Plain BFS visiting the whole component of `source`.
+pub fn bfs(g: &CsrGraph, source: VertexId) -> Vec<VertexId> {
+    bfs_filtered(g, source, |_| true)
+}
+
+/// Connected components over the subgraph induced by `filter`.
+///
+/// Returns `(labels, count)`: vertices failing the filter get
+/// [`NO_COMPONENT`]; others get a label in `0..count`. Labels are assigned
+/// in order of the smallest vertex id in each component, which makes the
+/// output deterministic.
+pub fn connected_components_filtered<F: Fn(VertexId) -> bool>(
+    g: &CsrGraph,
+    filter: F,
+) -> (Vec<u32>, usize) {
+    let n = g.num_vertices();
+    let mut labels = vec![NO_COMPONENT; n];
+    let mut count = 0u32;
+    let mut queue = std::collections::VecDeque::new();
+    for s in 0..n as VertexId {
+        if labels[s as usize] != NO_COMPONENT || !filter(s) {
+            continue;
+        }
+        labels[s as usize] = count;
+        queue.push_back(s);
+        while let Some(v) = queue.pop_front() {
+            for &u in g.neighbors(v) {
+                if labels[u as usize] == NO_COMPONENT && filter(u) {
+                    labels[u as usize] = count;
+                    queue.push_back(u);
+                }
+            }
+        }
+        count += 1;
+    }
+    (labels, count as usize)
+}
+
+/// Connected components of the whole graph.
+pub fn connected_components(g: &CsrGraph) -> (Vec<u32>, usize) {
+    connected_components_filtered(g, |_| true)
+}
+
+/// Size of the largest connected component (0 for the empty graph).
+pub fn largest_component_size(g: &CsrGraph) -> usize {
+    let (labels, count) = connected_components(g);
+    let mut sizes = vec![0usize; count];
+    for &l in &labels {
+        if l != NO_COMPONENT {
+            sizes[l as usize] += 1;
+        }
+    }
+    sizes.into_iter().max().unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn two_components() -> CsrGraph {
+        GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (3, 4)])
+            .min_vertices(6)
+            .build()
+    }
+
+    #[test]
+    fn bfs_visits_component() {
+        let g = two_components();
+        let order = bfs(&g, 0);
+        assert_eq!(order.len(), 3);
+        assert_eq!(order[0], 0);
+        assert!(order.contains(&2));
+    }
+
+    #[test]
+    fn bfs_filtered_respects_filter() {
+        let g = two_components();
+        let order = bfs_filtered(&g, 0, |v| v != 1);
+        assert_eq!(order, vec![0]);
+    }
+
+    #[test]
+    fn bfs_filtered_rejected_source() {
+        let g = two_components();
+        assert!(bfs_filtered(&g, 0, |v| v != 0).is_empty());
+    }
+
+    #[test]
+    fn components_counts_isolated() {
+        let g = two_components();
+        let (labels, count) = connected_components(&g);
+        // {0,1,2}, {3,4}, {5}
+        assert_eq!(count, 3);
+        assert_eq!(labels[0], labels[2]);
+        assert_ne!(labels[0], labels[3]);
+        assert_eq!(labels[5], 2);
+    }
+
+    #[test]
+    fn components_filtered() {
+        let g = two_components();
+        let (labels, count) = connected_components_filtered(&g, |v| v <= 1);
+        assert_eq!(count, 1);
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[1], 0);
+        assert_eq!(labels[2], NO_COMPONENT);
+    }
+
+    #[test]
+    fn largest_component() {
+        let g = two_components();
+        assert_eq!(largest_component_size(&g), 3);
+        assert_eq!(largest_component_size(&CsrGraph::empty(0)), 0);
+    }
+
+    #[test]
+    fn labels_are_deterministic_by_min_vertex() {
+        let g = two_components();
+        let (labels, _) = connected_components(&g);
+        assert_eq!(labels[0], 0);
+        assert_eq!(labels[3], 1);
+        assert_eq!(labels[5], 2);
+    }
+}

@@ -1,0 +1,166 @@
+//! Static chunk partitioning shared by all executor modes.
+
+use std::ops::Range;
+
+/// Splits `0..n` into exactly `p` contiguous ranges whose lengths differ
+/// by at most one (the first `n % p` chunks get the extra element) — the
+/// OpenMP `schedule(static)` partition.
+///
+/// Trailing chunks may be empty when `p > n`.
+pub fn split_even(n: usize, p: usize) -> Vec<Range<usize>> {
+    assert!(p > 0, "chunk count must be positive");
+    let base = n / p;
+    let extra = n % p;
+    let mut ranges = Vec::with_capacity(p);
+    let mut start = 0usize;
+    for w in 0..p {
+        let len = base + usize::from(w < extra);
+        ranges.push(start..start + len);
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+    ranges
+}
+
+/// Splits `0..n` (where `n = prefix.len() - 1`) into `p` contiguous
+/// ranges of approximately equal *weight*, given the prefix-sum array of
+/// per-item weights (`prefix[0] == 0`, `prefix[i]` = total weight of
+/// items `0..i`).
+///
+/// This is the OpenMP-static analogue for skewed workloads (power-law
+/// degree scans): boundaries are found by binary search at the weight
+/// quantiles, so heavy items no longer pile into one chunk. Deterministic
+/// and mode-independent, like [`split_even`].
+pub fn split_weighted(prefix: &[u64], p: usize) -> Vec<Range<usize>> {
+    assert!(p > 0, "chunk count must be positive");
+    assert!(!prefix.is_empty(), "prefix must be non-empty");
+    let n = prefix.len() - 1;
+    // The prefix may be a window of a larger prefix array; weights are
+    // relative to its first entry.
+    let base = prefix[0];
+    let total = prefix[n] - base;
+    if total == 0 {
+        return split_even(n, p);
+    }
+    let mut ranges = Vec::with_capacity(p);
+    let mut start = 0usize;
+    for w in 1..=p {
+        let target = base + total * w as u64 / p as u64;
+        // First index whose prefix reaches the target, but never before
+        // `start` (zero-weight runs).
+        let mut end = prefix.partition_point(|&x| x < target).max(start);
+        if w == p {
+            end = n;
+        }
+        ranges.push(start..end);
+        start = end;
+    }
+    debug_assert_eq!(start, n);
+    ranges
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_exactly_once() {
+        for n in [0usize, 1, 2, 7, 16, 17, 100] {
+            for p in [1usize, 2, 3, 5, 8, 40] {
+                let ranges = split_even(n, p);
+                assert_eq!(ranges.len(), p);
+                let mut next = 0usize;
+                for r in &ranges {
+                    assert_eq!(r.start, next);
+                    next = r.end;
+                }
+                assert_eq!(next, n);
+            }
+        }
+    }
+
+    #[test]
+    fn balanced_within_one() {
+        let ranges = split_even(17, 5);
+        let lens: Vec<_> = ranges.iter().map(|r| r.len()).collect();
+        assert_eq!(lens, vec![4, 4, 3, 3, 3]);
+        let max = lens.iter().max().unwrap();
+        let min = lens.iter().min().unwrap();
+        assert!(max - min <= 1);
+    }
+
+    #[test]
+    fn more_chunks_than_items() {
+        let ranges = split_even(3, 8);
+        let nonempty = ranges.iter().filter(|r| !r.is_empty()).count();
+        assert_eq!(nonempty, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_chunks_panics() {
+        split_even(5, 0);
+    }
+
+    fn prefix_of(weights: &[u64]) -> Vec<u64> {
+        let mut p = vec![0u64];
+        for &w in weights {
+            p.push(p.last().unwrap() + w);
+        }
+        p
+    }
+
+    #[test]
+    fn weighted_covers_exactly_once() {
+        let weights = [5u64, 1, 1, 1, 100, 1, 1, 1, 5, 3];
+        let prefix = prefix_of(&weights);
+        for p in [1usize, 2, 3, 4, 8] {
+            let ranges = split_weighted(&prefix, p);
+            assert_eq!(ranges.len(), p);
+            let mut next = 0usize;
+            for r in &ranges {
+                assert_eq!(r.start, next);
+                next = r.end;
+            }
+            assert_eq!(next, weights.len());
+        }
+    }
+
+    #[test]
+    fn weighted_isolates_heavy_item() {
+        // One item carries almost all the weight; with 4 chunks it must
+        // sit alone-ish, and no chunk exceeds ~total (trivially) while
+        // light chunks stay small.
+        let weights = [1u64, 1, 1, 96, 1, 1, 1, 1];
+        let prefix = prefix_of(&weights);
+        let ranges = split_weighted(&prefix, 4);
+        let chunk_w = |r: &std::ops::Range<usize>| prefix[r.end] - prefix[r.start];
+        let heavy = ranges.iter().find(|r| r.contains(&3)).unwrap();
+        assert!(chunk_w(heavy) >= 96);
+        // The other chunks together hold the 7 light items.
+        let light: u64 = ranges
+            .iter()
+            .filter(|r| !r.contains(&3))
+            .map(|r| chunk_w(r))
+            .sum();
+        assert_eq!(light + chunk_w(heavy), 103);
+    }
+
+    #[test]
+    fn weighted_balances_uniform_weights_like_even() {
+        let weights = vec![2u64; 20];
+        let prefix = prefix_of(&weights);
+        let ranges = split_weighted(&prefix, 5);
+        for r in &ranges {
+            assert_eq!(r.len(), 4);
+        }
+    }
+
+    #[test]
+    fn weighted_zero_total_falls_back_to_even() {
+        let prefix = vec![0u64; 11];
+        let ranges = split_weighted(&prefix, 3);
+        assert_eq!(ranges.len(), 3);
+        assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), 10);
+    }
+}

@@ -1,0 +1,493 @@
+//! Parallel execution substrate.
+//!
+//! The paper evaluates its algorithms with OpenMP static loops on a
+//! 40-core machine. This crate reproduces that execution model in Rust
+//! with a single abstraction, [`Executor`], offering three modes:
+//!
+//! * **Sequential** — everything runs inline on the calling thread.
+//! * **Rayon** — each parallel region is split into `p` statically
+//!   scheduled chunks executed on a dedicated rayon pool; this is the mode
+//!   for real multicore machines and for concurrency testing.
+//! * **Simulated** — each region is split into the *same* `p` chunks but
+//!   executed serially, timing every chunk; the simulated parallel
+//!   runtime charges `max(chunk times)` per region plus all time spent
+//!   outside regions. This is the standard self-relative simulated-speedup
+//!   methodology, used here because the reproduction environment has a
+//!   single core (see DESIGN.md, substitution 1). It preserves the two
+//!   effects that shape the paper's speedup curves — serial sections
+//!   (Amdahl) and load imbalance across chunks — while not modeling memory
+//!   or atomic contention.
+//!
+//! All three modes use identical chunk boundaries, so an algorithm's
+//! behaviour (including any tie-breaking that depends on the work
+//! partition) is mode-independent.
+
+use std::ops::Range;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+
+pub mod chunks;
+
+pub use chunks::{split_even, split_weighted};
+
+/// Accumulated accounting of a simulated run.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct SimStats {
+    /// Sum over regions of the maximum chunk time (the simulated cost of
+    /// the parallel regions).
+    pub charged: Duration,
+    /// Sum over regions of all chunk times (what the regions actually
+    /// cost on the measuring wall clock, since chunks run serially).
+    pub measured: Duration,
+    /// Number of parallel regions executed.
+    pub regions: usize,
+}
+
+impl SimStats {
+    /// Converts a measured wall time of the whole algorithm into the
+    /// simulated parallel time: serial sections are kept at face value,
+    /// parallel regions are re-priced at their critical path.
+    pub fn simulated_time(&self, wall: Duration) -> Duration {
+        wall.saturating_sub(self.measured) + self.charged
+    }
+}
+
+enum Mode {
+    Sequential,
+    Rayon { pool: rayon::ThreadPool, workers: usize },
+    Simulated { workers: usize, stats: Mutex<SimStats> },
+}
+
+/// A static-chunked parallel-for executor (see crate docs).
+pub struct Executor {
+    mode: Mode,
+}
+
+impl Executor {
+    /// Inline sequential execution (one chunk per region).
+    pub fn sequential() -> Self {
+        Executor {
+            mode: Mode::Sequential,
+        }
+    }
+
+    /// Real parallel execution on a dedicated pool of `workers` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or the rayon pool cannot be created.
+    pub fn rayon(workers: usize) -> Self {
+        assert!(workers > 0, "worker count must be positive");
+        let pool = rayon::ThreadPoolBuilder::new()
+            .num_threads(workers)
+            .build()
+            .expect("failed to build rayon pool");
+        Executor {
+            mode: Mode::Rayon { pool, workers },
+        }
+    }
+
+    /// Deterministic work-span simulation of `workers` threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn simulated(workers: usize) -> Self {
+        assert!(workers > 0, "worker count must be positive");
+        Executor {
+            mode: Mode::Simulated {
+                workers,
+                stats: Mutex::new(SimStats::default()),
+            },
+        }
+    }
+
+    /// The number of logical workers `p`.
+    pub fn num_workers(&self) -> usize {
+        match &self.mode {
+            Mode::Sequential => 1,
+            Mode::Rayon { workers, .. } => *workers,
+            Mode::Simulated { workers, .. } => *workers,
+        }
+    }
+
+    /// Whether this executor is in simulation mode.
+    pub fn is_simulated(&self) -> bool {
+        matches!(self.mode, Mode::Simulated { .. })
+    }
+
+    /// Human-readable mode name for harness output.
+    pub fn mode_name(&self) -> &'static str {
+        match self.mode {
+            Mode::Sequential => "seq",
+            Mode::Rayon { .. } => "rayon",
+            Mode::Simulated { .. } => "sim",
+        }
+    }
+
+    /// Returns and resets the simulation accounting. Zeroed stats are
+    /// returned for non-simulated modes.
+    pub fn take_sim_stats(&self) -> SimStats {
+        match &self.mode {
+            Mode::Simulated { stats, .. } => std::mem::take(&mut *stats.lock()),
+            _ => SimStats::default(),
+        }
+    }
+
+    /// A parallel region over `0..n`, split into `p` even chunks, with a
+    /// per-chunk scratch value.
+    ///
+    /// `body(worker, scratch, range)` is invoked once per non-empty chunk;
+    /// `worker` is the chunk index in `0..p`. Chunk boundaries are
+    /// identical in every mode.
+    pub fn for_each_chunk<S, MkS, F>(&self, n: usize, make_scratch: MkS, body: F)
+    where
+        S: Send,
+        MkS: Fn() -> S + Sync,
+        F: Fn(usize, &mut S, Range<usize>) + Sync,
+    {
+        let ranges = split_even(n, self.num_workers());
+        self.run_ranges(ranges, make_scratch, body);
+    }
+
+    /// Like [`Executor::for_each_chunk`], but chunk boundaries balance
+    /// *weight* instead of count: `weight_prefix` is the prefix-sum array
+    /// of per-item costs (length `n + 1`; it may be a window into a larger
+    /// prefix array). Use this for skewed workloads — e.g. adjacency scans
+    /// over power-law graphs, where equal-count chunks would leave one
+    /// worker holding all the hubs.
+    pub fn for_each_chunk_weighted<S, MkS, F>(
+        &self,
+        weight_prefix: &[u64],
+        make_scratch: MkS,
+        body: F,
+    ) where
+        S: Send,
+        MkS: Fn() -> S + Sync,
+        F: Fn(usize, &mut S, Range<usize>) + Sync,
+    {
+        let ranges = chunks::split_weighted(weight_prefix, self.num_workers());
+        self.run_ranges(ranges, make_scratch, body);
+    }
+
+    fn run_ranges<S, MkS, F>(&self, ranges: Vec<Range<usize>>, make_scratch: MkS, body: F)
+    where
+        S: Send,
+        MkS: Fn() -> S + Sync,
+        F: Fn(usize, &mut S, Range<usize>) + Sync,
+    {
+        match &self.mode {
+            Mode::Sequential => {
+                for (w, range) in ranges.into_iter().enumerate() {
+                    if range.is_empty() {
+                        continue;
+                    }
+                    let mut s = make_scratch();
+                    body(w, &mut s, range);
+                }
+            }
+            Mode::Rayon { pool, .. } => {
+                pool.scope(|scope| {
+                    for (w, range) in ranges.into_iter().enumerate() {
+                        if range.is_empty() {
+                            continue;
+                        }
+                        let body = &body;
+                        let make_scratch = &make_scratch;
+                        scope.spawn(move |_| {
+                            let mut s = make_scratch();
+                            body(w, &mut s, range);
+                        });
+                    }
+                });
+            }
+            Mode::Simulated { stats, .. } => {
+                let mut max = Duration::ZERO;
+                let mut sum = Duration::ZERO;
+                for (w, range) in ranges.into_iter().enumerate() {
+                    if range.is_empty() {
+                        continue;
+                    }
+                    let t0 = Instant::now();
+                    let mut s = make_scratch();
+                    body(w, &mut s, range);
+                    let dt = t0.elapsed();
+                    max = max.max(dt);
+                    sum += dt;
+                }
+                let mut st = stats.lock();
+                st.charged += max;
+                st.measured += sum;
+                st.regions += 1;
+            }
+        }
+    }
+
+    /// A parallel region over `0..n` without scratch.
+    pub fn for_each_index<F>(&self, n: usize, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.for_each_chunk(
+            n,
+            || (),
+            |_, _, range| {
+                for i in range {
+                    body(i);
+                }
+            },
+        );
+    }
+
+    /// A parallel region producing one value per chunk, returned in chunk
+    /// order (empty chunks yield no value, so the result has at most `p`
+    /// elements).
+    pub fn map_chunks<T, F>(&self, n: usize, body: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, Range<usize>) -> T + Sync,
+    {
+        let p = self.num_workers();
+        let slots: Vec<Mutex<Option<T>>> = (0..p).map(|_| Mutex::new(None)).collect();
+        self.for_each_chunk(
+            n,
+            || (),
+            |w, _, range| {
+                *slots[w].lock() = Some(body(w, range));
+            },
+        );
+        slots.into_iter().filter_map(|s| s.into_inner()).collect()
+    }
+
+    /// Weighted analogue of [`Executor::map_chunks`]; see
+    /// [`Executor::for_each_chunk_weighted`] for the prefix convention.
+    pub fn map_chunks_weighted<T, F>(&self, weight_prefix: &[u64], body: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, Range<usize>) -> T + Sync,
+    {
+        let p = self.num_workers();
+        let slots: Vec<Mutex<Option<T>>> = (0..p).map(|_| Mutex::new(None)).collect();
+        self.for_each_chunk_weighted(
+            weight_prefix,
+            || (),
+            |w, _, range| {
+                *slots[w].lock() = Some(body(w, range));
+            },
+        );
+        slots.into_iter().filter_map(|s| s.into_inner()).collect()
+    }
+}
+
+impl std::fmt::Debug for Executor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Executor({}, p={})", self.mode_name(), self.num_workers())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn sum_with(exec: &Executor, n: usize) -> usize {
+        let acc = AtomicUsize::new(0);
+        exec.for_each_index(n, |i| {
+            acc.fetch_add(i, Ordering::Relaxed);
+        });
+        acc.into_inner()
+    }
+
+    #[test]
+    fn all_modes_visit_every_index_once() {
+        let n = 1000;
+        let expected = n * (n - 1) / 2;
+        assert_eq!(sum_with(&Executor::sequential(), n), expected);
+        assert_eq!(sum_with(&Executor::rayon(4), n), expected);
+        assert_eq!(sum_with(&Executor::simulated(4), n), expected);
+    }
+
+    #[test]
+    fn zero_length_region_is_noop() {
+        for exec in [
+            Executor::sequential(),
+            Executor::rayon(2),
+            Executor::simulated(3),
+        ] {
+            assert_eq!(sum_with(&exec, 0), 0);
+        }
+    }
+
+    #[test]
+    fn worker_counts() {
+        assert_eq!(Executor::sequential().num_workers(), 1);
+        assert_eq!(Executor::rayon(3).num_workers(), 3);
+        assert_eq!(Executor::simulated(7).num_workers(), 7);
+        assert!(Executor::simulated(7).is_simulated());
+        assert!(!Executor::rayon(2).is_simulated());
+    }
+
+    #[test]
+    fn map_chunks_returns_in_chunk_order() {
+        let exec = Executor::simulated(4);
+        let starts = exec.map_chunks(10, |_, range| range.start);
+        assert_eq!(starts.len(), 4);
+        let mut sorted = starts.clone();
+        sorted.sort_unstable();
+        assert_eq!(starts, sorted);
+    }
+
+    #[test]
+    fn map_chunks_skips_empty_chunks() {
+        let exec = Executor::rayon(8);
+        let vals = exec.map_chunks(3, |_, range| range.len());
+        assert_eq!(vals.iter().sum::<usize>(), 3);
+        assert!(vals.len() <= 3);
+    }
+
+    #[test]
+    fn scratch_is_per_chunk() {
+        let exec = Executor::rayon(4);
+        let totals = Mutex::new(Vec::new());
+        exec.for_each_chunk(
+            100,
+            || 0usize,
+            |_, scratch, range| {
+                for _ in range {
+                    *scratch += 1;
+                }
+                totals.lock().push(*scratch);
+            },
+        );
+        let totals = totals.into_inner();
+        assert_eq!(totals.iter().sum::<usize>(), 100);
+        assert_eq!(totals.len(), 4);
+    }
+
+    #[test]
+    fn sim_stats_accumulate_and_reset() {
+        let exec = Executor::simulated(4);
+        exec.for_each_index(100, |_| {
+            std::hint::black_box(0);
+        });
+        let st = exec.take_sim_stats();
+        assert_eq!(st.regions, 1);
+        assert!(st.measured >= st.charged);
+        // Reset worked:
+        assert_eq!(exec.take_sim_stats(), SimStats::default());
+    }
+
+    #[test]
+    fn sim_time_reprices_regions() {
+        let st = SimStats {
+            charged: Duration::from_millis(10),
+            measured: Duration::from_millis(40),
+            regions: 1,
+        };
+        let wall = Duration::from_millis(100);
+        assert_eq!(st.simulated_time(wall), Duration::from_millis(70));
+        // Saturation: measured can exceed wall only through clock noise;
+        // never panic.
+        let st2 = SimStats {
+            charged: Duration::ZERO,
+            measured: Duration::from_millis(200),
+            regions: 1,
+        };
+        assert_eq!(st2.simulated_time(wall), Duration::ZERO);
+    }
+
+    #[test]
+    fn chunk_boundaries_identical_across_modes() {
+        let record = |exec: &Executor| {
+            let r = Mutex::new(Vec::new());
+            exec.for_each_chunk(
+                17,
+                || (),
+                |w, _, range| {
+                    r.lock().push((w, range.start, range.end));
+                },
+            );
+            let mut v = r.into_inner();
+            v.sort_unstable();
+            v
+        };
+        let a = record(&Executor::rayon(5));
+        let b = record(&Executor::simulated(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_workers_rejected() {
+        Executor::simulated(0);
+    }
+}
+
+#[cfg(test)]
+mod weighted_tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn prefix(weights: &[u64]) -> Vec<u64> {
+        let mut p = vec![0u64];
+        for &w in weights {
+            p.push(p.last().unwrap() + w);
+        }
+        p
+    }
+
+    #[test]
+    fn weighted_visits_every_index_once() {
+        let weights: Vec<u64> = (0..500).map(|i| (i % 17) + 1).collect();
+        let pre = prefix(&weights);
+        for exec in [
+            Executor::sequential(),
+            Executor::rayon(4),
+            Executor::simulated(6),
+        ] {
+            let acc = AtomicUsize::new(0);
+            exec.for_each_chunk_weighted(
+                &pre,
+                || (),
+                |_, _, range| {
+                    for i in range {
+                        acc.fetch_add(i, Ordering::Relaxed);
+                    }
+                },
+            );
+            assert_eq!(acc.into_inner(), 500 * 499 / 2, "{}", exec.mode_name());
+        }
+    }
+
+    #[test]
+    fn weighted_map_chunks_covers_range() {
+        let weights = vec![1u64; 100];
+        let pre = prefix(&weights);
+        let exec = Executor::rayon(7);
+        let lens = exec.map_chunks_weighted(&pre, |_, r| r.len());
+        assert_eq!(lens.iter().sum::<usize>(), 100);
+    }
+
+    #[test]
+    fn weighted_windowed_prefix_is_supported() {
+        // Use a window of a larger prefix (non-zero base), as PHCD does
+        // for shells.
+        let weights: Vec<u64> = (0..50).map(|i| i + 1).collect();
+        let pre = prefix(&weights);
+        let window = &pre[10..=40]; // items 10..40
+        let exec = Executor::simulated(4);
+        let acc = AtomicUsize::new(0);
+        exec.for_each_chunk_weighted(
+            window,
+            || (),
+            |_, _, range| {
+                for i in range {
+                    acc.fetch_add(i, Ordering::Relaxed);
+                }
+            },
+        );
+        // Local indices 0..30 visited exactly once.
+        assert_eq!(acc.into_inner(), 30 * 29 / 2);
+    }
+}

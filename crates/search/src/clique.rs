@@ -1,0 +1,203 @@
+//! Exact maximum clique (for Table IV's `MC ⊆ S*` column).
+
+use hcd_decomp::CoreDecomposition;
+use hcd_graph::{CsrGraph, VertexId};
+
+/// Finds a maximum clique exactly, by branch and bound.
+///
+/// The search expands vertices in degeneracy order (each root subproblem
+/// is confined to a vertex's *later* neighbors, at most `kmax` of them),
+/// prunes with coreness (`c(v) + 1 < |best|` can never extend to a larger
+/// clique) and with a greedy-coloring upper bound inside each subproblem.
+/// Exponential worst case, but fast on the sparse power-law graphs used
+/// here — exactly the regime the paper evaluates.
+pub fn max_clique(g: &CsrGraph, cores: &CoreDecomposition) -> Vec<VertexId> {
+    let n = g.num_vertices();
+    if n == 0 {
+        return Vec::new();
+    }
+    // Degeneracy order = vertex order by (coreness, id); later neighbors
+    // of v in this order all have coreness >= c(v).
+    let mut order: Vec<VertexId> = (0..n as VertexId).collect();
+    order.sort_unstable_by_key(|&v| (cores.coreness(v), v));
+    let mut pos = vec![0u32; n];
+    for (i, &v) in order.iter().enumerate() {
+        pos[v as usize] = i as u32;
+    }
+
+    let mut best: Vec<VertexId> = Vec::new();
+    let mut current: Vec<VertexId> = Vec::new();
+    for &v in order.iter() {
+        if (cores.coreness(v) as usize) < best.len() {
+            continue; // cannot beat the incumbent
+        }
+        // Candidates: later neighbors in degeneracy order.
+        let cands: Vec<VertexId> = g
+            .neighbors(v)
+            .iter()
+            .copied()
+            .filter(|&u| pos[u as usize] > pos[v as usize])
+            .collect();
+        current.push(v);
+        expand(g, cands, &mut current, &mut best);
+        current.pop();
+    }
+    best.sort_unstable();
+    best
+}
+
+/// Tomita-style expansion with a greedy coloring bound.
+fn expand(
+    g: &CsrGraph,
+    mut cands: Vec<VertexId>,
+    current: &mut Vec<VertexId>,
+    best: &mut Vec<VertexId>,
+) {
+    if cands.is_empty() {
+        if current.len() > best.len() {
+            *best = current.clone();
+        }
+        return;
+    }
+    // Greedy coloring: color classes are independent sets, so the clique
+    // can use at most one vertex per class. Process candidates in
+    // ascending color so the bound tightens as the list shrinks.
+    let mut colors: Vec<(u32, VertexId)> = Vec::with_capacity(cands.len());
+    {
+        let mut classes: Vec<Vec<VertexId>> = Vec::new();
+        // Color denser vertices first for tighter bounds.
+        cands.sort_unstable_by_key(|&u| std::cmp::Reverse(g.degree(u)));
+        for &u in &cands {
+            let mut placed = false;
+            for (ci, class) in classes.iter_mut().enumerate() {
+                if class.iter().all(|&w| !g.has_edge(u, w)) {
+                    class.push(u);
+                    colors.push((ci as u32 + 1, u));
+                    placed = true;
+                    break;
+                }
+            }
+            if !placed {
+                classes.push(vec![u]);
+                colors.push((classes.len() as u32, u));
+            }
+        }
+        colors.sort_unstable_by_key(|&(c, _)| c);
+    }
+
+    while let Some((color, u)) = colors.pop() {
+        if current.len() + color as usize <= best.len() {
+            return; // bound: even the best coloring cannot beat incumbent
+        }
+        current.push(u);
+        let sub: Vec<VertexId> = colors
+            .iter()
+            .map(|&(_, w)| w)
+            .filter(|&w| g.has_edge(u, w))
+            .collect();
+        expand(g, sub, current, best);
+        current.pop();
+    }
+}
+
+/// Checks whether `clique` is fully contained in `set`.
+pub fn contained_in(clique: &[VertexId], set: &[VertexId]) -> bool {
+    let lookup: std::collections::HashSet<_> = set.iter().copied().collect();
+    clique.iter().all(|v| lookup.contains(v))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcd_decomp::core_decomposition;
+    use hcd_graph::GraphBuilder;
+
+    fn brute_force_max_clique(g: &CsrGraph) -> usize {
+        // Exponential check over all subsets (tiny graphs only).
+        let n = g.num_vertices();
+        assert!(n <= 16);
+        let mut best = 0usize;
+        for mask in 0u32..(1 << n) {
+            let members: Vec<VertexId> =
+                (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
+            if members.len() <= best {
+                continue;
+            }
+            let is_clique = members.iter().enumerate().all(|(i, &a)| {
+                members[i + 1..].iter().all(|&b| g.has_edge(a, b))
+            });
+            if is_clique {
+                best = members.len();
+            }
+        }
+        best
+    }
+
+    fn verify_clique(g: &CsrGraph, clique: &[VertexId]) {
+        for (i, &a) in clique.iter().enumerate() {
+            for &b in &clique[i + 1..] {
+                assert!(g.has_edge(a, b), "not a clique: {a}-{b}");
+            }
+        }
+    }
+
+    #[test]
+    fn finds_planted_clique() {
+        let mut b = GraphBuilder::new();
+        for u in 10..15u32 {
+            for v in (u + 1)..15 {
+                b = b.edge(u, v); // K5 on 10..15
+            }
+        }
+        // Noise edges.
+        let g = b
+            .edges([(0, 1), (1, 2), (2, 3), (3, 0), (0, 10), (4, 11)])
+            .build();
+        let cores = core_decomposition(&g);
+        let mc = max_clique(&g, &cores);
+        assert_eq!(mc, vec![10, 11, 12, 13, 14]);
+        verify_clique(&g, &mc);
+    }
+
+    #[test]
+    fn matches_brute_force_on_small_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        for _ in 0..30 {
+            let n = rng.gen_range(4..12u32);
+            let mut b = GraphBuilder::new().min_vertices(n as usize);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen_bool(0.45) {
+                        b = b.edge(u, v);
+                    }
+                }
+            }
+            let g = b.build();
+            let cores = core_decomposition(&g);
+            let mc = max_clique(&g, &cores);
+            verify_clique(&g, &mc);
+            assert_eq!(mc.len(), brute_force_max_clique(&g));
+        }
+    }
+
+    #[test]
+    fn edgeless_graph_gives_single_vertex() {
+        let g = GraphBuilder::new().min_vertices(3).build();
+        let cores = core_decomposition(&g);
+        assert_eq!(max_clique(&g, &cores).len(), 1);
+    }
+
+    #[test]
+    fn empty_graph_gives_empty_clique() {
+        let g = GraphBuilder::new().build();
+        let cores = core_decomposition(&g);
+        assert!(max_clique(&g, &cores).is_empty());
+    }
+
+    #[test]
+    fn containment_helper() {
+        assert!(contained_in(&[1, 2], &[0, 1, 2, 3]));
+        assert!(!contained_in(&[1, 9], &[0, 1, 2, 3]));
+    }
+}

@@ -1,0 +1,304 @@
+//! Community scoring metrics (paper §II-D).
+
+/// The primary values of a subgraph `S` from which every supported metric
+/// is computed.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrimaryValues {
+    /// `n(S)`: number of vertices.
+    pub n: u64,
+    /// `2·m(S)`: twice the number of internal edges (kept doubled so the
+    /// half-contribution of equal-coreness endpoints stays integral).
+    pub m2: u64,
+    /// `b(S)`: number of boundary edges.
+    pub b: u64,
+    /// `Δ(S)`: number of triangles.
+    pub triangles: u64,
+    /// `t(S)`: number of triplets (paths of length 2).
+    pub triplets: u64,
+}
+
+impl PrimaryValues {
+    /// `m(S)` as a float (`m2` is always even once fully accumulated).
+    pub fn m(&self) -> f64 {
+        self.m2 as f64 / 2.0
+    }
+
+    /// Component-wise sum, used by tree accumulation.
+    pub fn merge(&mut self, other: &PrimaryValues) {
+        self.n += other.n;
+        self.m2 += other.m2;
+        self.b += other.b;
+        self.triangles += other.triangles;
+        self.triplets += other.triplets;
+    }
+}
+
+/// Whether a metric needs high-order motif counts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Based on `n(S)`, `m(S)`, `b(S)` only.
+    TypeA,
+    /// Additionally needs `Δ(S)` and/or `t(S)`.
+    TypeB,
+}
+
+/// Community scoring metrics, normalized so that higher is better.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// `2·m(S) / n(S)`.
+    AverageDegree,
+    /// `2·m(S) / (n(S)·(n(S)−1))`.
+    InternalDensity,
+    /// `1 − b(S) / (n(S)·(n−n(S)))`.
+    CutRatio,
+    /// `1 − b(S) / (2·m(S)+b(S))`.
+    Conductance,
+    /// Single-community modularity: `m(S)/m − ((2·m(S)+b(S))/(2·m))²`.
+    Modularity,
+    /// `3·Δ(S) / t(S)`.
+    ClusteringCoefficient,
+    /// `−b(S) / n(S)` (expansion, negated so higher is better).
+    Expansion,
+    /// Smoothed separability `m(S) / (b(S) + 1)` (the `+1` keeps
+    /// boundary-free cores finite while preserving the ordering of the
+    /// classical `m/b`).
+    Separability,
+}
+
+/// Totals of the whole graph, needed by the globally normalized metrics.
+#[derive(Debug, Clone, Copy)]
+pub struct GraphTotals {
+    /// Number of vertices `n`.
+    pub n: u64,
+    /// Number of edges `m`.
+    pub m: u64,
+}
+
+impl Metric {
+    /// All metrics: the paper's six (§II-D) plus two further type-A
+    /// metrics from the community-scoring survey \[32\] the paper draws
+    /// from (expansion, separability).
+    pub const ALL: [Metric; 8] = [
+        Metric::AverageDegree,
+        Metric::InternalDensity,
+        Metric::CutRatio,
+        Metric::Conductance,
+        Metric::Modularity,
+        Metric::ClusteringCoefficient,
+        Metric::Expansion,
+        Metric::Separability,
+    ];
+
+    /// The computational class of the metric.
+    pub fn kind(&self) -> MetricKind {
+        match self {
+            Metric::ClusteringCoefficient => MetricKind::TypeB,
+            _ => MetricKind::TypeA,
+        }
+    }
+
+    /// Human-readable name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Metric::AverageDegree => "average-degree",
+            Metric::InternalDensity => "internal-density",
+            Metric::CutRatio => "cut-ratio",
+            Metric::Conductance => "conductance",
+            Metric::Modularity => "modularity",
+            Metric::ClusteringCoefficient => "clustering-coefficient",
+            Metric::Expansion => "expansion",
+            Metric::Separability => "separability",
+        }
+    }
+
+    /// `get_metric` of the paper: the score of a subgraph from its primary
+    /// values. Degenerate denominators score the neutral value noted on
+    /// each arm.
+    pub fn score(&self, p: &PrimaryValues, totals: &GraphTotals) -> f64 {
+        let n = p.n as f64;
+        let m2 = p.m2 as f64;
+        let b = p.b as f64;
+        match self {
+            Metric::AverageDegree => {
+                if p.n == 0 {
+                    0.0
+                } else {
+                    m2 / n
+                }
+            }
+            Metric::InternalDensity => {
+                if p.n <= 1 {
+                    0.0 // a single vertex has no internal pair
+                } else {
+                    m2 / (n * (n - 1.0))
+                }
+            }
+            Metric::CutRatio => {
+                let outside = (totals.n as f64 - n) * n;
+                if outside <= 0.0 {
+                    1.0 // the whole graph has no possible boundary
+                } else {
+                    1.0 - b / outside
+                }
+            }
+            Metric::Conductance => {
+                let denom = m2 + b;
+                if denom == 0.0 {
+                    0.0 // isolated vertices: no volume at all
+                } else {
+                    1.0 - b / denom
+                }
+            }
+            Metric::Modularity => {
+                if totals.m == 0 {
+                    0.0
+                } else {
+                    let m_total = totals.m as f64;
+                    (m2 / 2.0) / m_total - ((m2 + b) / (2.0 * m_total)).powi(2)
+                }
+            }
+            Metric::ClusteringCoefficient => {
+                if p.triplets == 0 {
+                    0.0
+                } else {
+                    3.0 * p.triangles as f64 / p.triplets as f64
+                }
+            }
+            Metric::Expansion => {
+                if p.n == 0 {
+                    0.0
+                } else {
+                    -b / n
+                }
+            }
+            Metric::Separability => (m2 / 2.0) / (b + 1.0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn totals() -> GraphTotals {
+        GraphTotals { n: 100, m: 1000 }
+    }
+
+    #[test]
+    fn average_degree_of_clique() {
+        // K5: n=5, m=10.
+        let p = PrimaryValues {
+            n: 5,
+            m2: 20,
+            b: 0,
+            ..Default::default()
+        };
+        assert_eq!(Metric::AverageDegree.score(&p, &totals()), 4.0);
+        assert_eq!(Metric::InternalDensity.score(&p, &totals()), 1.0);
+    }
+
+    #[test]
+    fn conductance_bounds() {
+        let tight = PrimaryValues {
+            n: 4,
+            m2: 12,
+            b: 0,
+            ..Default::default()
+        };
+        assert_eq!(Metric::Conductance.score(&tight, &totals()), 1.0);
+        let leaky = PrimaryValues {
+            n: 4,
+            m2: 0,
+            b: 8,
+            ..Default::default()
+        };
+        assert_eq!(Metric::Conductance.score(&leaky, &totals()), 0.0);
+    }
+
+    #[test]
+    fn cut_ratio_whole_graph_is_one() {
+        let p = PrimaryValues {
+            n: 100,
+            m2: 2000,
+            b: 0,
+            ..Default::default()
+        };
+        assert_eq!(Metric::CutRatio.score(&p, &totals()), 1.0);
+    }
+
+    #[test]
+    fn clustering_coefficient_of_triangle() {
+        let p = PrimaryValues {
+            n: 3,
+            m2: 6,
+            b: 0,
+            triangles: 1,
+            triplets: 3,
+        };
+        assert_eq!(Metric::ClusteringCoefficient.score(&p, &totals()), 1.0);
+    }
+
+    #[test]
+    fn modularity_matches_formula() {
+        let p = PrimaryValues {
+            n: 10,
+            m2: 100,
+            b: 20,
+            ..Default::default()
+        };
+        let t = totals();
+        let expect = 50.0 / 1000.0 - (120.0 / 2000.0_f64).powi(2);
+        assert!((Metric::Modularity.score(&p, &t) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_inputs_do_not_panic() {
+        let zero = PrimaryValues::default();
+        for m in Metric::ALL {
+            let s = m.score(&zero, &totals());
+            assert!(s.is_finite());
+        }
+    }
+
+    #[test]
+    fn kinds() {
+        assert_eq!(Metric::AverageDegree.kind(), MetricKind::TypeA);
+        assert_eq!(Metric::Modularity.kind(), MetricKind::TypeA);
+        assert_eq!(Metric::ClusteringCoefficient.kind(), MetricKind::TypeB);
+    }
+
+    #[test]
+    fn expansion_and_separability() {
+        let p = PrimaryValues {
+            n: 10,
+            m2: 40,
+            b: 5,
+            ..Default::default()
+        };
+        assert_eq!(Metric::Expansion.score(&p, &totals()), -0.5);
+        assert!((Metric::Separability.score(&p, &totals()) - 20.0 / 6.0).abs() < 1e-12);
+        // Boundary-free core: separability stays finite and large.
+        let sealed = PrimaryValues {
+            n: 10,
+            m2: 40,
+            b: 0,
+            ..Default::default()
+        };
+        assert_eq!(Metric::Separability.score(&sealed, &totals()), 20.0);
+        assert_eq!(Metric::Expansion.score(&sealed, &totals()), 0.0);
+    }
+
+    #[test]
+    fn merge_sums_fields() {
+        let mut a = PrimaryValues {
+            n: 1,
+            m2: 2,
+            b: 3,
+            triangles: 4,
+            triplets: 5,
+        };
+        a.merge(&a.clone());
+        assert_eq!(a.n, 2);
+        assert_eq!(a.triplets, 10);
+    }
+}

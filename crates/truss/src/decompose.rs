@@ -1,0 +1,300 @@
+//! Truss decomposition by support peeling.
+
+use hcd_graph::CsrGraph;
+
+use crate::edges::EdgeIndex;
+
+/// The trussness of every edge.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrussDecomposition {
+    trussness: Vec<u32>,
+    tmax: u32,
+}
+
+impl TrussDecomposition {
+    /// Trussness of edge `id`.
+    #[inline]
+    pub fn trussness(&self, id: u32) -> u32 {
+        self.trussness[id as usize]
+    }
+
+    /// The raw trussness array (indexed by edge id).
+    pub fn as_slice(&self) -> &[u32] {
+        &self.trussness
+    }
+
+    /// The largest `k` with a non-empty k-truss (0 for edgeless graphs;
+    /// every edge has trussness at least 2).
+    pub fn tmax(&self) -> u32 {
+        self.tmax
+    }
+
+    /// Edge ids grouped by trussness: `shells()[k]` lists edges of
+    /// trussness `k`, ascending.
+    pub fn shells(&self) -> Vec<Vec<u32>> {
+        let mut shells = vec![Vec::new(); self.tmax as usize + 1];
+        for (e, &t) in self.trussness.iter().enumerate() {
+            shells[t as usize].push(e as u32);
+        }
+        shells
+    }
+}
+
+/// Computes all edge supports (triangles per edge) in `O(m^1.5)` using
+/// the oriented enumeration of the paper's Algorithm 5.
+fn edge_supports(g: &CsrGraph, idx: &EdgeIndex) -> Vec<u32> {
+    let mut support = vec![0u32; idx.len()];
+    let mut marks = vec![false; g.num_vertices()];
+    for v in g.vertices() {
+        let dv = g.degree(v);
+        for &u in g.neighbors(v) {
+            marks[u as usize] = true;
+        }
+        for &u in g.neighbors(v) {
+            let du = g.degree(u);
+            if du < dv || (du == dv && u < v) {
+                for &w in g.neighbors(u) {
+                    // Count each triangle once: orient by (degree, id).
+                    let dw = g.degree(w);
+                    if marks[w as usize] && (dw < du || (dw == du && w < u)) {
+                        support[idx.eid(g, u, v) as usize] += 1;
+                        support[idx.eid(g, v, w) as usize] += 1;
+                        support[idx.eid(g, u, w) as usize] += 1;
+                    }
+                }
+            }
+        }
+        for &u in g.neighbors(v) {
+            marks[u as usize] = false;
+        }
+    }
+    support
+}
+
+/// Serial truss decomposition (Wang & Cheng \[47\]): bucket-peel edges in
+/// nondecreasing support; removing an edge of support `s` fixes its
+/// trussness at `s + 2` (monotonically clamped) and decrements the
+/// support of every edge it formed a still-alive triangle with.
+pub fn truss_decomposition(g: &CsrGraph) -> (EdgeIndex, TrussDecomposition) {
+    let idx = EdgeIndex::new(g);
+    let m = idx.len();
+    if m == 0 {
+        return (
+            idx,
+            TrussDecomposition {
+                trussness: Vec::new(),
+                tmax: 0,
+            },
+        );
+    }
+    let mut support = edge_supports(g, &idx);
+
+    // Bucket sort edges by support (same structure as Batagelj-Zaversnik).
+    let max_sup = support.iter().copied().max().unwrap() as usize;
+    let mut bin = vec![0usize; max_sup + 2];
+    for &s in &support {
+        bin[s as usize + 1] += 1;
+    }
+    for i in 0..=max_sup {
+        bin[i + 1] += bin[i];
+    }
+    let mut start = bin.clone();
+    let mut order = vec![0u32; m];
+    let mut pos = vec![0usize; m];
+    {
+        let mut cursor = bin;
+        for e in 0..m as u32 {
+            let s = support[e as usize] as usize;
+            order[cursor[s]] = e;
+            pos[e as usize] = cursor[s];
+            cursor[s] += 1;
+        }
+    }
+
+    let mut removed = vec![false; m];
+    let mut trussness = vec![0u32; m];
+    let mut k_floor = 0u32; // supports never drop below the current peel level
+    for i in 0..m {
+        let e = order[i];
+        removed[e as usize] = true;
+        let s = support[e as usize];
+        k_floor = k_floor.max(s);
+        trussness[e as usize] = k_floor + 2;
+
+        // Decrement the other two edges of each still-alive triangle
+        // through e.
+        let (u, v) = idx.endpoints(e);
+        let (a, b) = if g.degree(u) <= g.degree(v) {
+            (u, v)
+        } else {
+            (v, u)
+        };
+        for &w in g.neighbors(a) {
+            if w == b || !g.has_edge(w, b) {
+                continue;
+            }
+            let e1 = idx.eid(g, a, w);
+            let e2 = idx.eid(g, b, w);
+            if removed[e1 as usize] || removed[e2 as usize] {
+                continue;
+            }
+            for other in [e1, e2] {
+                let so = support[other as usize];
+                if so > k_floor {
+                    // Move `other` one bucket down (BZ swap trick).
+                    let po = pos[other as usize];
+                    let pfirst = start[so as usize];
+                    let first = order[pfirst];
+                    if other != first {
+                        order[po] = first;
+                        order[pfirst] = other;
+                        pos[first as usize] = po;
+                        pos[other as usize] = pfirst;
+                    }
+                    start[so as usize] += 1;
+                    support[other as usize] = so - 1;
+                }
+            }
+        }
+    }
+
+    let tmax = trussness.iter().copied().max().unwrap_or(0);
+    (
+        idx,
+        TrussDecomposition { trussness, tmax },
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcd_graph::GraphBuilder;
+
+    /// Brute-force trussness by repeated definition-based peeling.
+    fn naive_trussness(g: &CsrGraph, idx: &EdgeIndex) -> Vec<u32> {
+        let m = idx.len();
+        let mut truss = vec![0u32; m];
+        let mut alive: Vec<bool> = vec![true; m];
+        let mut k = 2u32;
+        let mut remaining = m;
+        while remaining > 0 {
+            // Repeatedly remove alive edges with < k-2 alive triangles.
+            loop {
+                let mut removed_any = false;
+                for e in 0..m as u32 {
+                    if !alive[e as usize] {
+                        continue;
+                    }
+                    let (u, v) = idx.endpoints(e);
+                    let tri = g
+                        .neighbors(u)
+                        .iter()
+                        .filter(|&&w| {
+                            w != v
+                                && g.has_edge(w, v)
+                                && alive[idx.eid(g, u, w) as usize]
+                                && alive[idx.eid(g, v, w) as usize]
+                        })
+                        .count() as u32;
+                    if tri < k.saturating_sub(2) {
+                        alive[e as usize] = false;
+                        truss[e as usize] = k - 1;
+                        removed_any = true;
+                        remaining -= 1;
+                    }
+                }
+                if !removed_any {
+                    break;
+                }
+            }
+            k += 1;
+            if k > m as u32 + 3 {
+                // All remaining edges survive every finite k? Impossible:
+                // supports are < m. Guard against infinite loops in tests.
+                panic!("naive truss did not terminate");
+            }
+        }
+        truss
+    }
+
+    #[test]
+    fn triangle_has_trussness_three() {
+        let g = GraphBuilder::new().edges([(0, 1), (1, 2), (2, 0)]).build();
+        let (_, td) = truss_decomposition(&g);
+        assert_eq!(td.as_slice(), &[3, 3, 3]);
+        assert_eq!(td.tmax(), 3);
+    }
+
+    #[test]
+    fn clique_trussness_is_its_size() {
+        let mut b = GraphBuilder::new();
+        for u in 0..6u32 {
+            for v in (u + 1)..6 {
+                b = b.edge(u, v);
+            }
+        }
+        let g = b.build();
+        let (_, td) = truss_decomposition(&g);
+        assert!(td.as_slice().iter().all(|&t| t == 6));
+    }
+
+    #[test]
+    fn tree_edges_have_trussness_two() {
+        let g = GraphBuilder::new().edges([(0, 1), (1, 2), (1, 3)]).build();
+        let (_, td) = truss_decomposition(&g);
+        assert_eq!(td.as_slice(), &[2, 2, 2]);
+    }
+
+    #[test]
+    fn matches_naive_on_mixed_graph() {
+        let g = GraphBuilder::new()
+            // K4 + pendant triangle + bridge
+            .edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .edges([(3, 4), (4, 5), (5, 6), (6, 4)])
+            .build();
+        let (idx, td) = truss_decomposition(&g);
+        assert_eq!(td.as_slice(), naive_trussness(&g, &idx).as_slice());
+    }
+
+    #[test]
+    fn matches_naive_on_random_graphs() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(21);
+        for _ in 0..20 {
+            let n = rng.gen_range(4..14u32);
+            let mut b = GraphBuilder::new().min_vertices(n as usize);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen_bool(0.4) {
+                        b = b.edge(u, v);
+                    }
+                }
+            }
+            let g = b.build();
+            let (idx, td) = truss_decomposition(&g);
+            assert_eq!(
+                td.as_slice(),
+                naive_trussness(&g, &idx).as_slice(),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn shells_partition_edges() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+            .build();
+        let (_, td) = truss_decomposition(&g);
+        let total: usize = td.shells().iter().map(Vec::len).sum();
+        assert_eq!(total, 4);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().min_vertices(2).build();
+        let (_, td) = truss_decomposition(&g);
+        assert_eq!(td.tmax(), 0);
+        assert!(td.as_slice().is_empty());
+    }
+}

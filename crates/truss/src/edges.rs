@@ -1,0 +1,114 @@
+//! Dense edge ids over a CSR graph.
+
+use hcd_graph::{CsrGraph, VertexId};
+
+/// Assigns each undirected edge a dense id in `0..m`, in the order
+/// [`CsrGraph::edges`] yields them (ascending `(u, v)` with `u < v`), and
+/// answers `eid(u, v)` in `O(log d)` via binary search in the smaller
+/// endpoint's adjacency suffix.
+pub struct EdgeIndex {
+    /// `edge_start[v]` = number of edges `(a, b)` with `a < v` — the id
+    /// of the first edge whose lower endpoint is `v`.
+    edge_start: Vec<u32>,
+    /// The edge list itself, indexed by edge id.
+    endpoints: Vec<(VertexId, VertexId)>,
+}
+
+impl EdgeIndex {
+    /// Builds the index in `O(n + m)`.
+    pub fn new(g: &CsrGraph) -> Self {
+        let n = g.num_vertices();
+        let mut edge_start = Vec::with_capacity(n + 1);
+        edge_start.push(0u32);
+        let mut endpoints = Vec::with_capacity(g.num_edges());
+        for v in 0..n as VertexId {
+            let mut count = 0u32;
+            for &u in g.neighbors(v) {
+                if u > v {
+                    endpoints.push((v, u));
+                    count += 1;
+                }
+            }
+            edge_start.push(edge_start.last().unwrap() + count);
+        }
+        EdgeIndex {
+            edge_start,
+            endpoints,
+        }
+    }
+
+    /// Number of edges.
+    pub fn len(&self) -> usize {
+        self.endpoints.len()
+    }
+
+    /// Whether the graph has no edges.
+    pub fn is_empty(&self) -> bool {
+        self.endpoints.is_empty()
+    }
+
+    /// Endpoints `(u, v)` with `u < v` of edge `id`.
+    #[inline]
+    pub fn endpoints(&self, id: u32) -> (VertexId, VertexId) {
+        self.endpoints[id as usize]
+    }
+
+    /// The id of edge `{a, b}`, which must exist in `g`.
+    #[inline]
+    pub fn eid(&self, g: &CsrGraph, a: VertexId, b: VertexId) -> u32 {
+        let (u, v) = if a < b { (a, b) } else { (b, a) };
+        let adj = g.neighbors(u);
+        // Edges with lower endpoint u are its neighbors > u, in order.
+        let first_greater = adj.partition_point(|&w| w <= u);
+        let pos = adj[first_greater..]
+            .binary_search(&v)
+            .expect("edge must exist");
+        self.edge_start[u as usize] + pos as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcd_graph::GraphBuilder;
+
+    #[test]
+    fn ids_are_dense_and_ordered() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (0, 2), (1, 2), (2, 3)])
+            .build();
+        let idx = EdgeIndex::new(&g);
+        assert_eq!(idx.len(), 4);
+        let expected: Vec<_> = g.edges().collect();
+        for (i, &(u, v)) in expected.iter().enumerate() {
+            assert_eq!(idx.endpoints(i as u32), (u, v));
+            assert_eq!(idx.eid(&g, u, v), i as u32);
+            assert_eq!(idx.eid(&g, v, u), i as u32);
+        }
+    }
+
+    #[test]
+    fn roundtrip_on_denser_graph() {
+        let mut b = GraphBuilder::new();
+        for u in 0..12u32 {
+            for v in (u + 1)..12 {
+                if (u + v) % 3 != 0 {
+                    b = b.edge(u, v);
+                }
+            }
+        }
+        let g = b.build();
+        let idx = EdgeIndex::new(&g);
+        assert_eq!(idx.len(), g.num_edges());
+        for (i, (u, v)) in g.edges().enumerate() {
+            assert_eq!(idx.eid(&g, u, v), i as u32);
+        }
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = GraphBuilder::new().min_vertices(3).build();
+        let idx = EdgeIndex::new(&g);
+        assert!(idx.is_empty());
+    }
+}

@@ -1,0 +1,485 @@
+//! Hierarchical truss decomposition, constructed in parallel with the
+//! PHCD paradigm (paper §VI).
+
+use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
+
+use parking_lot::Mutex;
+
+use hcd_graph::{CsrGraph, FxHashMap};
+use hcd_par::Executor;
+use hcd_unionfind::{ConcurrentPivotUnionFind, UnionFindPivot};
+
+use crate::decompose::TrussDecomposition;
+use crate::edges::EdgeIndex;
+
+/// Sentinel for "no node".
+pub const NO_NODE: u32 = u32::MAX;
+
+/// One k-truss tree node: the edges of trussness `k` within one
+/// (triangle-connected) k-truss.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TrussNode {
+    /// The trussness level.
+    pub k: u32,
+    /// Edge ids of trussness `k` in this k-truss.
+    pub edges: Vec<u32>,
+    /// Parent node id, or [`NO_NODE`].
+    pub parent: u32,
+    /// Children node ids.
+    pub children: Vec<u32>,
+}
+
+/// The hierarchical truss decomposition: a forest over k-trusses, with
+/// `tid(e)` mapping each edge to its node. Mirrors `hcd_core::Hcd`, with
+/// edges in the role of vertices.
+#[derive(Debug, Clone)]
+pub struct Htd {
+    nodes: Vec<TrussNode>,
+    tid: Vec<u32>,
+}
+
+impl Htd {
+    /// Number of tree nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The node with id `i`.
+    pub fn node(&self, i: u32) -> &TrussNode {
+        &self.nodes[i as usize]
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[TrussNode] {
+        &self.nodes
+    }
+
+    /// The node containing edge `e`.
+    pub fn tid(&self, e: u32) -> u32 {
+        self.tid[e as usize]
+    }
+
+    /// All edge ids of the k-truss rooted at node `i` (the node's own
+    /// edges plus its descendants').
+    pub fn subtree_edges(&self, i: u32) -> Vec<u32> {
+        let mut out = Vec::new();
+        let mut stack = vec![i];
+        while let Some(x) = stack.pop() {
+            let node = &self.nodes[x as usize];
+            out.extend_from_slice(&node.edges);
+            stack.extend_from_slice(&node.children);
+        }
+        out
+    }
+
+    /// Canonical form for structural comparison (ids are
+    /// algorithm-dependent): nodes sorted by `(k, min edge)`, edge lists
+    /// sorted, parents as canonical positions.
+    pub fn canonicalize(&self) -> Vec<(u32, Vec<u32>, Option<u32>)> {
+        let mut order: Vec<u32> = (0..self.nodes.len() as u32).collect();
+        let key = |i: u32| {
+            let n = &self.nodes[i as usize];
+            (n.k, n.edges.iter().copied().min().unwrap_or(u32::MAX))
+        };
+        order.sort_by_key(|&i| key(i));
+        let mut new_id = vec![0u32; self.nodes.len()];
+        for (p, &old) in order.iter().enumerate() {
+            new_id[old as usize] = p as u32;
+        }
+        order
+            .iter()
+            .map(|&old| {
+                let n = &self.nodes[old as usize];
+                let mut edges = n.edges.clone();
+                edges.sort_unstable();
+                let parent = (n.parent != NO_NODE).then(|| new_id[n.parent as usize]);
+                (n.k, edges, parent)
+            })
+            .collect()
+    }
+}
+
+/// Enumerates, for edge `e = (u, v)` of trussness `t(e) = k`, every
+/// triangle through `e` whose other two edges have trussness `>= k`,
+/// invoking `f(e1, e2)` on them.
+fn level_triangles<F: FnMut(u32, u32)>(
+    g: &CsrGraph,
+    idx: &EdgeIndex,
+    truss: &[u32],
+    e: u32,
+    k: u32,
+    mut f: F,
+) {
+    let (u, v) = idx.endpoints(e);
+    let (a, b) = if g.degree(u) <= g.degree(v) {
+        (u, v)
+    } else {
+        (v, u)
+    };
+    for &w in g.neighbors(a) {
+        if w == b || !g.has_edge(w, b) {
+            continue;
+        }
+        let e1 = idx.eid(g, a, w);
+        let e2 = idx.eid(g, b, w);
+        if truss[e1 as usize] >= k && truss[e2 as usize] >= k {
+            f(e1, e2);
+        }
+    }
+}
+
+/// PHTD: parallel hierarchical truss decomposition — the PHCD paradigm
+/// over edges.
+///
+/// From `k = tmax` down to 2, the k-shell of *edges* is added; an edge
+/// connects to the existing structure through triangles whose other two
+/// edges have trussness `>= k` (each such triangle is discovered exactly
+/// once, at its minimum-trussness edge). A concurrent union-find with
+/// pivot (minimum `(trussness, id)` edge) groups shell edges into new
+/// tree nodes and resolves parents, exactly as PHCD's four steps do for
+/// vertices.
+pub fn phtd(
+    g: &CsrGraph,
+    idx: &EdgeIndex,
+    truss: &TrussDecomposition,
+    exec: &Executor,
+) -> Htd {
+    let m = idx.len();
+    if m == 0 {
+        return Htd {
+            nodes: Vec::new(),
+            tid: Vec::new(),
+        };
+    }
+    let t = truss.as_slice();
+
+    // Edge rank: (trussness, id) ascending — the pivot order.
+    let shells = truss.shells();
+    let mut erank = vec![0u32; m];
+    {
+        let mut r = 0u32;
+        for shell in &shells {
+            for &e in shell {
+                erank[e as usize] = r;
+                r += 1;
+            }
+        }
+    }
+
+    let uf = ConcurrentPivotUnionFind::new(erank);
+    let tid: Vec<AtomicU32> = (0..m).map(|_| AtomicU32::new(NO_NODE)).collect();
+    let in_kpc: Vec<AtomicBool> = (0..m).map(|_| AtomicBool::new(false)).collect();
+    let mut node_k: Vec<u32> = Vec::new();
+    let mut node_edges: Vec<Mutex<Vec<u32>>> = Vec::new();
+    let mut node_parent: Vec<AtomicU32> = Vec::new();
+    let mut node_children: Vec<Mutex<Vec<u32>>> = Vec::new();
+
+    for k in (2..=truss.tmax()).rev() {
+        let shell = match shells.get(k as usize) {
+            Some(s) if !s.is_empty() => s,
+            _ => continue,
+        };
+
+        // Step 1: pivots of adjacent k'-trusses (k' > k).
+        let kpc_parts = exec.map_chunks(shell.len(), |_, range| {
+            let mut local = Vec::new();
+            for &e in &shell[range] {
+                level_triangles(g, idx, t, e, k, |e1, e2| {
+                    for other in [e1, e2] {
+                        if t[other as usize] > k {
+                            let pvt = uf.get_pivot(other);
+                            if !in_kpc[pvt as usize].swap(true, Ordering::AcqRel) {
+                                local.push(pvt);
+                            }
+                        }
+                    }
+                });
+            }
+            local
+        });
+        let kpc_pivot: Vec<u32> = kpc_parts.into_iter().flatten().collect();
+
+        // Step 2: union each shell edge with its co-triangle edges of
+        // trussness >= k.
+        exec.for_each_chunk(
+            shell.len(),
+            || (),
+            |_, _, range| {
+                for &e in &shell[range] {
+                    level_triangles(g, idx, t, e, k, |e1, e2| {
+                        uf.union(e, e1);
+                        uf.union(e, e2);
+                    });
+                }
+            },
+        );
+
+        // Step 3: group shell edges into nodes by pivot.
+        let mut pivot_of: Vec<u32> = vec![0; shell.len()];
+        {
+            struct SendPtr(*mut u32);
+            unsafe impl Send for SendPtr {}
+            unsafe impl Sync for SendPtr {}
+            let out = SendPtr(pivot_of.as_mut_ptr());
+            let fresh_parts = exec.map_chunks(shell.len(), |_, range| {
+                let _ = &out;
+                let mut fresh = Vec::new();
+                for i in range {
+                    let pvt = uf.get_pivot(shell[i]);
+                    // SAFETY: disjoint slots.
+                    unsafe { *out.0.add(i) = pvt };
+                    if tid[pvt as usize]
+                        .compare_exchange(NO_NODE, NO_NODE - 1, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok()
+                    {
+                        fresh.push(pvt);
+                    }
+                }
+                fresh
+            });
+            let mut fresh: Vec<u32> = fresh_parts.into_iter().flatten().collect();
+            fresh.sort_unstable();
+            for pvt in fresh {
+                let id = node_k.len() as u32;
+                node_k.push(k);
+                node_edges.push(Mutex::new(Vec::new()));
+                node_parent.push(AtomicU32::new(NO_NODE));
+                node_children.push(Mutex::new(Vec::new()));
+                tid[pvt as usize].store(id, Ordering::Release);
+            }
+        }
+        exec.for_each_chunk(
+            shell.len(),
+            FxHashMap::<u32, Vec<u32>>::default,
+            |_, groups, range| {
+                for i in range.clone() {
+                    let e = shell[i];
+                    let id = tid[pivot_of[i] as usize].load(Ordering::Acquire);
+                    tid[e as usize].store(id, Ordering::Release);
+                    groups.entry(id).or_default().push(e);
+                }
+                for (id, mut es) in groups.drain() {
+                    node_edges[id as usize].lock().append(&mut es);
+                }
+            },
+        );
+
+        // Step 4: parents.
+        exec.for_each_chunk(
+            kpc_pivot.len(),
+            || (),
+            |_, _, range| {
+                for &pv in &kpc_pivot[range] {
+                    in_kpc[pv as usize].store(false, Ordering::Relaxed);
+                    let ch = tid[pv as usize].load(Ordering::Acquire);
+                    let pa = tid[uf.get_pivot(pv) as usize].load(Ordering::Acquire);
+                    node_parent[ch as usize].store(pa, Ordering::Release);
+                    node_children[pa as usize].lock().push(ch);
+                }
+            },
+        );
+    }
+
+    let mut nodes = Vec::with_capacity(node_k.len());
+    for i in 0..node_k.len() {
+        let mut edges = std::mem::take(&mut *node_edges[i].lock());
+        edges.sort_unstable();
+        let mut children = std::mem::take(&mut *node_children[i].lock());
+        children.sort_unstable();
+        nodes.push(TrussNode {
+            k: node_k[i],
+            edges,
+            parent: node_parent[i].load(Ordering::Acquire),
+            children,
+        });
+    }
+    let tid = tid.into_iter().map(AtomicU32::into_inner).collect();
+    Htd { nodes, tid }
+}
+
+/// Brute-force HTD from the definitions: per level, connected components
+/// of the edge set `{e : t(e) >= k}` under triangle connectivity; a node
+/// per component with a non-empty k-slice; parents by containment at the
+/// nearest lower populated level. Test oracle.
+pub fn naive_htd(g: &CsrGraph, idx: &EdgeIndex, truss: &TrussDecomposition) -> Htd {
+    let m = idx.len();
+    let t = truss.as_slice();
+    let tmax = truss.tmax();
+    let mut labels_per_k: Vec<Vec<u32>> = Vec::new();
+    for k in 0..=tmax {
+        // BFS over edges with trussness >= k via shared level-triangles.
+        let mut labels = vec![u32::MAX; m];
+        let mut count = 0u32;
+        for s in 0..m as u32 {
+            if labels[s as usize] != u32::MAX || t[s as usize] < k {
+                continue;
+            }
+            let mut queue = vec![s];
+            labels[s as usize] = count;
+            while let Some(e) = queue.pop() {
+                level_triangles(g, idx, t, e, k, |e1, e2| {
+                    for other in [e1, e2] {
+                        if labels[other as usize] == u32::MAX {
+                            labels[other as usize] = count;
+                            queue.push(other);
+                        }
+                    }
+                });
+            }
+            count += 1;
+        }
+        labels_per_k.push(labels);
+    }
+
+    let mut node_of: FxHashMap<(u32, u32), u32> = FxHashMap::default();
+    let mut nodes: Vec<TrussNode> = Vec::new();
+    let mut rep: Vec<u32> = Vec::new();
+    let mut tid = vec![NO_NODE; m];
+    for e in 0..m as u32 {
+        let k = t[e as usize];
+        let comp = labels_per_k[k as usize][e as usize];
+        let id = *node_of.entry((k, comp)).or_insert_with(|| {
+            nodes.push(TrussNode {
+                k,
+                edges: Vec::new(),
+                parent: NO_NODE,
+                children: Vec::new(),
+            });
+            rep.push(e);
+            (nodes.len() - 1) as u32
+        });
+        nodes[id as usize].edges.push(e);
+        tid[e as usize] = id;
+    }
+    for i in 0..nodes.len() {
+        let k = nodes[i].k;
+        let e = rep[i];
+        for kp in (0..k).rev() {
+            let l = labels_per_k[kp as usize][e as usize];
+            if let Some(&pid) = node_of.get(&(kp, l)) {
+                nodes[i].parent = pid;
+                nodes[pid as usize].children.push(i as u32);
+                break;
+            }
+        }
+    }
+    Htd { nodes, tid }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decompose::truss_decomposition;
+    use hcd_graph::GraphBuilder;
+
+    fn check(g: &CsrGraph) {
+        let (idx, td) = truss_decomposition(g);
+        let truth = naive_htd(g, &idx, &td).canonicalize();
+        for exec in [
+            Executor::sequential(),
+            Executor::rayon(4),
+            Executor::simulated(3),
+        ] {
+            let got = phtd(g, &idx, &td, &exec);
+            assert_eq!(got.canonicalize(), truth, "mode {}", exec.mode_name());
+        }
+    }
+
+    #[test]
+    fn two_cliques_sharing_an_edge() {
+        // K4 on {0..4} and K4 on {2,3,4,5} share the edge (2,3): one
+        // 4-truss each... actually sharing a triangle merges them at k=4?
+        // The oracle decides; PHTD must match it.
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (0, 2), (0, 3), (1, 2), (1, 3), (2, 3)])
+            .edges([(2, 4), (3, 4), (2, 5), (3, 5), (4, 5)])
+            .build();
+        check(&g);
+    }
+
+    #[test]
+    fn nested_truss_levels() {
+        // K5 with a triangle fringe and a tree tail: trussness 5, 3, 2.
+        let mut b = GraphBuilder::new();
+        for u in 0..5u32 {
+            for v in (u + 1)..5 {
+                b = b.edge(u, v);
+            }
+        }
+        let g = b
+            .edges([(4, 5), (5, 6), (6, 4)]) // fringe triangle
+            .edges([(6, 7), (7, 8)]) // tail
+            .build();
+        check(&g);
+        let (idx, td) = truss_decomposition(&g);
+        let h = phtd(&g, &idx, &td, &Executor::sequential());
+        // Levels present: 5 (K5), 3 (fringe triangle), and two singleton
+        // level-2 nodes (the tail edges are not triangle-connected).
+        let mut ks: Vec<u32> = h.nodes().iter().map(|n| n.k).collect();
+        ks.sort_unstable();
+        assert_eq!(ks, vec![2, 2, 3, 5]);
+        // The K5 node's parent chain reaches the level-2 root.
+        let k5 = (0..h.num_nodes() as u32)
+            .find(|&i| h.node(i).k == 5)
+            .unwrap();
+        assert_eq!(h.subtree_edges(k5).len(), 10);
+    }
+
+    #[test]
+    fn disconnected_trusses() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 0)])
+            .edges([(10, 11), (11, 12), (12, 10)])
+            .build();
+        check(&g);
+    }
+
+    #[test]
+    fn triangle_free_graph_single_level() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+            .build();
+        let (idx, td) = truss_decomposition(&g);
+        let h = phtd(&g, &idx, &td, &Executor::sequential());
+        // All edges trussness 2; triangle connectivity leaves each edge
+        // isolated -> one node per edge.
+        assert_eq!(h.num_nodes(), idx.len());
+        check(&g);
+    }
+
+    #[test]
+    fn random_graphs_match_oracle() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(31);
+        for case in 0..15 {
+            let n = rng.gen_range(5..16u32);
+            let mut b = GraphBuilder::new().min_vertices(n as usize);
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rng.gen_bool(0.45) {
+                        b = b.edge(u, v);
+                    }
+                }
+            }
+            let g = b.build();
+            let (idx, td) = truss_decomposition(&g);
+            let truth = naive_htd(&g, &idx, &td).canonicalize();
+            let got = phtd(&g, &idx, &td, &Executor::rayon(4)).canonicalize();
+            assert_eq!(got, truth, "case {case}");
+        }
+    }
+
+    #[test]
+    fn every_edge_in_exactly_one_node() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (0, 2), (1, 2), (1, 3), (2, 3), (3, 4), (4, 0)])
+            .build();
+        let (idx, td) = truss_decomposition(&g);
+        let h = phtd(&g, &idx, &td, &Executor::sequential());
+        let total: usize = h.nodes().iter().map(|n| n.edges.len()).sum();
+        assert_eq!(total, idx.len());
+        for e in 0..idx.len() as u32 {
+            assert!(h.node(h.tid(e)).edges.contains(&e));
+        }
+    }
+}

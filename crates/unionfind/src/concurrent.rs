@@ -1,0 +1,322 @@
+//! Lock-free concurrent union-find with pivot.
+//!
+//! ## Linking protocol
+//!
+//! Each element packs `(rank, parent)` into one `AtomicU64`. `find` uses
+//! path halving with CAS (failed compressions are harmless). `union` links
+//! the lower-rank root under the higher-rank root with a CAS on the
+//! loser's packed word; on a rank tie the loser is the root with the
+//! larger id, and the winner's rank is bumped with a best-effort CAS.
+//! This is the classic Anderson–Woll wait-free scheme: total work
+//! `O(n√p + m·α(n) + F)` with `F` failed CASes.
+//!
+//! ## Pivot protocol
+//!
+//! The pivot (minimum-key member) of a component is stored at its root.
+//! After a successful link of `loser` under `winner`, the linking thread
+//! *min-merges* the loser's pivot into the winner: a CAS loop that
+//! replaces the winner's pivot whenever the candidate has a smaller key.
+//!
+//! The subtle race: a min-merge can land on a root *after* that root has
+//! itself been linked under another root, whose linker already read the
+//! (then-stale) pivot. The fix, after every merge attempt, is to re-check
+//! that the target is still a root; if not, re-find the current root and
+//! repeat the merge there. Because parents only ever change from
+//! self-pointing to other-pointing (roots never become roots again), this
+//! loop terminates, and at quiescence every root's pivot is exactly the
+//! minimum key of its component — which is when PHCD reads pivots
+//! (its union phase and pivot-read phases are separated by barriers).
+
+use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
+
+use crate::UnionFindPivot;
+
+const PARENT_MASK: u64 = 0xFFFF_FFFF;
+
+#[inline]
+fn pack(rank: u32, parent: u32) -> u64 {
+    ((rank as u64) << 32) | parent as u64
+}
+
+#[inline]
+fn parent_of(word: u64) -> u32 {
+    (word & PARENT_MASK) as u32
+}
+
+#[inline]
+fn rank_of(word: u64) -> u32 {
+    (word >> 32) as u32
+}
+
+/// Lock-free union-find with per-root pivot, shareable across threads.
+///
+/// # Examples
+///
+/// ```
+/// use std::sync::Arc;
+/// use hcd_unionfind::{ConcurrentPivotUnionFind, UnionFindPivot};
+///
+/// let uf = Arc::new(ConcurrentPivotUnionFind::new_identity(100));
+/// let handles: Vec<_> = (0..4)
+///     .map(|t| {
+///         let uf = Arc::clone(&uf);
+///         std::thread::spawn(move || {
+///             for i in (t..99).step_by(4) {
+///                 uf.union(i as u32, i as u32 + 1);
+///             }
+///         })
+///     })
+///     .collect();
+/// for h in handles {
+///     h.join().unwrap();
+/// }
+/// assert!(uf.same_set(0, 99));
+/// assert_eq!(uf.get_pivot(42), 0);
+/// ```
+pub struct ConcurrentPivotUnionFind {
+    entry: Vec<AtomicU64>,
+    pivot: Vec<AtomicU32>,
+    key: Vec<u32>,
+}
+
+impl ConcurrentPivotUnionFind {
+    /// `n` singleton components with keys equal to element ids.
+    pub fn new_identity(n: usize) -> Self {
+        Self::new((0..n as u32).collect())
+    }
+
+    /// Singleton components whose pivot ordering follows `keys`
+    /// (distinct keys required for unique pivots).
+    pub fn new(keys: Vec<u32>) -> Self {
+        let n = keys.len();
+        ConcurrentPivotUnionFind {
+            entry: (0..n as u32).map(|i| AtomicU64::new(pack(0, i))).collect(),
+            pivot: (0..n as u32).map(AtomicU32::new).collect(),
+            key: keys,
+        }
+    }
+
+    /// Number of distinct components (quiescent snapshot).
+    pub fn num_components(&self) -> usize {
+        (0..self.len())
+            .filter(|&x| parent_of(self.entry[x].load(Ordering::Acquire)) == x as u32)
+            .count()
+    }
+
+    /// Min-merges candidate pivot `pv` into the component currently
+    /// containing `root`, chasing root changes until the write sticks on a
+    /// live root.
+    fn merge_pivot(&self, mut root: u32, pv: u32) {
+        loop {
+            let cur = self.pivot[root as usize].load(Ordering::Acquire);
+            if self.key[pv as usize] < self.key[cur as usize]
+                && self.pivot[root as usize]
+                    .compare_exchange(cur, pv, Ordering::AcqRel, Ordering::Acquire)
+                    .is_err()
+            {
+                continue; // someone else updated; re-evaluate
+            }
+            // If `root` was linked away (before or after our write), the
+            // linker may have read a stale pivot — propagate to the live
+            // root ourselves.
+            let live = self.find(root);
+            if live == root {
+                return;
+            }
+            root = live;
+        }
+    }
+}
+
+impl UnionFindPivot for ConcurrentPivotUnionFind {
+    fn len(&self) -> usize {
+        self.entry.len()
+    }
+
+    fn find(&self, mut x: u32) -> u32 {
+        loop {
+            let e = self.entry[x as usize].load(Ordering::Acquire);
+            let p = parent_of(e);
+            if p == x {
+                return x;
+            }
+            let ep = self.entry[p as usize].load(Ordering::Acquire);
+            let gp = parent_of(ep);
+            if gp != p {
+                // Path halving: x -> grandparent. Failure is benign.
+                let _ = self.entry[x as usize].compare_exchange(
+                    e,
+                    pack(rank_of(e), gp),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+            }
+            x = p;
+        }
+    }
+
+    fn union(&self, x: u32, y: u32) -> bool {
+        loop {
+            let rx = self.find(x);
+            let ry = self.find(y);
+            if rx == ry {
+                return false;
+            }
+            let ex = self.entry[rx as usize].load(Ordering::Acquire);
+            let ey = self.entry[ry as usize].load(Ordering::Acquire);
+            // Re-validate rootness (entries may have changed since find).
+            if parent_of(ex) != rx || parent_of(ey) != ry {
+                continue;
+            }
+            let (kx, ky) = (rank_of(ex), rank_of(ey));
+            // Loser: lower rank, ties broken toward the larger id.
+            let (winner, loser, eloser, tie) = if kx < ky || (kx == ky && rx > ry) {
+                (ry, rx, ex, kx == ky)
+            } else {
+                (rx, ry, ey, kx == ky)
+            };
+            if self.entry[loser as usize]
+                .compare_exchange(
+                    eloser,
+                    pack(rank_of(eloser), winner),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .is_err()
+            {
+                continue;
+            }
+            if tie {
+                // Best-effort rank bump; failure means winner changed or
+                // was bumped concurrently, both fine for balance.
+                let ew = pack(rank_of(eloser), winner);
+                let _ = self.entry[winner as usize].compare_exchange(
+                    ew,
+                    pack(rank_of(eloser) + 1, winner),
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                );
+            }
+            let pl = self.pivot[loser as usize].load(Ordering::Acquire);
+            self.merge_pivot(winner, pl);
+            return true;
+        }
+    }
+
+    fn get_pivot(&self, x: u32) -> u32 {
+        let r = self.find(x);
+        self.pivot[r as usize].load(Ordering::Acquire)
+    }
+
+    fn key(&self, x: u32) -> u32 {
+        self.key[x as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn sequential_semantics() {
+        let uf = ConcurrentPivotUnionFind::new_identity(6);
+        assert!(uf.union(4, 5));
+        assert!(uf.union(2, 4));
+        assert!(!uf.union(5, 2));
+        assert_eq!(uf.get_pivot(5), 2);
+        assert_eq!(uf.num_components(), 4);
+    }
+
+    #[test]
+    fn pivot_with_custom_keys() {
+        let uf = ConcurrentPivotUnionFind::new(vec![10, 0, 20, 5]);
+        uf.union(0, 2);
+        assert_eq!(uf.get_pivot(2), 0);
+        uf.union(2, 3);
+        assert_eq!(uf.get_pivot(0), 3);
+        uf.union(3, 1);
+        assert_eq!(uf.get_pivot(0), 1);
+    }
+
+    #[test]
+    fn concurrent_chain_stress() {
+        // Many threads build one long chain; pivot must be the global min.
+        let n = 20_000;
+        let uf = Arc::new(ConcurrentPivotUnionFind::new_identity(n));
+        let threads = 8;
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let uf = Arc::clone(&uf);
+                std::thread::spawn(move || {
+                    for i in (t..n - 1).step_by(threads) {
+                        uf.union(i as u32, i as u32 + 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(uf.num_components(), 1);
+        assert_eq!(uf.get_pivot((n - 1) as u32), 0);
+    }
+
+    #[test]
+    fn concurrent_random_unions_match_sequential() {
+        use rand::{Rng, SeedableRng};
+        let n = 5_000usize;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
+        let ops: Vec<(u32, u32)> = (0..4 * n)
+            .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+            .collect();
+
+        let seq = crate::PivotUnionFind::new_identity(n);
+        for &(a, b) in &ops {
+            seq.union(a, b);
+        }
+
+        let conc = Arc::new(ConcurrentPivotUnionFind::new_identity(n));
+        let threads = 8;
+        let chunk = ops.len().div_ceil(threads);
+        let ops = Arc::new(ops);
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let conc = Arc::clone(&conc);
+                let ops = Arc::clone(&ops);
+                std::thread::spawn(move || {
+                    let start = t * chunk;
+                    let end = ((t + 1) * chunk).min(ops.len());
+                    for &(a, b) in &ops[start..end] {
+                        conc.union(a, b);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+
+        // Same partition and same pivots as sequential execution.
+        for v in 0..n as u32 {
+            assert_eq!(
+                conc.same_set(v, seq.find(v)),
+                true,
+                "partition mismatch at {v}"
+            );
+            assert_eq!(conc.get_pivot(v), seq.get_pivot(v), "pivot mismatch at {v}");
+        }
+    }
+
+    #[test]
+    fn find_is_stable_after_quiescence() {
+        let uf = ConcurrentPivotUnionFind::new_identity(10);
+        for i in 0..9 {
+            uf.union(i, i + 1);
+        }
+        let r = uf.find(0);
+        for v in 0..10 {
+            assert_eq!(uf.find(v), r);
+        }
+    }
+}

@@ -1,0 +1,104 @@
+//! Union-find with **pivot** maintenance (paper §III-B).
+//!
+//! The PHCD construction algorithm identifies each k-core tree node by its
+//! *pivot* — the member with the lowest *vertex rank* (Definition 4/5). To
+//! support this, both union-find variants in this crate maintain, at every
+//! root, the minimum-key element of its component:
+//!
+//! * [`PivotUnionFind`] — sequential, path halving + union by rank; the
+//!   classical `O(α(n))` amortized structure.
+//! * [`ConcurrentPivotUnionFind`] — lock-free (CAS linking, path-halving
+//!   finds), in the style of Anderson–Woll / Jayanti–Tarjan, with a pivot
+//!   min-merge protocol that converges at quiescence (see module docs of
+//!   [`concurrent`]).
+//!
+//! Both implement the common [`UnionFindPivot`] trait so the PHCD
+//! algorithm is generic over the execution mode.
+
+pub mod concurrent;
+pub mod seq;
+
+pub use concurrent::ConcurrentPivotUnionFind;
+pub use seq::PivotUnionFind;
+
+/// Common interface of the sequential and concurrent union-find.
+///
+/// Elements are dense ids `0..n`. Each element has a fixed *key*; the
+/// pivot of a component is its minimum-key member. In PHCD the key of a
+/// vertex is its vertex rank `r(v)`.
+pub trait UnionFindPivot {
+    /// Number of elements.
+    fn len(&self) -> usize;
+
+    /// Whether the structure is empty.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Representative of `x`'s component.
+    fn find(&self, x: u32) -> u32;
+
+    /// Merges the components of `x` and `y`; returns `true` if they were
+    /// previously distinct. The pivot of the merged component is the
+    /// minimum-key pivot of the two inputs.
+    fn union(&self, x: u32, y: u32) -> bool;
+
+    /// Whether `x` and `y` are in the same component.
+    fn same_set(&self, x: u32, y: u32) -> bool {
+        self.find(x) == self.find(y)
+    }
+
+    /// The pivot (minimum-key member) of `x`'s component.
+    ///
+    /// For the concurrent variant this is only guaranteed accurate at
+    /// quiescence (no concurrent `union` calls), which is how PHCD uses
+    /// it: union phases and pivot-read phases are separated by barriers.
+    fn get_pivot(&self, x: u32) -> u32;
+
+    /// The fixed key of element `x`.
+    fn key(&self, x: u32) -> u32;
+}
+
+#[cfg(test)]
+mod trait_tests {
+    use super::*;
+
+    fn exercise<U: UnionFindPivot>(uf: U) {
+        assert_eq!(uf.len(), 5);
+        assert!(!uf.is_empty());
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert!(uf.same_set(0, 1));
+        assert!(!uf.same_set(0, 2));
+        assert_eq!(uf.get_pivot(1), 0);
+        assert!(uf.union(3, 4));
+        assert_eq!(uf.get_pivot(4), 3);
+        assert!(uf.union(1, 4));
+        assert_eq!(uf.get_pivot(3), 0);
+    }
+
+    #[test]
+    fn seq_implements_trait() {
+        exercise(PivotUnionFind::new_identity(5));
+    }
+
+    #[test]
+    fn concurrent_implements_trait() {
+        exercise(ConcurrentPivotUnionFind::new_identity(5));
+    }
+
+    #[test]
+    fn custom_keys_drive_pivot() {
+        // Element 2 has the smallest key, so it wins every merge.
+        let keys = vec![5, 4, 0, 3, 1];
+        let seq = PivotUnionFind::new(keys.clone());
+        seq.union(0, 1);
+        seq.union(1, 2);
+        assert_eq!(seq.get_pivot(0), 2);
+
+        let conc = ConcurrentPivotUnionFind::new(keys);
+        conc.union(0, 1);
+        conc.union(1, 2);
+        assert_eq!(conc.get_pivot(0), 2);
+    }
+}

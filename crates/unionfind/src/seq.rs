@@ -1,0 +1,179 @@
+//! Sequential union-find with pivot.
+
+use std::cell::Cell;
+
+use crate::UnionFindPivot;
+
+/// Sequential union-find with path halving, union by rank, and per-root
+/// pivot (minimum-key member) maintenance.
+///
+/// `find` uses interior mutability (path halving mutates parents) so the
+/// structure can be shared immutably by algorithms that interleave finds
+/// and unions, matching the concurrent variant's `&self` API.
+///
+/// # Examples
+///
+/// ```
+/// use hcd_unionfind::{PivotUnionFind, UnionFindPivot};
+///
+/// let uf = PivotUnionFind::new_identity(4);
+/// uf.union(2, 3);
+/// uf.union(1, 2);
+/// assert!(uf.same_set(1, 3));
+/// assert_eq!(uf.get_pivot(3), 1); // smallest key in {1,2,3}
+/// ```
+pub struct PivotUnionFind {
+    parent: Vec<Cell<u32>>,
+    rank: Vec<Cell<u8>>,
+    pivot: Vec<Cell<u32>>,
+    key: Vec<u32>,
+}
+
+impl PivotUnionFind {
+    /// `n` singleton components with keys equal to element ids.
+    pub fn new_identity(n: usize) -> Self {
+        Self::new((0..n as u32).collect())
+    }
+
+    /// Singleton components whose pivot ordering follows `keys`.
+    ///
+    /// `keys` must be distinct for pivots to be uniquely defined (PHCD's
+    /// vertex rank is a permutation, so this always holds there).
+    pub fn new(keys: Vec<u32>) -> Self {
+        let n = keys.len();
+        PivotUnionFind {
+            parent: (0..n as u32).map(Cell::new).collect(),
+            rank: vec![Cell::new(0); n],
+            pivot: (0..n as u32).map(Cell::new).collect(),
+            key: keys,
+        }
+    }
+
+    /// Number of distinct components.
+    pub fn num_components(&self) -> usize {
+        (0..self.len() as u32)
+            .filter(|&x| self.parent[x as usize].get() == x)
+            .count()
+    }
+}
+
+impl UnionFindPivot for PivotUnionFind {
+    fn len(&self) -> usize {
+        self.parent.len()
+    }
+
+    fn find(&self, mut x: u32) -> u32 {
+        loop {
+            let p = self.parent[x as usize].get();
+            if p == x {
+                return x;
+            }
+            let gp = self.parent[p as usize].get();
+            self.parent[x as usize].set(gp);
+            x = gp;
+        }
+    }
+
+    fn union(&self, x: u32, y: u32) -> bool {
+        let rx = self.find(x);
+        let ry = self.find(y);
+        if rx == ry {
+            return false;
+        }
+        let (winner, loser) = match self.rank[rx as usize]
+            .get()
+            .cmp(&self.rank[ry as usize].get())
+        {
+            std::cmp::Ordering::Less => (ry, rx),
+            std::cmp::Ordering::Greater => (rx, ry),
+            std::cmp::Ordering::Equal => {
+                self.rank[rx as usize].set(self.rank[rx as usize].get() + 1);
+                (rx, ry)
+            }
+        };
+        self.parent[loser as usize].set(winner);
+        let pw = self.pivot[winner as usize].get();
+        let pl = self.pivot[loser as usize].get();
+        if self.key[pl as usize] < self.key[pw as usize] {
+            self.pivot[winner as usize].set(pl);
+        }
+        true
+    }
+
+    fn get_pivot(&self, x: u32) -> u32 {
+        let r = self.find(x);
+        self.pivot[r as usize].get()
+    }
+
+    fn key(&self, x: u32) -> u32 {
+        self.key[x as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn singletons_are_their_own_pivot() {
+        let uf = PivotUnionFind::new_identity(3);
+        for i in 0..3 {
+            assert_eq!(uf.find(i), i);
+            assert_eq!(uf.get_pivot(i), i);
+        }
+        assert_eq!(uf.num_components(), 3);
+    }
+
+    #[test]
+    fn union_merges_and_counts() {
+        let uf = PivotUnionFind::new_identity(6);
+        assert!(uf.union(0, 1));
+        assert!(uf.union(2, 3));
+        assert!(uf.union(0, 3));
+        assert_eq!(uf.num_components(), 3); // {0,1,2,3}, {4}, {5}
+        assert!(uf.same_set(1, 2));
+        assert!(!uf.same_set(1, 4));
+    }
+
+    #[test]
+    fn pivot_is_min_key_after_chain_merges() {
+        let uf = PivotUnionFind::new_identity(8);
+        // Merge in an order that forces pivot propagation through winners.
+        uf.union(7, 6);
+        uf.union(5, 7);
+        uf.union(4, 6);
+        assert_eq!(uf.get_pivot(7), 4);
+        uf.union(0, 7);
+        assert_eq!(uf.get_pivot(5), 0);
+    }
+
+    #[test]
+    fn union_is_idempotent() {
+        let uf = PivotUnionFind::new_identity(2);
+        assert!(uf.union(0, 1));
+        assert!(!uf.union(0, 1));
+        assert!(!uf.union(1, 0));
+        assert_eq!(uf.num_components(), 1);
+    }
+
+    #[test]
+    fn path_halving_preserves_roots() {
+        let uf = PivotUnionFind::new_identity(100);
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        let root = uf.find(0);
+        for i in 0..100 {
+            assert_eq!(uf.find(i), root);
+        }
+        assert_eq!(uf.get_pivot(99), 0);
+        assert_eq!(uf.num_components(), 1);
+    }
+
+    #[test]
+    fn keys_reported() {
+        let uf = PivotUnionFind::new(vec![9, 3, 7]);
+        assert_eq!(uf.key(0), 9);
+        assert_eq!(uf.key(1), 3);
+    }
+}

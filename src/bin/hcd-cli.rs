@@ -1,0 +1,220 @@
+//! `hcd-cli` — command-line front end for the library.
+//!
+//! ```text
+//! hcd-cli stats  <graph>                        # n, m, davg, kmax, |T|
+//! hcd-cli build  <graph> -o index.hcd           # build + save the HCD
+//! hcd-cli search <graph> [-m METRIC] [-p P]     # best k-core per metric
+//! hcd-cli core   <graph> -v VERTEX -k K         # the k-core containing v
+//! hcd-cli dot    <graph>                        # Graphviz DOT of the HCD
+//! hcd-cli gen    <model> <out> [--seed S]       # generate a synthetic graph
+//! ```
+//!
+//! Graphs are text edge lists (`u v` per line, `#` comments) or the
+//! compact binary format (`.bin`), auto-detected by extension.
+
+use std::process::ExitCode;
+
+use hcd::prelude::*;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            eprintln!();
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  hcd-cli stats  <graph>
+  hcd-cli build  <graph> -o <index.hcd>
+  hcd-cli search <graph> [-m metric] [-p threads]
+  hcd-cli core   <graph> -v <vertex> -k <k>
+  hcd-cli dot    <graph>
+  hcd-cli gen    <rmat|ba|er|ws|tree> <out.txt> [--seed S]
+
+metrics: average-degree internal-density cut-ratio conductance
+         modularity clustering-coefficient (default: average-degree)";
+
+fn run(args: &[String]) -> Result<(), String> {
+    let cmd = args.first().ok_or("missing command")?;
+    match cmd.as_str() {
+        "stats" => stats(args.get(1).ok_or("missing graph path")?),
+        "build" => build(
+            args.get(1).ok_or("missing graph path")?,
+            &flag_value(args, "-o")?.ok_or("missing -o <index.hcd>")?,
+        ),
+        "search" => search(
+            args.get(1).ok_or("missing graph path")?,
+            flag_value(args, "-m")?,
+            flag_value(args, "-p")?,
+        ),
+        "core" => core_query(
+            args.get(1).ok_or("missing graph path")?,
+            &flag_value(args, "-v")?.ok_or("missing -v <vertex>")?,
+            &flag_value(args, "-k")?.ok_or("missing -k <k>")?,
+        ),
+        "dot" => dot(args.get(1).ok_or("missing graph path")?),
+        "gen" => gen(
+            args.get(1).ok_or("missing model")?,
+            args.get(2).ok_or("missing output path")?,
+            flag_value(args, "--seed")?,
+        ),
+        other => Err(format!("unknown command {other:?}")),
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => args
+            .get(i + 1)
+            .cloned()
+            .map(Some)
+            .ok_or_else(|| format!("{flag} requires a value")),
+    }
+}
+
+fn load(path: &str) -> Result<CsrGraph, String> {
+    let g = if path.ends_with(".bin") {
+        hcd::graph::io::read_binary_file(path)
+    } else {
+        hcd::graph::io::read_edge_list_file(path)
+    };
+    g.map_err(|e| format!("cannot read {path}: {e}"))
+}
+
+fn default_executor(p: Option<String>) -> Result<Executor, String> {
+    let threads = match p {
+        Some(s) => s.parse::<usize>().map_err(|e| format!("bad -p: {e}"))?,
+        None => std::thread::available_parallelism().map_or(1, |v| v.get()),
+    };
+    Ok(if threads <= 1 {
+        Executor::sequential()
+    } else {
+        Executor::rayon(threads)
+    })
+}
+
+fn pipeline(g: &CsrGraph) -> (CoreDecomposition, Hcd) {
+    let cores = core_decomposition(g);
+    let hcd = phcd(g, &cores, &Executor::sequential());
+    (cores, hcd)
+}
+
+fn stats(path: &str) -> Result<(), String> {
+    let g = load(path)?;
+    let (cores, hcd) = pipeline(&g);
+    println!("n     = {}", g.num_vertices());
+    println!("m     = {}", g.num_edges());
+    println!("davg  = {:.2}", g.avg_degree());
+    println!("dmax  = {}", g.max_degree());
+    println!("kmax  = {}", cores.kmax());
+    println!("|T|   = {}", hcd.num_nodes());
+    println!("roots = {}", hcd.roots().len());
+    Ok(())
+}
+
+fn build(path: &str, out: &str) -> Result<(), String> {
+    let g = load(path)?;
+    let (_, hcd) = pipeline(&g);
+    let file = std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    hcd::core::io::write_hcd(&hcd, file).map_err(|e| format!("cannot write index: {e}"))?;
+    println!("wrote {} nodes to {out}", hcd.num_nodes());
+    Ok(())
+}
+
+fn parse_metric(m: Option<String>) -> Result<Metric, String> {
+    let name = m.unwrap_or_else(|| "average-degree".into());
+    Metric::ALL
+        .into_iter()
+        .find(|metric| metric.name() == name)
+        .ok_or_else(|| format!("unknown metric {name:?}"))
+}
+
+fn search(path: &str, metric: Option<String>, p: Option<String>) -> Result<(), String> {
+    let g = load(path)?;
+    let metric = parse_metric(metric)?;
+    let exec = default_executor(p)?;
+    let cores = pkc_core_decomposition(&g, &exec);
+    let hcd = phcd(&g, &cores, &exec);
+    let ctx = SearchContext::with_executor(&g, &cores, &hcd, &exec);
+    match pbks(&ctx, &metric, &exec) {
+        None => println!("graph is empty"),
+        Some(best) => {
+            println!("metric    = {}", metric.name());
+            println!("best k    = {}", best.k);
+            println!("score     = {:.6}", best.score);
+            println!("|S|       = {}", best.primaries.n);
+            println!("m(S)      = {}", best.primaries.m() as u64);
+            println!("b(S)      = {}", best.primaries.b);
+        }
+    }
+    Ok(())
+}
+
+fn core_query(path: &str, v: &str, k: &str) -> Result<(), String> {
+    let g = load(path)?;
+    let v: u32 = v.parse().map_err(|e| format!("bad -v: {e}"))?;
+    let k: u32 = k.parse().map_err(|e| format!("bad -k: {e}"))?;
+    if v as usize >= g.num_vertices() {
+        return Err(format!("vertex {v} out of range"));
+    }
+    let (cores, hcd) = pipeline(&g);
+    match core_containing(&hcd, &cores, v, k) {
+        None => println!(
+            "vertex {v} has coreness {} < {k}: no such core",
+            cores.coreness(v)
+        ),
+        Some(mut members) => {
+            members.sort_unstable();
+            println!("{}-core containing {v}: {} vertices", k, members.len());
+            for chunk in members.chunks(16) {
+                println!(
+                    "  {}",
+                    chunk
+                        .iter()
+                        .map(|x| x.to_string())
+                        .collect::<Vec<_>>()
+                        .join(" ")
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+fn dot(path: &str) -> Result<(), String> {
+    let g = load(path)?;
+    let (_, hcd) = pipeline(&g);
+    print!("{}", hcd.to_dot());
+    Ok(())
+}
+
+fn gen(model: &str, out: &str, seed: Option<String>) -> Result<(), String> {
+    let seed: u64 = seed
+        .map(|s| s.parse().map_err(|e| format!("bad --seed: {e}")))
+        .transpose()?
+        .unwrap_or(42);
+    let g = match model {
+        "rmat" => rmat(14, 8, None, seed),
+        "ba" => barabasi_albert(10_000, 4, seed),
+        "er" => gnp(10_000, 0.001, seed),
+        "ws" => watts_strogatz(10_000, 8, 0.05, seed),
+        "tree" => core_tree(3, 4, 16, seed),
+        other => return Err(format!("unknown model {other:?} (rmat|ba|er|ws|tree)")),
+    };
+    let file = std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
+    hcd::graph::io::write_edge_list(&g, file).map_err(|e| e.to_string())?;
+    println!(
+        "wrote {} ({} vertices, {} edges)",
+        out,
+        g.num_vertices(),
+        g.num_edges()
+    );
+    Ok(())
+}

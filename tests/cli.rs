@@ -1,0 +1,108 @@
+//! End-to-end tests of the `hcd-cli` binary.
+
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hcd-cli"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("hcd_cli_test_{}_{name}", std::process::id()));
+    p
+}
+
+#[test]
+fn gen_stats_search_pipeline() {
+    let graph = tmp("pipeline.txt");
+
+    let out = cli()
+        .args(["gen", "tree", graph.to_str().unwrap(), "--seed", "5"])
+        .output()
+        .expect("run gen");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+
+    let out = cli()
+        .args(["stats", graph.to_str().unwrap()])
+        .output()
+        .expect("run stats");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("kmax"), "stats output: {text}");
+    assert!(text.contains("|T|"));
+
+    let out = cli()
+        .args([
+            "search",
+            graph.to_str().unwrap(),
+            "-m",
+            "conductance",
+            "-p",
+            "2",
+        ])
+        .output()
+        .expect("run search");
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("metric    = conductance"), "{text}");
+    assert!(text.contains("best k"));
+
+    std::fs::remove_file(&graph).ok();
+}
+
+#[test]
+fn build_writes_a_loadable_index() {
+    let graph = tmp("build.txt");
+    let index = tmp("build.hcd");
+    assert!(cli()
+        .args(["gen", "ba", graph.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    assert!(cli()
+        .args(["build", graph.to_str().unwrap(), "-o", index.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    // The written index parses back.
+    let file = std::fs::File::open(&index).unwrap();
+    let hcd = hcd::core::io::read_hcd(file).unwrap();
+    assert!(hcd.num_nodes() > 0);
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_file(&index).ok();
+}
+
+#[test]
+fn core_query_lists_members() {
+    let graph = tmp("core.txt");
+    assert!(cli()
+        .args(["gen", "ws", graph.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let out = cli()
+        .args(["core", graph.to_str().unwrap(), "-v", "0", "-k", "2"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("2-core containing 0"), "{text}");
+    std::fs::remove_file(&graph).ok();
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let out = cli().args(["frobnicate"]).output().unwrap();
+    assert!(!out.status.success());
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("usage"), "{err}");
+}
+
+#[test]
+fn missing_arguments_fail_cleanly() {
+    for args in [vec!["search"], vec!["core", "x"], vec!["gen", "nosuch", "y"]] {
+        let out = cli().args(&args).output().unwrap();
+        assert!(!out.status.success(), "{args:?} should fail");
+    }
+}

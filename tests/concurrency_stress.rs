@@ -1,0 +1,61 @@
+//! Stress tests under real threads: repeated parallel runs must stay
+//! correct and agree with sequential ground truth even when the OS
+//! interleaves workers adversarially.
+
+use hcd::prelude::*;
+
+#[test]
+fn repeated_parallel_phcd_runs_on_adversarial_graph() {
+    // A graph engineered for pivot contention: one giant component whose
+    // pivot changes at every level, plus hub vertices shared by many
+    // shells.
+    let mut b = GraphBuilder::new();
+    // Hub star.
+    for i in 1..400u32 {
+        b = b.edge(0, i);
+    }
+    // Nested near-cliques hanging off the hub.
+    for c in 0..8u32 {
+        let base = 400 + c * 30;
+        for i in 0..30u32 {
+            for j in (i + 1)..30u32.min(i + 4 + c) {
+                b = b.edge(base + i, base + j % 30);
+            }
+        }
+        b = b.edge(base, c + 1);
+    }
+    let g = b.build();
+    let cores = core_decomposition(&g);
+    let truth = naive_hcd(&g, &cores).canonicalize();
+    for round in 0..10 {
+        let exec = Executor::rayon(8);
+        let h = phcd(&g, &cores, &exec);
+        assert_eq!(h.canonicalize(), truth, "round {round}");
+    }
+}
+
+#[test]
+fn pkc_under_heavy_thread_oversubscription() {
+    let g = rmat(11, 10, None, 77);
+    let expected = core_decomposition(&g);
+    for threads in [2, 8, 16] {
+        let exec = Executor::rayon(threads);
+        for _ in 0..3 {
+            assert_eq!(pkc_core_decomposition(&g, &exec), expected);
+        }
+    }
+}
+
+#[test]
+fn concurrent_search_is_stable_under_oversubscription() {
+    let g = rmat(10, 12, None, 5);
+    let cores = core_decomposition(&g);
+    let hcd = phcd(&g, &cores, &Executor::sequential());
+    let ctx = SearchContext::new(&g, &cores, &hcd);
+    let reference = pbks_scores(&ctx, &Metric::ClusteringCoefficient, &Executor::sequential());
+    for _ in 0..5 {
+        let exec = Executor::rayon(16);
+        let got = pbks_scores(&ctx, &Metric::ClusteringCoefficient, &exec);
+        assert_eq!(got.1, reference.1);
+    }
+}
