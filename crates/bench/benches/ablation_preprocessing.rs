@@ -26,8 +26,7 @@ fn main() {
         let hcd = phcd(&g, &cores, &executor(p));
         let par = executor(p);
 
-        let (ctx, prep_t) =
-            time_best(&par, |e| SearchContext::with_executor(&g, &cores, &hcd, e));
+        let (ctx, prep_t) = time_best(&par, |e| SearchContext::with_executor(&g, &cores, &hcd, e));
         let (_, with_t) = time_best(&par, |e| pbks_scores(&ctx, &metric, e));
         let (_, without_t) =
             time_best(&par, |e| type_a_scores_inline(&g, &cores, &hcd, &metric, e));

@@ -3,7 +3,9 @@
 //! computation, preprocessing excluded), each parallel algorithm against
 //! its serial counterpart.
 
-use hcd_bench::{banner, datasets, executor, ratio, scale, time_best, FIGURE_DATASETS, THREAD_SWEEP};
+use hcd_bench::{
+    banner, datasets, executor, ratio, scale, time_best, FIGURE_DATASETS, THREAD_SWEEP,
+};
 use hcd_core::{lcps, phcd};
 use hcd_decomp::{core_decomposition, pkc_core_decomposition};
 use hcd_search::bks::{bks_scores_with, SortedAdjacency};
@@ -33,14 +35,16 @@ fn main() {
         // Score computation, preprocessing excluded on both sides.
         let ctx = SearchContext::with_executor(&g, &cores, &hcd, &par);
         let sorted = SortedAdjacency::build(&g, cores.as_slice());
-        let (_, bks_a) =
-            time_best(&seq, |_| bks_scores_with(&ctx, &sorted, &Metric::AverageDegree));
+        let (_, bks_a) = time_best(&seq, |_| {
+            bks_scores_with(&ctx, &sorted, &Metric::AverageDegree)
+        });
         let (_, pbks_a) = time_best(&par, |e| pbks_scores(&ctx, &Metric::AverageDegree, e));
         let (_, bks_b) = time_best(&seq, |_| {
             bks_scores_with(&ctx, &sorted, &Metric::ClusteringCoefficient)
         });
-        let (_, pbks_b) =
-            time_best(&par, |e| pbks_scores(&ctx, &Metric::ClusteringCoefficient, e));
+        let (_, pbks_b) = time_best(&par, |e| {
+            pbks_scores(&ctx, &Metric::ClusteringCoefficient, e)
+        });
 
         println!(
             "{:<8} {:>7.2}x {:>7.2}x {:>7.2}x {:>7.2}x",

@@ -1,6 +1,8 @@
 //! Figure 4: PHCD's speedup over LCPS as threads grow.
 
-use hcd_bench::{banner, datasets, executor, ratio, scale, time_best, FIGURE_DATASETS, THREAD_SWEEP};
+use hcd_bench::{
+    banner, datasets, executor, ratio, scale, time_best, FIGURE_DATASETS, THREAD_SWEEP,
+};
 use hcd_core::{lcps, phcd};
 use hcd_decomp::core_decomposition;
 

@@ -1,7 +1,9 @@
 //! Figure 5: (PKC + PHCD)'s speedup over (PKC + LCPS), i.e. HCD
 //! construction including the cost of computing the core decomposition.
 
-use hcd_bench::{banner, datasets, executor, ratio, scale, time_best, FIGURE_DATASETS, THREAD_SWEEP};
+use hcd_bench::{
+    banner, datasets, executor, ratio, scale, time_best, FIGURE_DATASETS, THREAD_SWEEP,
+};
 use hcd_core::{lcps, phcd};
 use hcd_decomp::pkc_core_decomposition;
 

@@ -1,7 +1,9 @@
 //! Figure 8: PBKS's speedup over BKS for type-B score computation
 //! (triangle/triplet metrics).
 
-use hcd_bench::{banner, datasets, executor, ratio, scale, time_best, FIGURE_DATASETS, THREAD_SWEEP};
+use hcd_bench::{
+    banner, datasets, executor, ratio, scale, time_best, FIGURE_DATASETS, THREAD_SWEEP,
+};
 use hcd_core::phcd;
 use hcd_decomp::core_decomposition;
 use hcd_search::bks::{bks_scores_with, SortedAdjacency};

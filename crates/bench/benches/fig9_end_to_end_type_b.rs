@@ -1,7 +1,9 @@
 //! Figure 9: end-to-end type-B search — (PKC + PHCD + PBKS)'s speedup
 //! over (PKC + LCPS + BKS), inputs included.
 
-use hcd_bench::{banner, datasets, executor, ratio, scale, time_best, FIGURE_DATASETS, THREAD_SWEEP};
+use hcd_bench::{
+    banner, datasets, executor, ratio, scale, time_best, FIGURE_DATASETS, THREAD_SWEEP,
+};
 use hcd_core::{lcps, phcd};
 use hcd_decomp::pkc_core_decomposition;
 use hcd_search::bks::bks_scores;
@@ -31,8 +33,9 @@ fn main() {
             let exec = executor(p);
             let (cores_p, t_pkc) = time_best(&exec, |e| pkc_core_decomposition(&g, e));
             let (hcd_p, t_phcd) = time_best(&exec, |e| phcd(&g, &cores_p, e));
-            let (ctx_p, t_pre) =
-                time_best(&exec, |e| SearchContext::with_executor(&g, &cores_p, &hcd_p, e));
+            let (ctx_p, t_pre) = time_best(&exec, |e| {
+                SearchContext::with_executor(&g, &cores_p, &hcd_p, e)
+            });
             let (_, t_pbks) = time_best(&exec, |e| pbks_scores(&ctx_p, &metric, e));
             print!(" {:>8.2}", ratio(base, t_pkc + t_phcd + t_pre + t_pbks));
         }

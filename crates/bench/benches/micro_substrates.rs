@@ -74,9 +74,7 @@ fn bench_construction(c: &mut Criterion) {
     group.bench_function("phcd_serial", |b| {
         b.iter(|| black_box(phcd(&g, &cores, &exec)))
     });
-    group.bench_function("lcps", |b| {
-        b.iter(|| black_box(hcd_core::lcps(&g, &cores)))
-    });
+    group.bench_function("lcps", |b| b.iter(|| black_box(hcd_core::lcps(&g, &cores))));
     group.finish();
 }
 
@@ -105,7 +103,11 @@ fn bench_search_substrates(c: &mut Criterion) {
     });
     group.bench_function("tree_accumulation", |b| {
         b.iter(|| {
-            let mut vals: Vec<u64> = hcd.nodes().iter().map(|n| n.vertices.len() as u64).collect();
+            let mut vals: Vec<u64> = hcd
+                .nodes()
+                .iter()
+                .map(|n| n.vertices.len() as u64)
+                .collect();
             accumulate_bottom_up(&hcd, &mut vals, |a, x| *a += *x, &exec);
             black_box(vals)
         })

@@ -34,7 +34,10 @@ fn main() {
         let (pd, pd_t) = time_best(&par, |e| pbks_d(&ctx, e));
         let pd = pd.expect("non-empty graph");
         assert_eq!(od.score, pd.score, "Opt-D and PBKS-D must agree");
-        assert!(pd.score >= capp_davg - 1e-9, "PBKS-D must match/beat CoreApp");
+        assert!(
+            pd.score >= capp_davg - 1e-9,
+            "PBKS-D must match/beat CoreApp"
+        );
 
         let s_star = hcd.subtree_vertices(pd.node);
         let mc = max_clique(&g, &cores);

@@ -177,9 +177,6 @@ mod tests {
     #[test]
     fn ratio_guards_zero() {
         assert!(ratio(Duration::from_secs(1), Duration::ZERO).is_nan());
-        assert_eq!(
-            ratio(Duration::from_secs(2), Duration::from_secs(1)),
-            2.0
-        );
+        assert_eq!(ratio(Duration::from_secs(2), Duration::from_secs(1)), 2.0);
     }
 }

@@ -213,7 +213,10 @@ impl Hcd {
             if node.parent != NO_NODE {
                 let p = &self.nodes[node.parent as usize];
                 if p.k >= node.k {
-                    return Err(format!("parent of node {i} has level {} >= {}", p.k, node.k));
+                    return Err(format!(
+                        "parent of node {i} has level {} >= {}",
+                        p.k, node.k
+                    ));
                 }
                 if !p.children.contains(&(i as u32)) {
                     return Err(format!("node {i} missing from parent's children"));

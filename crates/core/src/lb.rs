@@ -48,10 +48,7 @@ mod tests {
             assert_eq!(uf.num_components(), count);
             for u in g.vertices() {
                 for v in g.vertices() {
-                    assert_eq!(
-                        uf.same_set(u, v),
-                        labels[u as usize] == labels[v as usize]
-                    );
+                    assert_eq!(uf.same_set(u, v), labels[u as usize] == labels[v as usize]);
                 }
             }
         }

@@ -141,16 +141,15 @@ pub fn lcps(g: &CsrGraph, cores: &CoreDecomposition) -> Hcd {
 /// parents bottom-up; its shallowest node parents onto the level-`p`
 /// node, which either survives on the stack or (when `p == c`) is opened
 /// here so it can adopt the chain.
-fn close_chain_onto_level(
-    stack: &mut Vec<(u32, u32)>,
-    nodes: &mut Vec<TreeNode>,
-    p: u32,
-    c: u32,
-) {
+fn close_chain_onto_level(stack: &mut Vec<(u32, u32)>, nodes: &mut Vec<TreeNode>, p: u32, c: u32) {
     // Ensure a node at level p exists below the chain being closed.
     let surviving_at_p = {
         // Find the first stack entry (from top) with k <= p.
-        stack.iter().rev().find(|&&(_, k)| k <= p).map(|&(id, k)| (id, k))
+        stack
+            .iter()
+            .rev()
+            .find(|&&(_, k)| k <= p)
+            .map(|&(id, k)| (id, k))
     };
     let adopt = match surviving_at_p {
         Some((id, k)) if k == p => id,

@@ -35,13 +35,13 @@ pub mod oracle;
 pub mod phcd;
 pub mod query;
 pub mod rank;
-pub mod stats;
 pub mod rc;
+pub mod stats;
 
 pub use index::{CanonicalHcd, Hcd, TreeNode, NO_NODE};
 pub use lcps::lcps;
 pub use oracle::naive_hcd;
-pub use phcd::phcd;
+pub use phcd::{phcd, try_phcd};
 pub use rank::VertexRanks;
 
 #[cfg(test)]

@@ -149,7 +149,10 @@ mod tests {
         let hcd = naive_hcd(&g, &cores);
         // 0-cores are maximal *connected* subgraphs: one node per vertex.
         assert_eq!(hcd.num_nodes(), 3);
-        assert!(hcd.nodes().iter().all(|n| n.k == 0 && n.vertices.len() == 1));
+        assert!(hcd
+            .nodes()
+            .iter()
+            .all(|n| n.k == 0 && n.vertices.len() == 1));
     }
 
     #[test]

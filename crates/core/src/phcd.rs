@@ -6,7 +6,7 @@ use parking_lot::Mutex;
 
 use hcd_decomp::CoreDecomposition;
 use hcd_graph::{CsrGraph, FxHashMap, VertexId};
-use hcd_par::Executor;
+use hcd_par::{Executor, ParError, CHECKPOINT_STRIDE};
 use hcd_unionfind::{ConcurrentPivotUnionFind, UnionFindPivot};
 
 use crate::index::{Hcd, TreeNode, NO_NODE};
@@ -37,8 +37,19 @@ use crate::rank::VertexRanks;
 /// Output is deterministic across modes: node ids are assigned per level
 /// in pivot-rank order and vertex lists are sorted at the end.
 pub fn phcd(g: &CsrGraph, cores: &CoreDecomposition, exec: &Executor) -> Hcd {
-    let ranks = VertexRanks::compute(cores, exec);
-    phcd_with_ranks(g, cores, &ranks, exec)
+    match try_phcd(g, cores, exec) {
+        Ok(hcd) => hcd,
+        Err(e) => e.raise(),
+    }
+}
+
+/// Fallible version of [`phcd`]: returns `Err` if any region panics, is
+/// cancelled, or exceeds the executor's deadline. On `Err` no partial
+/// index escapes and the executor stays usable (see `hcd_par` failure
+/// model).
+pub fn try_phcd(g: &CsrGraph, cores: &CoreDecomposition, exec: &Executor) -> Result<Hcd, ParError> {
+    let ranks = VertexRanks::try_compute(cores, exec)?;
+    try_phcd_with_ranks(g, cores, &ranks, exec)
 }
 
 /// PHCD with a precomputed rank order (lets benchmarks separate the
@@ -49,9 +60,22 @@ pub fn phcd_with_ranks(
     ranks: &VertexRanks,
     exec: &Executor,
 ) -> Hcd {
+    match try_phcd_with_ranks(g, cores, ranks, exec) {
+        Ok(hcd) => hcd,
+        Err(e) => e.raise(),
+    }
+}
+
+/// Fallible version of [`phcd_with_ranks`].
+pub fn try_phcd_with_ranks(
+    g: &CsrGraph,
+    cores: &CoreDecomposition,
+    ranks: &VertexRanks,
+    exec: &Executor,
+) -> Result<Hcd, ParError> {
     let n = g.num_vertices();
     if n == 0 {
-        return Hcd::from_parts(Vec::new(), Vec::new());
+        return Ok(Hcd::from_parts(Vec::new(), Vec::new()));
     }
     let kmax = cores.kmax();
 
@@ -97,7 +121,7 @@ pub fn phcd_with_ranks(
 
         // Step 1: pivots of adjacent k'-cores (k' > k) — future children.
         // All quantities are ranks.
-        let kpc_parts = exec.map_chunks_weighted(shell_weights, |_, range| {
+        let kpc_parts = exec.try_map_chunks_weighted(shell_weights, |_, range| {
             let mut local = Vec::new();
             for i in range {
                 let v = vsort[lo + i];
@@ -113,17 +137,19 @@ pub fn phcd_with_ranks(
                     }
                 }
             }
-            local
-        });
+            Ok(local)
+        })?;
         let kpc_pivot: Vec<u32> = kpc_parts.into_iter().flatten().collect();
 
         // Step 2: connect the shell to the existing graph. Equal-coreness
         // edges appear in both endpoints' lists; process them once (from
-        // the lower-rank side).
-        exec.for_each_chunk_weighted(
+        // the lower-rank side). This is the hot adjacency loop, so it
+        // polls the cancellation checkpoint at a coarse edge stride.
+        exec.try_for_each_chunk_weighted(
             shell_weights,
             || (),
             |_, _, range| {
+                let mut since = 0usize;
                 for i in range {
                     let rv = (lo + i) as u32;
                     let v = vsort[lo + i];
@@ -133,9 +159,15 @@ pub fn phcd_with_ranks(
                             uf.union(rv, ru);
                         }
                     }
+                    since += g.degree(v);
+                    if since >= CHECKPOINT_STRIDE {
+                        exec.checkpoint()?;
+                        since = 0;
+                    }
                 }
+                Ok(())
             },
-        );
+        )?;
 
         // Step 3a: resolve each shell vertex's pivot; claim new pivots.
         // The pivot of a fresh k-core is the min-rank member, always in
@@ -146,7 +178,7 @@ pub fn phcd_with_ranks(
             unsafe impl Send for SendPtr {}
             unsafe impl Sync for SendPtr {}
             let out = SendPtr(pivot_of.as_mut_ptr());
-            let new_parts = exec.map_chunks(shell_len, |_, range| {
+            let new_parts = exec.try_map_chunks(shell_len, |_, range| {
                 let _ = &out;
                 let mut fresh = Vec::new();
                 for i in range {
@@ -158,8 +190,8 @@ pub fn phcd_with_ranks(
                         fresh.push(pvt);
                     }
                 }
-                fresh
-            });
+                Ok(fresh)
+            })?;
             // Deterministic node ids: sort fresh pivots by rank (they are
             // ranks already).
             let mut fresh: Vec<u32> = new_parts.into_iter().flatten().collect();
@@ -177,7 +209,7 @@ pub fn phcd_with_ranks(
         // Step 3b: assign tids and fill vertex lists. Vertices are
         // grouped per chunk first so each node's mutex is taken once per
         // (chunk, node) instead of once per vertex.
-        exec.for_each_chunk(
+        exec.try_for_each_chunk(
             shell_len,
             FxHashMap::<u32, Vec<VertexId>>::default,
             |_, groups, range| {
@@ -193,11 +225,12 @@ pub fn phcd_with_ranks(
                 for (id, mut vs) in groups.drain() {
                     node_vertices[id as usize].lock().append(&mut vs);
                 }
+                Ok(())
             },
-        );
+        )?;
 
         // Step 4: parents of the k'-core nodes recorded in step 1.
-        exec.for_each_chunk(
+        exec.try_for_each_chunk(
             kpc_pivot.len(),
             || (),
             |_, _, range| {
@@ -211,8 +244,9 @@ pub fn phcd_with_ranks(
                     node_parent[ch as usize].store(pa, Ordering::Release);
                     node_children[pa as usize].lock().push(ch);
                 }
+                Ok(())
             },
-        );
+        )?;
     }
 
     // Finalize: sorted, deterministic index.
@@ -231,7 +265,7 @@ pub fn phcd_with_ranks(
         });
     }
     let tid: Vec<u32> = tid.into_iter().map(AtomicU32::into_inner).collect();
-    Hcd::from_parts(nodes, tid)
+    Ok(Hcd::from_parts(nodes, tid))
 }
 
 /// Placeholder id marking a pivot whose node id is being assigned.

@@ -2,7 +2,7 @@
 
 use hcd_decomp::CoreDecomposition;
 use hcd_graph::VertexId;
-use hcd_par::Executor;
+use hcd_par::{Executor, ParError};
 
 /// The vertex rank order (Definition 4) plus the shell index it induces.
 ///
@@ -24,19 +24,29 @@ impl VertexRanks {
     /// and the prefix walks workers in order within each `k`, the result
     /// is exactly the stable `(coreness, id)` order, in `O(n)` work.
     pub fn compute(cores: &CoreDecomposition, exec: &Executor) -> Self {
+        match Self::try_compute(cores, exec) {
+            Ok(ranks) => ranks,
+            Err(e) => e.raise(),
+        }
+    }
+
+    /// Fallible version of [`VertexRanks::compute`]: returns `Err` if a
+    /// region panics, is cancelled, or exceeds the executor's deadline
+    /// (see `hcd_par` failure model).
+    pub fn try_compute(cores: &CoreDecomposition, exec: &Executor) -> Result<Self, ParError> {
         let n = cores.len();
         let kmax = cores.kmax();
         let nk = kmax as usize + 1;
         let p = exec.num_workers();
 
         // Per-worker histogram of corenesses in its id range.
-        let hists: Vec<(usize, Vec<u32>)> = exec.map_chunks(n, |w, range| {
+        let hists: Vec<(usize, Vec<u32>)> = exec.try_map_chunks(n, |w, range| {
             let mut hist = vec![0u32; nk];
             for v in range {
                 hist[cores.coreness(v as VertexId) as usize] += 1;
             }
-            (w, hist)
-        });
+            Ok((w, hist))
+        })?;
         // Offsets per (k, worker): all of H_0 first, then H_1, ...
         let mut offsets = vec![0usize; nk * p];
         let mut shell_start = vec![0usize; nk + 1];
@@ -57,7 +67,7 @@ impl VertexRanks {
         let mut vsort = vec![0 as VertexId; n];
         {
             let vsort_ptr = SendPtr(vsort.as_mut_ptr());
-            exec.for_each_chunk(
+            exec.try_for_each_chunk(
                 n,
                 || offsets.clone(),
                 |w, cursors, range| {
@@ -73,15 +83,16 @@ impl VertexRanks {
                             *vsort_ptr.0.add(slot) = v as VertexId;
                         }
                     }
+                    Ok(())
                 },
-            );
+            )?;
         }
 
         // Invert to ranks.
         let mut rank = vec![0u32; n];
         {
             let rank_ptr = SendPtr(rank.as_mut_ptr());
-            exec.for_each_chunk(
+            exec.try_for_each_chunk(
                 n,
                 || (),
                 |_, _, range| {
@@ -93,16 +104,17 @@ impl VertexRanks {
                             *rank_ptr.0.add(vsort[i] as usize) = i as u32;
                         }
                     }
+                    Ok(())
                 },
-            );
+            )?;
         }
 
-        VertexRanks {
+        Ok(VertexRanks {
             vsort,
             rank,
             shell_start,
             kmax,
-        }
+        })
     }
 
     /// All vertices in vertex-rank order (`H_0 + H_1 + … + H_kmax`).

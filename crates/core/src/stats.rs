@@ -59,7 +59,12 @@ impl HcdStats {
             depth_histogram,
             max_branching: internal.iter().copied().max().unwrap_or(0),
             mean_branching,
-            largest_node: hcd.nodes().iter().map(|nd| nd.vertices.len()).max().unwrap_or(0),
+            largest_node: hcd
+                .nodes()
+                .iter()
+                .map(|nd| nd.vertices.len())
+                .max()
+                .unwrap_or(0),
         }
     }
 }

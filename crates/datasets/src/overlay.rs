@@ -20,7 +20,10 @@ pub fn clique_overlay(
     seed: u64,
 ) -> CsrGraph {
     let (lo, hi) = size_range;
-    assert!(2 <= lo && lo <= hi && hi <= n.max(2), "bad clique size range");
+    assert!(
+        2 <= lo && lo <= hi && hi <= n.max(2),
+        "bad clique size range"
+    );
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut builder = GraphBuilder::new().min_vertices(n);
     for _ in 0..num_cliques {

@@ -100,7 +100,8 @@ pub static DATASETS: [Dataset; 10] = [
     Dataset {
         abbrev: "HJ",
         paper_name: "Human-Jung",
-        description: "brain connectome (very dense, rich hierarchy) -> dense G(n,p) + clique overlay",
+        description:
+            "brain connectome (very dense, rich hierarchy) -> dense G(n,p) + clique overlay",
         generate: |s| {
             let n = s.pick(300, 1_500, 4_000);
             let avg = s.pick(25.0, 70.0, 130.0);

@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicU32, Ordering};
 
 use hcd_graph::{CsrGraph, VertexId};
-use hcd_par::Executor;
+use hcd_par::{Executor, ParError, CHECKPOINT_STRIDE};
 
 use crate::CoreDecomposition;
 
@@ -18,9 +18,23 @@ use crate::CoreDecomposition;
 /// from the per-level scans, mitigated — as in PKC — by compacting the
 /// scan list to the still-alive vertices after every level.
 pub fn pkc_core_decomposition(g: &CsrGraph, exec: &Executor) -> CoreDecomposition {
+    match try_pkc_core_decomposition(g, exec) {
+        Ok(cores) => cores,
+        Err(e) => e.raise(),
+    }
+}
+
+/// Fallible version of [`pkc_core_decomposition`]: returns `Err` if any
+/// region panics, is cancelled, or exceeds the executor's deadline. On
+/// `Err` all intermediate peeling state is discarded and the executor
+/// stays usable (see `hcd_par` failure model).
+pub fn try_pkc_core_decomposition(
+    g: &CsrGraph,
+    exec: &Executor,
+) -> Result<CoreDecomposition, ParError> {
     let n = g.num_vertices();
     if n == 0 {
-        return CoreDecomposition::from_coreness(Vec::new());
+        return Ok(CoreDecomposition::from_coreness(Vec::new()));
     }
 
     let deg: Vec<AtomicU32> = (0..n as VertexId)
@@ -35,7 +49,7 @@ pub fn pkc_core_decomposition(g: &CsrGraph, exec: &Executor) -> CoreDecompositio
     while processed < n {
         // Scan the alive list: vertices at the current level seed the
         // frontier; the rest survive into the next alive list.
-        let parts = exec.map_chunks(alive.len(), |_, range| {
+        let parts = exec.try_map_chunks(alive.len(), |_, range| {
             let mut frontier = Vec::new();
             let mut keep = Vec::new();
             for &v in &alive[range] {
@@ -45,8 +59,8 @@ pub fn pkc_core_decomposition(g: &CsrGraph, exec: &Executor) -> CoreDecompositio
                     keep.push(v);
                 }
             }
-            (frontier, keep)
-        });
+            Ok((frontier, keep))
+        })?;
         let mut frontier: Vec<VertexId> = Vec::new();
         let mut next_alive: Vec<VertexId> = Vec::with_capacity(alive.len());
         for (f, k) in parts {
@@ -67,9 +81,17 @@ pub fn pkc_core_decomposition(g: &CsrGraph, exec: &Executor) -> CoreDecompositio
                 }
                 p
             };
-            let waves = exec.map_chunks_weighted(&wave_prefix, |_, range| {
+            // The CAS decrement loop is the hot path, so it polls the
+            // cancellation checkpoint at a coarse edge stride.
+            let waves = exec.try_map_chunks_weighted(&wave_prefix, |_, range| {
                 let mut next = Vec::new();
+                let mut since = 0usize;
                 for &v in &frontier[range] {
+                    since += g.degree(v);
+                    if since >= CHECKPOINT_STRIDE {
+                        exec.checkpoint()?;
+                        since = 0;
+                    }
                     for &u in g.neighbors(v) {
                         // Decrement u unless it is already at (or below)
                         // the level; the decrement that lands exactly on
@@ -93,8 +115,8 @@ pub fn pkc_core_decomposition(g: &CsrGraph, exec: &Executor) -> CoreDecompositio
                         }
                     }
                 }
-                next
-            });
+                Ok(next)
+            })?;
             frontier = waves.into_iter().flatten().collect();
         }
         // Vertices claimed mid-level were removed from neither `alive`
@@ -107,7 +129,7 @@ pub fn pkc_core_decomposition(g: &CsrGraph, exec: &Executor) -> CoreDecompositio
     }
 
     let coreness: Vec<u32> = deg.into_iter().map(AtomicU32::into_inner).collect();
-    CoreDecomposition::from_coreness(coreness)
+    Ok(CoreDecomposition::from_coreness(coreness))
 }
 
 #[cfg(test)]

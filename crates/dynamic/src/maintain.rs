@@ -116,11 +116,7 @@ impl DynamicCore {
                 .count() as u32;
             cd.insert(w, count);
         }
-        let mut queue: Vec<VertexId> = subcore
-            .iter()
-            .copied()
-            .filter(|w| cd[w] <= c)
-            .collect();
+        let mut queue: Vec<VertexId> = subcore.iter().copied().filter(|w| cd[w] <= c).collect();
         let mut evicted: FxHashSet<VertexId> = FxHashSet::default();
         while let Some(w) = queue.pop() {
             if !evicted.insert(w) {

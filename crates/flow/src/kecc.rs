@@ -46,9 +46,8 @@ pub fn k_edge_connected_components(g: &CsrGraph, k: u32) -> Vec<Vec<VertexId>> {
                     in_side[v as usize] = true;
                 }
                 for keep in [true, false] {
-                    let (labels, count) = connected_components_filtered(sub.graph(), |v| {
-                        in_side[v as usize] == keep
-                    });
+                    let (labels, count) =
+                        connected_components_filtered(sub.graph(), |v| in_side[v as usize] == keep);
                     let mut pieces = vec![Vec::new(); count];
                     for v in sub.graph().vertices() {
                         let l = labels[v as usize];
@@ -198,8 +197,8 @@ mod tests {
             .edges([(5, 6)]) // pendant
             .build();
         let conn = ecc_connectivity(&g);
-        for v in 0..4 {
-            assert_eq!(conn[v], 3, "K4 member {v}");
+        for (v, &c) in conn.iter().enumerate().take(4) {
+            assert_eq!(c, 3, "K4 member {v}");
         }
         assert_eq!(conn[4], 2);
         assert_eq!(conn[5], 2);

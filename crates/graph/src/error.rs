@@ -64,7 +64,7 @@ mod tests {
     #[test]
     fn io_error_is_source() {
         use std::error::Error;
-        let e = GraphError::from(io::Error::new(io::ErrorKind::Other, "boom"));
+        let e = GraphError::from(io::Error::other("boom"));
         assert!(e.source().is_some());
     }
 }

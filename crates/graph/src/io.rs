@@ -18,6 +18,14 @@ use crate::error::GraphError;
 
 const BINARY_MAGIC: &[u8; 8] = b"HCDCSR01";
 
+/// Upper bound on the number of elements `read_binary` preallocates from
+/// header-declared sizes. A corrupt header can claim up to `u64::MAX`
+/// vertices or arcs; trusting it in `Vec::with_capacity` would abort the
+/// process on allocation failure before a single payload byte is read.
+/// Beyond this bound the vectors grow geometrically as real data arrives,
+/// so truncated or fabricated inputs fail with `Err` instead.
+const MAX_PREALLOC: usize = 1 << 20;
+
 /// Parses a text edge list from any reader.
 ///
 /// Lines starting with `#` or `%` and blank lines are skipped. Each data
@@ -77,7 +85,12 @@ pub fn read_edge_list_file<P: AsRef<Path>>(path: P) -> Result<CsrGraph, GraphErr
 /// Writes a graph as a text edge list (each undirected edge once).
 pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> Result<(), GraphError> {
     let mut w = BufWriter::new(writer);
-    writeln!(w, "# hcd edge list: n={} m={}", g.num_vertices(), g.num_edges())?;
+    writeln!(
+        w,
+        "# hcd edge list: n={} m={}",
+        g.num_vertices(),
+        g.num_edges()
+    )?;
     for (u, v) in g.edges() {
         writeln!(w, "{u} {v}")?;
     }
@@ -114,20 +127,59 @@ pub fn read_binary<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
     if &magic != BINARY_MAGIC {
         return Err(GraphError::Format("bad magic header".into()));
     }
-    let n = read_u64(&mut r)? as usize;
-    let arcs = read_u64(&mut r)? as usize;
-    let mut offsets = Vec::with_capacity(n + 1);
-    for _ in 0..=n {
-        offsets.push(read_u64(&mut r)? as usize);
+    let n_raw = read_u64(&mut r)?;
+    let arcs_raw = read_u64(&mut r)?;
+    // Header sanity before any allocation: vertex ids are u32, and both
+    // counts must be addressable on this platform (with room for n + 1
+    // offsets).
+    if n_raw > u32::MAX as u64 {
+        return Err(GraphError::Format(format!(
+            "header vertex count {n_raw} exceeds u32 id space"
+        )));
+    }
+    let n = usize::try_from(n_raw)
+        .ok()
+        .filter(|n| n.checked_add(1).is_some())
+        .ok_or_else(|| {
+            GraphError::Format(format!("header vertex count {n_raw} not addressable"))
+        })?;
+    let arcs = usize::try_from(arcs_raw)
+        .map_err(|_| GraphError::Format(format!("header arc count {arcs_raw} not addressable")))?;
+    // Never trust header-declared sizes for preallocation: a corrupt
+    // header asking for 2^60 entries must fail with Err, not abort on
+    // allocation. Past MAX_PREALLOC the Vec grows as data is actually
+    // read, so a short stream errors out long before memory does.
+    let mut offsets = Vec::with_capacity((n + 1).min(MAX_PREALLOC));
+    let mut prev = 0u64;
+    for i in 0..=n {
+        let off = read_u64(&mut r)?;
+        if off < prev {
+            return Err(GraphError::Format(format!(
+                "offset {off} at index {i} decreases (previous {prev})"
+            )));
+        }
+        if off > arcs_raw {
+            return Err(GraphError::Format(format!(
+                "offset {off} at index {i} exceeds arc count {arcs_raw}"
+            )));
+        }
+        prev = off;
+        offsets.push(off as usize);
     }
     if offsets.first() != Some(&0) || offsets.last() != Some(&arcs) {
         return Err(GraphError::Format("inconsistent offsets".into()));
     }
-    let mut neighbors = Vec::with_capacity(arcs);
+    let mut neighbors = Vec::with_capacity(arcs.min(MAX_PREALLOC));
     let mut buf = [0u8; 4];
     for _ in 0..arcs {
         r.read_exact(&mut buf)?;
-        neighbors.push(u32::from_le_bytes(buf));
+        let nb = u32::from_le_bytes(buf);
+        if nb as usize >= n {
+            return Err(GraphError::Format(format!(
+                "neighbor id {nb} out of range for {n} vertices"
+            )));
+        }
+        neighbors.push(nb);
     }
     let g = CsrGraph::from_csr(offsets, neighbors);
     g.check_invariants().map_err(GraphError::Format)?;
@@ -217,6 +269,100 @@ mod tests {
         write_binary(&g, &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
         assert!(read_binary(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn binary_rejects_giant_header_counts_without_allocating() {
+        // Claims u32::MAX vertices / near-u64::MAX arcs with no payload.
+        // Must return Err promptly instead of preallocating terabytes.
+        let mut buf = BINARY_MAGIC.to_vec();
+        buf.extend_from_slice(&(u32::MAX as u64).to_le_bytes());
+        buf.extend_from_slice(&(u64::MAX / 2).to_le_bytes());
+        assert!(read_binary(&buf[..]).is_err());
+
+        // Vertex count beyond the u32 id space is rejected by the header
+        // sanity check itself.
+        let mut buf = BINARY_MAGIC.to_vec();
+        buf.extend_from_slice(&u64::MAX.to_le_bytes());
+        buf.extend_from_slice(&0u64.to_le_bytes());
+        match read_binary(&buf[..]) {
+            Err(GraphError::Format(msg)) => assert!(msg.contains("u32 id space")),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_rejects_decreasing_and_overflowing_offsets() {
+        // n=2, arcs=2, offsets [0, 3, 2]: 3 > arcs and 2 < 3.
+        let mut buf = BINARY_MAGIC.to_vec();
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        for off in [0u64, 3, 2] {
+            buf.extend_from_slice(&off.to_le_bytes());
+        }
+        match read_binary(&buf[..]) {
+            Err(GraphError::Format(msg)) => assert!(msg.contains("exceeds arc count")),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_rejects_out_of_range_neighbor() {
+        // n=2, arcs=2, valid offsets, but a neighbor id of 7.
+        let mut buf = BINARY_MAGIC.to_vec();
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        buf.extend_from_slice(&2u64.to_le_bytes());
+        for off in [0u64, 1, 2] {
+            buf.extend_from_slice(&off.to_le_bytes());
+        }
+        buf.extend_from_slice(&7u32.to_le_bytes());
+        buf.extend_from_slice(&0u32.to_le_bytes());
+        match read_binary(&buf[..]) {
+            Err(GraphError::Format(msg)) => assert!(msg.contains("out of range")),
+            other => panic!("expected format error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_survives_random_corrupt_headers() {
+        // Fuzz-style: seeded SplitMix64 generates random headers (valid
+        // magic, adversarial counts) followed by random payload bytes.
+        // Every outcome must be a clean Err — no panic, no abort, no
+        // giant allocation. Valid graphs are astronomically unlikely from
+        // random bytes, and the assertions below would catch one anyway.
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state = state.wrapping_add(0x9e3779b97f4a7c15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+            z ^ (z >> 31)
+        };
+        for round in 0..200 {
+            let mut buf = BINARY_MAGIC.to_vec();
+            // Mix of plausible-small and absurd-large header counts.
+            let n = match round % 4 {
+                0 => next() % 16,
+                1 => next(),
+                2 => u32::MAX as u64 + next() % 1024,
+                _ => next() % (1 << 40),
+            };
+            let arcs = match round % 3 {
+                0 => next() % 32,
+                1 => next(),
+                _ => next() % (1 << 50),
+            };
+            buf.extend_from_slice(&n.to_le_bytes());
+            buf.extend_from_slice(&arcs.to_le_bytes());
+            let tail = (next() % 256) as usize;
+            for _ in 0..tail {
+                buf.push(next() as u8);
+            }
+            assert!(
+                read_binary(&buf[..]).is_err(),
+                "round {round}: corrupt header (n={n}, arcs={arcs}, tail={tail}) was accepted"
+            );
+        }
     }
 
     #[test]

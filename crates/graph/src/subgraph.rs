@@ -82,7 +82,9 @@ mod tests {
     use crate::GraphBuilder;
 
     fn path5() -> CsrGraph {
-        GraphBuilder::new().edges([(0, 1), (1, 2), (2, 3), (3, 4)]).build()
+        GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 3), (3, 4)])
+            .build()
     }
 
     #[test]

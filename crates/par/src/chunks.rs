@@ -141,7 +141,7 @@ mod tests {
         let light: u64 = ranges
             .iter()
             .filter(|r| !r.contains(&3))
-            .map(|r| chunk_w(r))
+            .map(&chunk_w)
             .sum();
         assert_eq!(light + chunk_w(heavy), 103);
     }

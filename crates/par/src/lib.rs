@@ -21,15 +21,49 @@
 //! All three modes use identical chunk boundaries, so an algorithm's
 //! behaviour (including any tie-breaking that depends on the work
 //! partition) is mode-independent.
+//!
+//! # Failure model
+//!
+//! Every region also exists in a fallible form (`try_for_each_chunk`,
+//! `try_map_chunks`, and weighted variants) whose chunk bodies return
+//! `Result<_, ParError>` and run under `catch_unwind`:
+//!
+//! * a **panic** in any chunk is caught at the chunk boundary and
+//!   surfaces as [`ParError::Panicked`] — the pool survives and the
+//!   executor stays usable;
+//! * a [`CancelToken`] or [`Deadline`] installed on the executor is
+//!   checked before every chunk (and inside long chunk bodies at coarse
+//!   strides via [`Executor::checkpoint`]), aborting the region with
+//!   [`ParError::Cancelled`] / [`ParError::DeadlineExceeded`];
+//! * a [`FaultPlan`] deterministically injects panics, delays, or
+//!   cancellations at chosen `(region, chunk)` sites, for testing that
+//!   algorithms either complete correctly or fail cleanly.
+//!
+//! The first failure wins; remaining chunks of the region are skipped as
+//! soon as they observe it (chunks already running finish normally —
+//! cancellation is cooperative). The original infallible APIs remain as
+//! thin wrappers that re-raise the failure as a panic.
 
 use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
 pub mod chunks;
+pub mod error;
+pub mod fault;
 
 pub use chunks::{split_even, split_weighted};
+pub use error::{BuildError, ParError};
+pub use fault::{CancelToken, Deadline, Fault, FaultPlan};
+
+/// Suggested number of innermost-loop iterations between
+/// [`Executor::checkpoint`] calls inside long chunk bodies. Coarse enough
+/// to be free, fine enough that cancellation/deadlines take effect within
+/// one stride.
+pub const CHECKPOINT_STRIDE: usize = 2048;
 
 /// Accumulated accounting of a simulated run.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -55,13 +89,33 @@ impl SimStats {
 
 enum Mode {
     Sequential,
-    Rayon { pool: rayon::ThreadPool, workers: usize },
-    Simulated { workers: usize, stats: Mutex<SimStats> },
+    Rayon {
+        pool: rayon::ThreadPool,
+        workers: usize,
+    },
+    Simulated {
+        workers: usize,
+        stats: Mutex<SimStats>,
+    },
+}
+
+/// Cancellation, deadline, and fault-injection state shared by all
+/// regions of an executor. Interior-mutable so a long-lived executor can
+/// be re-armed between runs.
+#[derive(Default)]
+struct Ctrl {
+    cancel: Mutex<Option<CancelToken>>,
+    deadline: Mutex<Option<Deadline>>,
+    plan: Mutex<Option<FaultPlan>>,
+    /// Regions executed since the fault plan was installed; numbers the
+    /// injection sites.
+    region: AtomicUsize,
 }
 
 /// A static-chunked parallel-for executor (see crate docs).
 pub struct Executor {
     mode: Mode,
+    ctrl: Ctrl,
 }
 
 impl Executor {
@@ -69,6 +123,7 @@ impl Executor {
     pub fn sequential() -> Self {
         Executor {
             mode: Mode::Sequential,
+            ctrl: Ctrl::default(),
         }
     }
 
@@ -76,31 +131,56 @@ impl Executor {
     ///
     /// # Panics
     ///
-    /// Panics if `workers == 0` or the rayon pool cannot be created.
+    /// Panics if `workers == 0` or the rayon pool cannot be created. Use
+    /// [`Executor::try_rayon`] for a fallible version.
     pub fn rayon(workers: usize) -> Self {
-        assert!(workers > 0, "worker count must be positive");
+        match Self::try_rayon(workers) {
+            Ok(exec) => exec,
+            Err(BuildError::ZeroWorkers) => panic!("worker count must be positive"),
+            Err(e @ BuildError::Pool(_)) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible version of [`Executor::rayon`].
+    pub fn try_rayon(workers: usize) -> Result<Self, BuildError> {
+        if workers == 0 {
+            return Err(BuildError::ZeroWorkers);
+        }
         let pool = rayon::ThreadPoolBuilder::new()
             .num_threads(workers)
             .build()
-            .expect("failed to build rayon pool");
-        Executor {
+            .map_err(|e| BuildError::Pool(e.to_string()))?;
+        Ok(Executor {
             mode: Mode::Rayon { pool, workers },
-        }
+            ctrl: Ctrl::default(),
+        })
     }
 
     /// Deterministic work-span simulation of `workers` threads.
     ///
     /// # Panics
     ///
-    /// Panics if `workers == 0`.
+    /// Panics if `workers == 0`. Use [`Executor::try_simulated`] for a
+    /// fallible version.
     pub fn simulated(workers: usize) -> Self {
-        assert!(workers > 0, "worker count must be positive");
-        Executor {
+        match Self::try_simulated(workers) {
+            Ok(exec) => exec,
+            Err(e) => panic!("worker count must be positive: {e}"),
+        }
+    }
+
+    /// Fallible version of [`Executor::simulated`].
+    pub fn try_simulated(workers: usize) -> Result<Self, BuildError> {
+        if workers == 0 {
+            return Err(BuildError::ZeroWorkers);
+        }
+        Ok(Executor {
             mode: Mode::Simulated {
                 workers,
                 stats: Mutex::new(SimStats::default()),
             },
-        }
+            ctrl: Ctrl::default(),
+        })
     }
 
     /// The number of logical workers `p`.
@@ -135,6 +215,87 @@ impl Executor {
         }
     }
 
+    // --- failure-model control plane ---------------------------------
+
+    /// Installs a cancellation token (builder form). Regions abort with
+    /// [`ParError::Cancelled`] once the token is cancelled.
+    pub fn with_cancel(self, token: CancelToken) -> Self {
+        self.set_cancel(token);
+        self
+    }
+
+    /// Installs a deadline (builder form). Regions abort with
+    /// [`ParError::DeadlineExceeded`] once it expires.
+    pub fn with_deadline(self, deadline: Deadline) -> Self {
+        self.set_deadline(deadline);
+        self
+    }
+
+    /// Installs a fault plan (builder form) and restarts region numbering
+    /// at zero.
+    pub fn with_fault_plan(self, plan: FaultPlan) -> Self {
+        self.set_fault_plan(plan);
+        self
+    }
+
+    /// Installs (or replaces) the cancellation token on a live executor.
+    pub fn set_cancel(&self, token: CancelToken) {
+        *self.ctrl.cancel.lock() = Some(token);
+    }
+
+    /// Removes the cancellation token.
+    pub fn clear_cancel(&self) {
+        *self.ctrl.cancel.lock() = None;
+    }
+
+    /// The currently installed cancellation token, if any.
+    pub fn cancel_token(&self) -> Option<CancelToken> {
+        self.ctrl.cancel.lock().clone()
+    }
+
+    /// Installs (or replaces) the deadline on a live executor.
+    pub fn set_deadline(&self, deadline: Deadline) {
+        *self.ctrl.deadline.lock() = Some(deadline);
+    }
+
+    /// Removes the deadline.
+    pub fn clear_deadline(&self) {
+        *self.ctrl.deadline.lock() = None;
+    }
+
+    /// Installs (or replaces) the fault plan and restarts region
+    /// numbering at zero, so plan sites address the next run.
+    pub fn set_fault_plan(&self, plan: FaultPlan) {
+        *self.ctrl.plan.lock() = Some(plan);
+        self.ctrl.region.store(0, Ordering::Relaxed);
+    }
+
+    /// Removes the fault plan (region numbering keeps advancing; install
+    /// a new plan to reset it).
+    pub fn clear_fault_plan(&self) {
+        *self.ctrl.plan.lock() = None;
+    }
+
+    /// Cooperative cancellation point for long chunk bodies: checks the
+    /// installed [`CancelToken`] and [`Deadline`]. Call every
+    /// [`CHECKPOINT_STRIDE`] innermost iterations and propagate the error
+    /// with `?`.
+    pub fn checkpoint(&self) -> Result<(), ParError> {
+        if let Some(token) = self.ctrl.cancel.lock().as_ref() {
+            if token.is_cancelled() {
+                return Err(ParError::Cancelled);
+            }
+        }
+        if let Some(deadline) = *self.ctrl.deadline.lock() {
+            if deadline.expired() {
+                return Err(ParError::DeadlineExceeded);
+            }
+        }
+        Ok(())
+    }
+
+    // --- parallel regions --------------------------------------------
+
     /// A parallel region over `0..n`, split into `p` even chunks, with a
     /// per-chunk scratch value.
     ///
@@ -147,8 +308,31 @@ impl Executor {
         MkS: Fn() -> S + Sync,
         F: Fn(usize, &mut S, Range<usize>) + Sync,
     {
+        if let Err(e) = self.try_for_each_chunk(n, make_scratch, |w, s, r| {
+            body(w, s, r);
+            Ok(())
+        }) {
+            e.raise();
+        }
+    }
+
+    /// Fallible version of [`Executor::for_each_chunk`]: the body returns
+    /// `Result<(), ParError>`, panics are contained at chunk boundaries,
+    /// and the first failure aborts the region (see crate docs, failure
+    /// model).
+    pub fn try_for_each_chunk<S, MkS, F>(
+        &self,
+        n: usize,
+        make_scratch: MkS,
+        body: F,
+    ) -> Result<(), ParError>
+    where
+        S: Send,
+        MkS: Fn() -> S + Sync,
+        F: Fn(usize, &mut S, Range<usize>) -> Result<(), ParError> + Sync,
+    {
         let ranges = split_even(n, self.num_workers());
-        self.run_ranges(ranges, make_scratch, body);
+        self.try_run_ranges(ranges, make_scratch, body)
     }
 
     /// Like [`Executor::for_each_chunk`], but chunk boundaries balance
@@ -167,24 +351,117 @@ impl Executor {
         MkS: Fn() -> S + Sync,
         F: Fn(usize, &mut S, Range<usize>) + Sync,
     {
-        let ranges = chunks::split_weighted(weight_prefix, self.num_workers());
-        self.run_ranges(ranges, make_scratch, body);
+        if let Err(e) = self.try_for_each_chunk_weighted(weight_prefix, make_scratch, |w, s, r| {
+            body(w, s, r);
+            Ok(())
+        }) {
+            e.raise();
+        }
     }
 
-    fn run_ranges<S, MkS, F>(&self, ranges: Vec<Range<usize>>, make_scratch: MkS, body: F)
+    /// Fallible version of [`Executor::for_each_chunk_weighted`].
+    pub fn try_for_each_chunk_weighted<S, MkS, F>(
+        &self,
+        weight_prefix: &[u64],
+        make_scratch: MkS,
+        body: F,
+    ) -> Result<(), ParError>
     where
         S: Send,
         MkS: Fn() -> S + Sync,
-        F: Fn(usize, &mut S, Range<usize>) + Sync,
+        F: Fn(usize, &mut S, Range<usize>) -> Result<(), ParError> + Sync,
     {
+        let ranges = chunks::split_weighted(weight_prefix, self.num_workers());
+        self.try_run_ranges(ranges, make_scratch, body)
+    }
+
+    /// Runs one region: checks cancellation/deadline before each chunk,
+    /// applies any injected faults, contains panics, and records the
+    /// first failure. Chunks observe a failure flag and skip once it is
+    /// set; in rayon mode, chunks already running complete normally.
+    fn try_run_ranges<S, MkS, F>(
+        &self,
+        ranges: Vec<Range<usize>>,
+        make_scratch: MkS,
+        body: F,
+    ) -> Result<(), ParError>
+    where
+        S: Send,
+        MkS: Fn() -> S + Sync,
+        F: Fn(usize, &mut S, Range<usize>) -> Result<(), ParError> + Sync,
+    {
+        let region = self.ctrl.region.fetch_add(1, Ordering::Relaxed);
+        // Snapshot the control plane once per region so chunk execution
+        // never takes the ctrl locks.
+        let cancel = self.ctrl.cancel.lock().clone();
+        let deadline = *self.ctrl.deadline.lock();
+        let plan = self.ctrl.plan.lock().clone();
+
+        let first_err: Mutex<Option<ParError>> = Mutex::new(None);
+        let tripped = AtomicBool::new(false);
+        let record = |e: ParError| {
+            let mut slot = first_err.lock();
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+            tripped.store(true, Ordering::Release);
+        };
+
+        let run_chunk = |w: usize, range: Range<usize>| {
+            if tripped.load(Ordering::Acquire) {
+                return;
+            }
+            if let Some(token) = &cancel {
+                if token.is_cancelled() {
+                    record(ParError::Cancelled);
+                    return;
+                }
+            }
+            if let Some(d) = &deadline {
+                if d.expired() {
+                    record(ParError::DeadlineExceeded);
+                    return;
+                }
+            }
+            let injected = plan.as_ref().and_then(|p| p.get(region, w));
+            match injected {
+                Some(Fault::Delay(micros)) => std::thread::sleep(Duration::from_micros(micros)),
+                Some(Fault::Cancel) => {
+                    // As if an external caller cancelled mid-region: trip
+                    // the shared token (so sibling regions see it too) and
+                    // abort this one.
+                    if let Some(token) = &cancel {
+                        token.cancel();
+                    }
+                    record(ParError::Cancelled);
+                    return;
+                }
+                _ => {}
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| {
+                if injected == Some(Fault::Panic) {
+                    panic!("injected fault: panic at region {region} chunk {w}");
+                }
+                let mut s = make_scratch();
+                body(w, &mut s, range)
+            }));
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(e)) => record(e),
+                Err(payload) => record(ParError::Panicked {
+                    worker: w,
+                    payload: error::payload_to_string(&*payload),
+                }),
+            }
+        };
+
         match &self.mode {
             Mode::Sequential => {
                 for (w, range) in ranges.into_iter().enumerate() {
                     if range.is_empty() {
                         continue;
                     }
-                    let mut s = make_scratch();
-                    body(w, &mut s, range);
+                    run_chunk(w, range);
                 }
             }
             Mode::Rayon { pool, .. } => {
@@ -193,12 +470,8 @@ impl Executor {
                         if range.is_empty() {
                             continue;
                         }
-                        let body = &body;
-                        let make_scratch = &make_scratch;
-                        scope.spawn(move |_| {
-                            let mut s = make_scratch();
-                            body(w, &mut s, range);
-                        });
+                        let run_chunk = &run_chunk;
+                        scope.spawn(move |_| run_chunk(w, range));
                     }
                 });
             }
@@ -210,8 +483,7 @@ impl Executor {
                         continue;
                     }
                     let t0 = Instant::now();
-                    let mut s = make_scratch();
-                    body(w, &mut s, range);
+                    run_chunk(w, range);
                     let dt = t0.elapsed();
                     max = max.max(dt);
                     sum += dt;
@@ -221,6 +493,11 @@ impl Executor {
                 st.measured += sum;
                 st.regions += 1;
             }
+        }
+
+        match first_err.into_inner() {
+            Some(e) => Err(e),
+            None => Ok(()),
         }
     }
 
@@ -240,6 +517,23 @@ impl Executor {
         );
     }
 
+    /// Fallible version of [`Executor::for_each_index`].
+    pub fn try_for_each_index<F>(&self, n: usize, body: F) -> Result<(), ParError>
+    where
+        F: Fn(usize) -> Result<(), ParError> + Sync,
+    {
+        self.try_for_each_chunk(
+            n,
+            || (),
+            |_, _, range| {
+                for i in range {
+                    body(i)?;
+                }
+                Ok(())
+            },
+        )
+    }
+
     /// A parallel region producing one value per chunk, returned in chunk
     /// order (empty chunks yield no value, so the result has at most `p`
     /// elements).
@@ -248,16 +542,30 @@ impl Executor {
         T: Send,
         F: Fn(usize, Range<usize>) -> T + Sync,
     {
+        match self.try_map_chunks(n, |w, range| Ok(body(w, range))) {
+            Ok(v) => v,
+            Err(e) => e.raise(),
+        }
+    }
+
+    /// Fallible version of [`Executor::map_chunks`]. On failure the
+    /// already-computed chunk values are dropped.
+    pub fn try_map_chunks<T, F>(&self, n: usize, body: F) -> Result<Vec<T>, ParError>
+    where
+        T: Send,
+        F: Fn(usize, Range<usize>) -> Result<T, ParError> + Sync,
+    {
         let p = self.num_workers();
         let slots: Vec<Mutex<Option<T>>> = (0..p).map(|_| Mutex::new(None)).collect();
-        self.for_each_chunk(
+        self.try_for_each_chunk(
             n,
             || (),
             |w, _, range| {
-                *slots[w].lock() = Some(body(w, range));
+                *slots[w].lock() = Some(body(w, range)?);
+                Ok(())
             },
-        );
-        slots.into_iter().filter_map(|s| s.into_inner()).collect()
+        )?;
+        Ok(slots.into_iter().filter_map(|s| s.into_inner()).collect())
     }
 
     /// Weighted analogue of [`Executor::map_chunks`]; see
@@ -267,22 +575,44 @@ impl Executor {
         T: Send,
         F: Fn(usize, Range<usize>) -> T + Sync,
     {
+        match self.try_map_chunks_weighted(weight_prefix, |w, range| Ok(body(w, range))) {
+            Ok(v) => v,
+            Err(e) => e.raise(),
+        }
+    }
+
+    /// Fallible version of [`Executor::map_chunks_weighted`].
+    pub fn try_map_chunks_weighted<T, F>(
+        &self,
+        weight_prefix: &[u64],
+        body: F,
+    ) -> Result<Vec<T>, ParError>
+    where
+        T: Send,
+        F: Fn(usize, Range<usize>) -> Result<T, ParError> + Sync,
+    {
         let p = self.num_workers();
         let slots: Vec<Mutex<Option<T>>> = (0..p).map(|_| Mutex::new(None)).collect();
-        self.for_each_chunk_weighted(
+        self.try_for_each_chunk_weighted(
             weight_prefix,
             || (),
             |w, _, range| {
-                *slots[w].lock() = Some(body(w, range));
+                *slots[w].lock() = Some(body(w, range)?);
+                Ok(())
             },
-        );
-        slots.into_iter().filter_map(|s| s.into_inner()).collect()
+        )?;
+        Ok(slots.into_iter().filter_map(|s| s.into_inner()).collect())
     }
 }
 
 impl std::fmt::Debug for Executor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "Executor({}, p={})", self.mode_name(), self.num_workers())
+        write!(
+            f,
+            "Executor({}, p={})",
+            self.mode_name(),
+            self.num_workers()
+        )
     }
 }
 
@@ -425,69 +755,227 @@ mod tests {
 }
 
 #[cfg(test)]
-mod weighted_tests {
+mod fault_tests {
     use super::*;
     use std::sync::atomic::{AtomicUsize, Ordering};
 
-    fn prefix(weights: &[u64]) -> Vec<u64> {
-        let mut p = vec![0u64];
-        for &w in weights {
-            p.push(p.last().unwrap() + w);
-        }
-        p
-    }
-
-    #[test]
-    fn weighted_visits_every_index_once() {
-        let weights: Vec<u64> = (0..500).map(|i| (i % 17) + 1).collect();
-        let pre = prefix(&weights);
-        for exec in [
+    fn executors() -> Vec<Executor> {
+        vec![
             Executor::sequential(),
             Executor::rayon(4),
-            Executor::simulated(6),
-        ] {
+            Executor::simulated(4),
+        ]
+    }
+
+    #[test]
+    fn try_constructors() {
+        assert!(matches!(
+            Executor::try_rayon(0),
+            Err(BuildError::ZeroWorkers)
+        ));
+        assert!(matches!(
+            Executor::try_simulated(0),
+            Err(BuildError::ZeroWorkers)
+        ));
+        assert_eq!(Executor::try_rayon(2).unwrap().num_workers(), 2);
+        assert_eq!(Executor::try_simulated(3).unwrap().num_workers(), 3);
+    }
+
+    #[test]
+    fn panic_in_chunk_is_contained_in_all_modes() {
+        for exec in executors() {
+            let err = exec
+                .try_for_each_chunk(
+                    100,
+                    || (),
+                    |w, _, _range| {
+                        if w == 0 {
+                            panic!("chunk exploded");
+                        }
+                        Ok(())
+                    },
+                )
+                .unwrap_err();
+            match err {
+                ParError::Panicked { worker, payload } => {
+                    assert_eq!(worker, 0, "{}", exec.mode_name());
+                    assert!(payload.contains("chunk exploded"));
+                }
+                other => panic!("expected Panicked, got {other:?}"),
+            }
+            // The executor survives and runs a clean region afterwards.
             let acc = AtomicUsize::new(0);
-            exec.for_each_chunk_weighted(
-                &pre,
-                || (),
-                |_, _, range| {
-                    for i in range {
-                        acc.fetch_add(i, Ordering::Relaxed);
-                    }
-                },
-            );
-            assert_eq!(acc.into_inner(), 500 * 499 / 2, "{}", exec.mode_name());
+            exec.try_for_each_index(50, |_| {
+                acc.fetch_add(1, Ordering::Relaxed);
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(acc.into_inner(), 50, "{}", exec.mode_name());
         }
     }
 
     #[test]
-    fn weighted_map_chunks_covers_range() {
-        let weights = vec![1u64; 100];
-        let pre = prefix(&weights);
-        let exec = Executor::rayon(7);
-        let lens = exec.map_chunks_weighted(&pre, |_, r| r.len());
-        assert_eq!(lens.iter().sum::<usize>(), 100);
+    fn body_error_aborts_region_with_first_error() {
+        for exec in executors() {
+            let last = exec.num_workers() - 1;
+            let err = exec
+                .try_for_each_chunk(
+                    100,
+                    || (),
+                    |w, _, _range| {
+                        if w == last {
+                            return Err(ParError::Cancelled);
+                        }
+                        Ok(())
+                    },
+                )
+                .unwrap_err();
+            assert_eq!(err, ParError::Cancelled, "{}", exec.mode_name());
+        }
     }
 
     #[test]
-    fn weighted_windowed_prefix_is_supported() {
-        // Use a window of a larger prefix (non-zero base), as PHCD does
-        // for shells.
-        let weights: Vec<u64> = (0..50).map(|i| i + 1).collect();
-        let pre = prefix(&weights);
-        let window = &pre[10..=40]; // items 10..40
-        let exec = Executor::simulated(4);
-        let acc = AtomicUsize::new(0);
-        exec.for_each_chunk_weighted(
-            window,
-            || (),
-            |_, _, range| {
-                for i in range {
-                    acc.fetch_add(i, Ordering::Relaxed);
+    fn cancel_token_aborts_before_chunks() {
+        for exec in executors() {
+            let token = CancelToken::new();
+            exec.set_cancel(token.clone());
+            token.cancel();
+            let ran = AtomicUsize::new(0);
+            let err = exec
+                .try_for_each_index(1000, |_| {
+                    ran.fetch_add(1, Ordering::Relaxed);
+                    Ok(())
+                })
+                .unwrap_err();
+            assert_eq!(err, ParError::Cancelled, "{}", exec.mode_name());
+            assert_eq!(ran.into_inner(), 0, "{}", exec.mode_name());
+            // Clearing the token restores normal operation.
+            exec.clear_cancel();
+            exec.try_for_each_index(10, |_| Ok(())).unwrap();
+        }
+    }
+
+    #[test]
+    fn expired_deadline_aborts_region() {
+        for exec in executors() {
+            exec.set_deadline(Deadline::from_now(Duration::ZERO));
+            let err = exec.try_for_each_index(1000, |_| Ok(())).unwrap_err();
+            assert_eq!(err, ParError::DeadlineExceeded, "{}", exec.mode_name());
+            exec.clear_deadline();
+            exec.try_for_each_index(10, |_| Ok(())).unwrap();
+        }
+    }
+
+    #[test]
+    fn checkpoint_observes_cancel_and_deadline() {
+        let exec = Executor::sequential();
+        assert_eq!(exec.checkpoint(), Ok(()));
+        let token = CancelToken::new();
+        exec.set_cancel(token.clone());
+        assert_eq!(exec.checkpoint(), Ok(()));
+        token.cancel();
+        assert_eq!(exec.checkpoint(), Err(ParError::Cancelled));
+        exec.clear_cancel();
+        exec.set_deadline(Deadline::from_now(Duration::ZERO));
+        assert_eq!(exec.checkpoint(), Err(ParError::DeadlineExceeded));
+        exec.clear_deadline();
+        assert_eq!(exec.checkpoint(), Ok(()));
+    }
+
+    #[test]
+    fn injected_panic_fires_at_planned_site_only() {
+        for exec in executors() {
+            exec.set_fault_plan(FaultPlan::new().inject(1, 0, Fault::Panic));
+            // Region 0: clean.
+            exec.try_for_each_index(10, |_| Ok(())).unwrap();
+            // Region 1, chunk 0: injected panic.
+            let err = exec.try_for_each_index(10, |_| Ok(())).unwrap_err();
+            match err {
+                ParError::Panicked { worker, payload } => {
+                    assert_eq!(worker, 0, "{}", exec.mode_name());
+                    assert!(payload.contains("injected fault"), "{payload}");
                 }
-            },
-        );
-        // Local indices 0..30 visited exactly once.
-        assert_eq!(acc.into_inner(), 30 * 29 / 2);
+                other => panic!("expected Panicked, got {other:?}"),
+            }
+            // Region 2: the plan has no site here; clean again.
+            exec.try_for_each_index(10, |_| Ok(())).unwrap();
+            exec.clear_fault_plan();
+        }
+    }
+
+    #[test]
+    fn injected_cancel_trips_the_shared_token() {
+        let exec = Executor::rayon(4);
+        let token = CancelToken::new();
+        exec.set_cancel(token.clone());
+        exec.set_fault_plan(FaultPlan::new().inject(0, 0, Fault::Cancel));
+        let err = exec.try_for_each_index(100, |_| Ok(())).unwrap_err();
+        assert_eq!(err, ParError::Cancelled);
+        assert!(token.is_cancelled());
+    }
+
+    #[test]
+    fn injected_delay_does_not_fail_the_region() {
+        let exec = Executor::simulated(4);
+        exec.set_fault_plan(FaultPlan::new().inject(0, 2, Fault::Delay(100)));
+        let acc = AtomicUsize::new(0);
+        exec.try_for_each_index(100, |_| {
+            acc.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(acc.into_inner(), 100);
+        // The straggler chunk was charged to the simulated critical path.
+        assert!(exec.take_sim_stats().charged >= Duration::from_micros(100));
+    }
+
+    #[test]
+    fn installing_a_plan_resets_region_numbering() {
+        let exec = Executor::sequential();
+        exec.try_for_each_index(5, |_| Ok(())).unwrap();
+        exec.try_for_each_index(5, |_| Ok(())).unwrap();
+        // Region counter is at 2, but a fresh plan re-zeroes it, so a
+        // region-0 site still fires.
+        exec.set_fault_plan(FaultPlan::new().inject(0, 0, Fault::Panic));
+        assert!(exec.try_for_each_index(5, |_| Ok(())).is_err());
+    }
+
+    #[test]
+    fn try_map_chunks_propagates_failure() {
+        for exec in executors() {
+            let last = exec.num_workers() - 1;
+            let err = exec
+                .try_map_chunks(100, |w, range| {
+                    if w == last {
+                        panic!("mapper died");
+                    }
+                    Ok(range.len())
+                })
+                .unwrap_err();
+            assert!(matches!(err, ParError::Panicked { worker, .. } if worker == last));
+            // Clean run afterwards returns complete results.
+            let lens = exec
+                .try_map_chunks(100, |_, range| Ok(range.len()))
+                .unwrap();
+            assert_eq!(lens.iter().sum::<usize>(), 100);
+        }
+    }
+
+    #[test]
+    fn infallible_wrapper_re_raises_contained_panic() {
+        let exec = Executor::rayon(2);
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            exec.for_each_index(10, |i| {
+                if i == 3 {
+                    panic!("original message");
+                }
+            });
+        }));
+        let payload = caught.unwrap_err();
+        let text = error::payload_to_string(&*payload);
+        assert!(text.contains("original message"), "{text}");
+        // Executor is still usable after the re-raise.
+        let sums = exec.map_chunks(10, |_, r| r.len());
+        assert_eq!(sums.iter().sum::<usize>(), 10);
     }
 }

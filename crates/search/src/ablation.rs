@@ -93,7 +93,11 @@ mod tests {
         let (g, cores, hcd) = search_fixture();
         let ctx = SearchContext::new(&g, &cores, &hcd);
         let exec = Executor::rayon(2);
-        for metric in [Metric::AverageDegree, Metric::Conductance, Metric::Modularity] {
+        for metric in [
+            Metric::AverageDegree,
+            Metric::Conductance,
+            Metric::Modularity,
+        ] {
             let inline = type_a_scores_inline(&g, &cores, &hcd, &metric, &exec);
             let (pre, _) = pbks_scores(&ctx, &metric, &exec);
             assert_eq!(inline, pre, "{}", metric.name());

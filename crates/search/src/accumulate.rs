@@ -2,7 +2,7 @@
 //! cf. Sevilgen et al. \[36\]).
 
 use hcd_core::Hcd;
-use hcd_par::Executor;
+use hcd_par::{Executor, ParError};
 
 /// Accumulates per-node values bottom-up over the HCD forest in place:
 /// after the call, `values[i]` holds the merge of node `i`'s own value
@@ -17,9 +17,32 @@ where
     T: Send + Sync,
     F: Fn(&mut T, &T) + Sync,
 {
+    if let Err(e) = try_accumulate_bottom_up(hcd, values, merge, exec) {
+        e.raise();
+    }
+}
+
+/// Fallible version of [`accumulate_bottom_up`]. On `Err`, `values` may
+/// hold a partially accumulated state and should be discarded (the
+/// executor itself stays usable).
+///
+/// # Panics
+///
+/// Panics if `values.len() != hcd.num_nodes()` (a contract violation, not
+/// a runtime failure).
+pub fn try_accumulate_bottom_up<T, F>(
+    hcd: &Hcd,
+    values: &mut [T],
+    merge: F,
+    exec: &Executor,
+) -> Result<(), ParError>
+where
+    T: Send + Sync,
+    F: Fn(&mut T, &T) + Sync,
+{
     assert_eq!(values.len(), hcd.num_nodes());
     if values.is_empty() {
-        return;
+        return Ok(());
     }
     // Bucket node ids by level, processed from deepest level upward.
     let kmax = hcd.nodes().iter().map(|n| n.k).max().unwrap_or(0);
@@ -34,7 +57,7 @@ where
     let base = SendPtr(values.as_mut_ptr());
 
     for level in levels.iter().rev() {
-        exec.for_each_chunk(
+        exec.try_for_each_chunk(
             level.len(),
             || (),
             |_, _, range| {
@@ -50,9 +73,11 @@ where
                         merge(dst, src);
                     }
                 }
+                Ok(())
             },
-        );
+        )?;
     }
+    Ok(())
 }
 
 #[cfg(test)]
@@ -77,8 +102,7 @@ mod tests {
             Executor::rayon(4),
             Executor::simulated(2),
         ] {
-            let mut counts: Vec<usize> =
-                hcd.nodes().iter().map(|n| n.vertices.len()).collect();
+            let mut counts: Vec<usize> = hcd.nodes().iter().map(|n| n.vertices.len()).collect();
             accumulate_bottom_up(&hcd, &mut counts, |a, b| *a += *b, &exec);
             for i in 0..hcd.num_nodes() as u32 {
                 assert_eq!(

@@ -107,10 +107,8 @@ pub fn core_set_scores(
                     for k in (0..cv).rev() {
                         let cnt = scratch.counts[k] as u64;
                         if cnt > 0 {
-                            tp_acc[k].fetch_add(
-                                cnt * (cnt - 1) / 2 + gt_k * cnt,
-                                Ordering::Relaxed,
-                            );
+                            tp_acc[k]
+                                .fetch_add(cnt * (cnt - 1) / 2 + gt_k * cnt, Ordering::Relaxed);
                             gt_k += cnt;
                             scratch.counts[k] = 0;
                         }

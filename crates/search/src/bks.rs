@@ -148,10 +148,7 @@ pub fn bks_scores_with(
         for v in ctx.ranks.shell(k).iter().copied() {
             let i = hcd.tid(v) as usize;
             let adj = sorted.neighbors(v);
-            let gt = adj
-                .iter()
-                .take_while(|&&u| cores.coreness(u) > k)
-                .count() as u64;
+            let gt = adj.iter().take_while(|&&u| cores.coreness(u) > k).count() as u64;
             let eq = adj[gt as usize..]
                 .iter()
                 .take_while(|&&u| cores.coreness(u) == k)
@@ -176,8 +173,7 @@ pub fn bks_scores_with(
                         cnt += 1;
                         pos += 1;
                     }
-                    contribs[hcd.tid(w) as usize].triplets +=
-                        cnt * (cnt - 1) / 2 + gt_k * cnt;
+                    contribs[hcd.tid(w) as usize].triplets += cnt * (cnt - 1) / 2 + gt_k * cnt;
                     gt_k += cnt;
                 }
             }
@@ -196,10 +192,7 @@ pub fn bks_scores_with(
         }
     }
 
-    let primaries: Vec<PrimaryValues> = contribs
-        .into_iter()
-        .map(|c| c.into_primary())
-        .collect();
+    let primaries: Vec<PrimaryValues> = contribs.into_iter().map(|c| c.into_primary()).collect();
     let totals = ctx.totals();
     let scores = primaries.iter().map(|p| metric.score(p, &totals)).collect();
     (scores, primaries)
@@ -208,9 +201,8 @@ pub fn bks_scores_with(
 /// BKS: the serial search for the best k-core under `metric`.
 pub fn bks(ctx: &SearchContext<'_>, metric: &Metric) -> Option<BestCore> {
     let (scores, primaries) = bks_scores(ctx, metric);
-    let best = (0..scores.len()).max_by(|&a, &b| {
-        scores[a].partial_cmp(&scores[b]).unwrap().then(b.cmp(&a))
-    })?;
+    let best = (0..scores.len())
+        .max_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap().then(b.cmp(&a)))?;
     Some(BestCore {
         node: best as u32,
         k: ctx.hcd.node(best as u32).k,

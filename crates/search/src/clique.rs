@@ -118,14 +118,14 @@ mod tests {
         assert!(n <= 16);
         let mut best = 0usize;
         for mask in 0u32..(1 << n) {
-            let members: Vec<VertexId> =
-                (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
+            let members: Vec<VertexId> = (0..n as u32).filter(|&v| mask & (1 << v) != 0).collect();
             if members.len() <= best {
                 continue;
             }
-            let is_clique = members.iter().enumerate().all(|(i, &a)| {
-                members[i + 1..].iter().all(|&b| g.has_edge(a, b))
-            });
+            let is_clique = members
+                .iter()
+                .enumerate()
+                .all(|(i, &a)| members[i + 1..].iter().all(|&b| g.has_edge(a, b)));
             if is_clique {
                 best = members.len();
             }

@@ -33,10 +33,11 @@ pub mod metrics;
 pub mod pbks;
 pub mod preprocess;
 
+pub use accumulate::{accumulate_bottom_up, try_accumulate_bottom_up};
 pub use bks::bks;
 pub use clique::max_clique;
 pub use metrics::{Metric, MetricKind, PrimaryValues};
-pub use pbks::{pbks, BestCore};
+pub use pbks::{pbks, pbks_scores, try_pbks, try_pbks_scores, BestCore};
 pub use preprocess::SearchContext;
 
 #[cfg(test)]

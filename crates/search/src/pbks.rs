@@ -3,9 +3,9 @@
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 use hcd_graph::VertexId;
-use hcd_par::Executor;
+use hcd_par::{Executor, ParError, CHECKPOINT_STRIDE};
 
-use crate::accumulate::accumulate_bottom_up;
+use crate::accumulate::try_accumulate_bottom_up;
 use crate::metrics::{Metric, MetricKind, PrimaryValues};
 use crate::preprocess::SearchContext;
 
@@ -47,7 +47,10 @@ impl Contrib {
 
     pub(crate) fn into_primary(self) -> PrimaryValues {
         debug_assert!(self.b >= 0, "accumulated boundary count negative");
-        debug_assert!(self.m2.is_multiple_of(2), "accumulated doubled edge count odd");
+        debug_assert!(
+            self.m2.is_multiple_of(2),
+            "accumulated doubled edge count odd"
+        );
         PrimaryValues {
             n: self.n,
             m2: self.m2,
@@ -62,13 +65,16 @@ impl Contrib {
 /// 2–9): each vertex, processed independently, adds one vertex, its
 /// greater/half-of-equal coreness edges, and its signed boundary delta to
 /// its own tree node.
-pub(crate) fn type_a_contributions(ctx: &SearchContext<'_>, exec: &Executor) -> Vec<Contrib> {
+pub(crate) fn try_type_a_contributions(
+    ctx: &SearchContext<'_>,
+    exec: &Executor,
+) -> Result<Vec<Contrib>, ParError> {
     let num_nodes = ctx.hcd.num_nodes();
     let n_acc: Vec<AtomicU64> = (0..num_nodes).map(|_| AtomicU64::new(0)).collect();
     let m2_acc: Vec<AtomicU64> = (0..num_nodes).map(|_| AtomicU64::new(0)).collect();
     let b_acc: Vec<AtomicI64> = (0..num_nodes).map(|_| AtomicI64::new(0)).collect();
 
-    exec.for_each_chunk(
+    exec.try_for_each_chunk(
         ctx.g.num_vertices(),
         || (),
         |_, _, range| {
@@ -82,10 +88,11 @@ pub(crate) fn type_a_contributions(ctx: &SearchContext<'_>, exec: &Executor) -> 
                 m2_acc[i].fetch_add(2 * gt + eq, Ordering::Relaxed);
                 b_acc[i].fetch_add(lt - gt as i64, Ordering::Relaxed);
             }
+            Ok(())
         },
-    );
+    )?;
 
-    (0..num_nodes)
+    Ok((0..num_nodes)
         .map(|i| Contrib {
             n: n_acc[i].load(Ordering::Relaxed),
             m2: m2_acc[i].load(Ordering::Relaxed),
@@ -93,7 +100,7 @@ pub(crate) fn type_a_contributions(ctx: &SearchContext<'_>, exec: &Executor) -> 
             triangles: 0,
             triplets: 0,
         })
-        .collect()
+        .collect())
 }
 
 /// Computes the triangle and triplet contributions (Algorithm 5, lines
@@ -107,11 +114,11 @@ pub(crate) fn type_a_contributions(ctx: &SearchContext<'_>, exec: &Executor) -> 
 /// level with a per-worker counting array indexed by coreness, reset via
 /// a touched list — `O(d(v) + c(v)) = O(d(v))` per vertex, no adjacency
 /// sorting needed.
-pub(crate) fn type_b_contributions(
+pub(crate) fn try_type_b_contributions(
     ctx: &SearchContext<'_>,
     exec: &Executor,
     contribs: &mut [Contrib],
-) {
+) -> Result<(), ParError> {
     let num_nodes = ctx.hcd.num_nodes();
     let ta: Vec<AtomicU64> = (0..num_nodes).map(|_| AtomicU64::new(0)).collect();
     let tp: Vec<AtomicU64> = (0..num_nodes).map(|_| AtomicU64::new(0)).collect();
@@ -137,7 +144,9 @@ pub(crate) fn type_b_contributions(
         }
         p
     };
-    exec.for_each_chunk_weighted(
+    // The triangle pass is the most expensive loop in the search — poll
+    // the cancellation checkpoint at a coarse per-vertex work stride.
+    exec.try_for_each_chunk_weighted(
         &deg_prefix,
         || Scratch {
             marks: vec![false; n],
@@ -145,11 +154,17 @@ pub(crate) fn type_b_contributions(
             reps: vec![0; kmax + 1],
         },
         |_, scratch, range| {
+            let mut since = 0usize;
             for v in range {
                 let v = v as VertexId;
                 let dv = ctx.g.degree(v);
                 let cv = ctx.cores.coreness(v);
                 let rv = ctx.ranks.rank(v);
+                since += dv + 1;
+                if since >= CHECKPOINT_STRIDE {
+                    exec.checkpoint()?;
+                    since = 0;
+                }
 
                 // --- Triangles (lines 2-7) ---
                 for &u in ctx.g.neighbors(v) {
@@ -163,8 +178,7 @@ pub(crate) fn type_b_contributions(
                             if scratch.marks[w as usize] {
                                 let rw = ctx.ranks.rank(w);
                                 if rw < ru && rw < rv {
-                                    ta[ctx.hcd.tid(w) as usize]
-                                        .fetch_add(1, Ordering::Relaxed);
+                                    ta[ctx.hcd.tid(w) as usize].fetch_add(1, Ordering::Relaxed);
                                 }
                             }
                         }
@@ -199,13 +213,15 @@ pub(crate) fn type_b_contributions(
                     }
                 }
             }
+            Ok(())
         },
-    );
+    )?;
 
     for (i, c) in contribs.iter_mut().enumerate() {
         c.triangles += ta[i].load(Ordering::Relaxed);
         c.triplets += tp[i].load(Ordering::Relaxed);
     }
+    Ok(())
 }
 
 /// Scores every k-core (tree node) under `metric`: contributions →
@@ -216,11 +232,26 @@ pub fn pbks_scores(
     metric: &Metric,
     exec: &Executor,
 ) -> (Vec<f64>, Vec<PrimaryValues>) {
-    let mut contribs = type_a_contributions(ctx, exec);
-    if metric.kind() == MetricKind::TypeB {
-        type_b_contributions(ctx, exec, &mut contribs);
+    match try_pbks_scores(ctx, metric, exec) {
+        Ok(out) => out,
+        Err(e) => e.raise(),
     }
-    accumulate_bottom_up(ctx.hcd, &mut contribs, Contrib::merge, exec);
+}
+
+/// Fallible version of [`pbks_scores`]: returns `Err` if any region
+/// panics, is cancelled, or exceeds the executor's deadline. On `Err` all
+/// intermediate state is discarded and the executor stays usable (see
+/// `hcd_par` failure model).
+pub fn try_pbks_scores(
+    ctx: &SearchContext<'_>,
+    metric: &Metric,
+    exec: &Executor,
+) -> Result<(Vec<f64>, Vec<PrimaryValues>), ParError> {
+    let mut contribs = try_type_a_contributions(ctx, exec)?;
+    if metric.kind() == MetricKind::TypeB {
+        try_type_b_contributions(ctx, exec, &mut contribs)?;
+    }
+    try_accumulate_bottom_up(ctx.hcd, &mut contribs, Contrib::merge, exec)?;
     let primaries: Vec<PrimaryValues> = contribs.into_iter().map(Contrib::into_primary).collect();
     let totals = ctx.totals();
     let mut scores = vec![0.0f64; primaries.len()];
@@ -229,7 +260,7 @@ pub fn pbks_scores(
         unsafe impl Send for SendPtr {}
         unsafe impl Sync for SendPtr {}
         let out = SendPtr(scores.as_mut_ptr());
-        exec.for_each_chunk(
+        exec.try_for_each_chunk(
             primaries.len(),
             || (),
             |_, _, range| {
@@ -238,10 +269,11 @@ pub fn pbks_scores(
                     // SAFETY: disjoint slots.
                     unsafe { *out.0.add(i) = metric.score(&primaries[i], &totals) };
                 }
+                Ok(())
             },
-        );
+        )?;
     }
-    (scores, primaries)
+    Ok((scores, primaries))
 }
 
 /// PBKS: the k-core with the highest score under `metric`.
@@ -250,19 +282,29 @@ pub fn pbks_scores(
 /// deterministic id assignment) makes the result reproducible. Returns
 /// `None` only for an empty graph.
 pub fn pbks(ctx: &SearchContext<'_>, metric: &Metric, exec: &Executor) -> Option<BestCore> {
-    let (scores, primaries) = pbks_scores(ctx, metric, exec);
+    match try_pbks(ctx, metric, exec) {
+        Ok(best) => best,
+        Err(e) => e.raise(),
+    }
+}
+
+/// Fallible version of [`pbks`]: `Ok(None)` only for an empty graph,
+/// `Err` if the search failed (panic, cancellation, or deadline).
+pub fn try_pbks(
+    ctx: &SearchContext<'_>,
+    metric: &Metric,
+    exec: &Executor,
+) -> Result<Option<BestCore>, ParError> {
+    let (scores, primaries) = try_pbks_scores(ctx, metric, exec)?;
     let best = (0..scores.len()).max_by(|&a, &b| {
-        scores[a]
-            .partial_cmp(&scores[b])
-            .unwrap()
-            .then(b.cmp(&a)) // prefer the smaller id on ties
-    })?;
-    Some(BestCore {
+        scores[a].partial_cmp(&scores[b]).unwrap().then(b.cmp(&a)) // prefer the smaller id on ties
+    });
+    Ok(best.map(|best| BestCore {
         node: best as u32,
         k: ctx.hcd.node(best as u32).k,
         score: scores[best],
         primaries: primaries[best],
-    })
+    }))
 }
 
 #[cfg(test)]
@@ -284,7 +326,8 @@ mod tests {
                 let members = hcd.subtree_vertices(i);
                 let want = primaries_by_definition(&g, &members);
                 assert_eq!(
-                    primaries[i as usize], want,
+                    primaries[i as usize],
+                    want,
                     "node {i} (k={}) mode {}",
                     hcd.node(i).k,
                     exec.mode_name()

@@ -3,7 +3,7 @@
 use hcd_core::{Hcd, VertexRanks};
 use hcd_decomp::CoreDecomposition;
 use hcd_graph::{CsrGraph, VertexId};
-use hcd_par::Executor;
+use hcd_par::{Executor, ParError};
 
 use crate::metrics::GraphTotals;
 
@@ -42,8 +42,23 @@ impl<'a> SearchContext<'a> {
         hcd: &'a Hcd,
         exec: &Executor,
     ) -> Self {
+        match Self::try_with_executor(g, cores, hcd, exec) {
+            Ok(ctx) => ctx,
+            Err(e) => e.raise(),
+        }
+    }
+
+    /// Fallible version of [`SearchContext::with_executor`]: returns
+    /// `Err` if the preprocessing panics, is cancelled, or exceeds the
+    /// executor's deadline (see `hcd_par` failure model).
+    pub fn try_with_executor(
+        g: &'a CsrGraph,
+        cores: &'a CoreDecomposition,
+        hcd: &'a Hcd,
+        exec: &Executor,
+    ) -> Result<Self, ParError> {
         let n = g.num_vertices();
-        let ranks = VertexRanks::compute(cores, exec);
+        let ranks = VertexRanks::try_compute(cores, exec)?;
         let mut gt = vec![0u32; n];
         let mut eq = vec![0u32; n];
         {
@@ -52,7 +67,7 @@ impl<'a> SearchContext<'a> {
             unsafe impl Sync for SendPtr {}
             let gt_ptr = SendPtr(gt.as_mut_ptr());
             let eq_ptr = SendPtr(eq.as_mut_ptr());
-            exec.for_each_chunk(
+            exec.try_for_each_chunk(
                 n,
                 || (),
                 |_, _, range| {
@@ -75,17 +90,18 @@ impl<'a> SearchContext<'a> {
                             *eq_ptr.0.add(v) = e_cnt;
                         }
                     }
+                    Ok(())
                 },
-            );
+            )?;
         }
-        SearchContext {
+        Ok(SearchContext {
             g,
             cores,
             hcd,
             ranks,
             gt,
             eq,
-        }
+        })
     }
 
     /// Neighbors of `v` with strictly greater coreness.

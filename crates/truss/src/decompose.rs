@@ -159,10 +159,7 @@ pub fn truss_decomposition(g: &CsrGraph) -> (EdgeIndex, TrussDecomposition) {
     }
 
     let tmax = trussness.iter().copied().max().unwrap_or(0);
-    (
-        idx,
-        TrussDecomposition { trussness, tmax },
-    )
+    (idx, TrussDecomposition { trussness, tmax })
 }
 
 #[cfg(test)]
@@ -272,11 +269,7 @@ mod tests {
             }
             let g = b.build();
             let (idx, td) = truss_decomposition(&g);
-            assert_eq!(
-                td.as_slice(),
-                naive_trussness(&g, &idx).as_slice(),
-                "n={n}"
-            );
+            assert_eq!(td.as_slice(), naive_trussness(&g, &idx).as_slice(), "n={n}");
         }
     }
 

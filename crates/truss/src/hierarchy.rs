@@ -138,12 +138,7 @@ fn level_triangles<F: FnMut(u32, u32)>(
 /// pivot (minimum `(trussness, id)` edge) groups shell edges into new
 /// tree nodes and resolves parents, exactly as PHCD's four steps do for
 /// vertices.
-pub fn phtd(
-    g: &CsrGraph,
-    idx: &EdgeIndex,
-    truss: &TrussDecomposition,
-    exec: &Executor,
-) -> Htd {
+pub fn phtd(g: &CsrGraph, idx: &EdgeIndex, truss: &TrussDecomposition, exec: &Executor) -> Htd {
     let m = idx.len();
     if m == 0 {
         return Htd {

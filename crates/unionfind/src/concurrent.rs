@@ -103,6 +103,56 @@ impl ConcurrentPivotUnionFind {
             .count()
     }
 
+    /// Checks structural invariants at quiescence (no concurrent
+    /// mutators): every parent chain reaches a root within `len()` steps
+    /// (no cycles), and every root's pivot is a member of its own
+    /// component with the minimum key. Used by fault-injection tests to
+    /// prove that a panicked or cancelled parallel union phase leaves no
+    /// poisoned state behind.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.len();
+        let parent = |x: usize| parent_of(self.entry[x].load(Ordering::Acquire)) as usize;
+        let mut root_of = vec![usize::MAX; n];
+        for (x, slot) in root_of.iter_mut().enumerate() {
+            let mut cur = x;
+            let mut steps = 0usize;
+            while parent(cur) != cur {
+                cur = parent(cur);
+                steps += 1;
+                if steps > n {
+                    return Err(format!("parent chain from {x} does not terminate (cycle)"));
+                }
+            }
+            *slot = cur;
+        }
+        // Minimum key per component, computed from scratch.
+        let mut min_member = vec![usize::MAX; n];
+        for (x, &r) in root_of.iter().enumerate() {
+            if min_member[r] == usize::MAX || self.key[x] < self.key[min_member[r]] {
+                min_member[r] = x;
+            }
+        }
+        for r in 0..n {
+            if root_of[r] != r {
+                continue;
+            }
+            let pv = self.pivot[r].load(Ordering::Acquire) as usize;
+            if pv >= n {
+                return Err(format!("root {r} has out-of-range pivot {pv}"));
+            }
+            if root_of[pv] != r {
+                return Err(format!("root {r} pivot {pv} is not in its component"));
+            }
+            if self.key[pv] != self.key[min_member[r]] {
+                return Err(format!(
+                    "root {r} pivot {pv} (key {}) is not the minimum key {} of its component",
+                    self.key[pv], self.key[min_member[r]]
+                ));
+            }
+        }
+        Ok(())
+    }
+
     /// Min-merges candidate pivot `pv` into the component currently
     /// containing `root`, chasing root changes until the write sticks on a
     /// live root.
@@ -299,13 +349,66 @@ mod tests {
 
         // Same partition and same pivots as sequential execution.
         for v in 0..n as u32 {
-            assert_eq!(
-                conc.same_set(v, seq.find(v)),
-                true,
-                "partition mismatch at {v}"
-            );
+            assert!(conc.same_set(v, seq.find(v)), "partition mismatch at {v}");
             assert_eq!(conc.get_pivot(v), seq.get_pivot(v), "pivot mismatch at {v}");
         }
+    }
+
+    #[test]
+    fn validate_accepts_concurrent_result() {
+        let n = 10_000;
+        let uf = Arc::new(ConcurrentPivotUnionFind::new_identity(n));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let uf = Arc::clone(&uf);
+                std::thread::spawn(move || {
+                    for i in (t..n - 1).step_by(8) {
+                        uf.union(i as u32, i as u32 + 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        uf.validate().unwrap();
+    }
+
+    #[test]
+    fn validate_after_worker_panics_mid_union_sequence() {
+        // Workers union random pairs; some panic partway through. The
+        // structure must stay merge-consistent: whatever unions landed
+        // are fully applied, pivots included.
+        let n = 4_000;
+        let uf = Arc::new(ConcurrentPivotUnionFind::new_identity(n));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let uf = Arc::clone(&uf);
+                std::thread::spawn(move || {
+                    for i in (t..n - 1).step_by(8) {
+                        if t % 2 == 1 && i > n / 2 {
+                            panic!("worker {t} injected failure");
+                        }
+                        uf.union(i as u32, i as u32 + 1);
+                    }
+                })
+            })
+            .collect();
+        let mut panics = 0;
+        for h in handles {
+            if h.join().is_err() {
+                panics += 1;
+            }
+        }
+        assert_eq!(panics, 4);
+        uf.validate().unwrap();
+        // The structure remains fully usable: finish the chain and check
+        // the global pivot.
+        for i in 0..n - 1 {
+            uf.union(i as u32, i as u32 + 1);
+        }
+        uf.validate().unwrap();
+        assert_eq!(uf.get_pivot((n - 1) as u32), 0);
     }
 
     #[test]

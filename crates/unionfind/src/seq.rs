@@ -55,6 +55,54 @@ impl PivotUnionFind {
             .filter(|&x| self.parent[x as usize].get() == x)
             .count()
     }
+
+    /// Checks structural invariants: every parent chain reaches a root
+    /// within `len()` steps (no cycles), and every root's pivot is a
+    /// member of its own component with the minimum key. Mirrors
+    /// [`ConcurrentPivotUnionFind::validate`](crate::ConcurrentPivotUnionFind::validate)
+    /// so fault-injection tests can assert both variants stay consistent.
+    pub fn validate(&self) -> Result<(), String> {
+        let n = self.len();
+        let parent = |x: usize| self.parent[x].get() as usize;
+        let mut root_of = vec![usize::MAX; n];
+        for (x, slot) in root_of.iter_mut().enumerate() {
+            let mut cur = x;
+            let mut steps = 0usize;
+            while parent(cur) != cur {
+                cur = parent(cur);
+                steps += 1;
+                if steps > n {
+                    return Err(format!("parent chain from {x} does not terminate (cycle)"));
+                }
+            }
+            *slot = cur;
+        }
+        let mut min_member = vec![usize::MAX; n];
+        for (x, &r) in root_of.iter().enumerate() {
+            if min_member[r] == usize::MAX || self.key[x] < self.key[min_member[r]] {
+                min_member[r] = x;
+            }
+        }
+        for r in 0..n {
+            if root_of[r] != r {
+                continue;
+            }
+            let pv = self.pivot[r].get() as usize;
+            if pv >= n {
+                return Err(format!("root {r} has out-of-range pivot {pv}"));
+            }
+            if root_of[pv] != r {
+                return Err(format!("root {r} pivot {pv} is not in its component"));
+            }
+            if self.key[pv] != self.key[min_member[r]] {
+                return Err(format!(
+                    "root {r} pivot {pv} (key {}) is not the minimum key {} of its component",
+                    self.key[pv], self.key[min_member[r]]
+                ));
+            }
+        }
+        Ok(())
+    }
 }
 
 impl UnionFindPivot for PivotUnionFind {
@@ -175,5 +223,33 @@ mod tests {
         let uf = PivotUnionFind::new(vec![9, 3, 7]);
         assert_eq!(uf.key(0), 9);
         assert_eq!(uf.key(1), 3);
+    }
+
+    #[test]
+    fn validate_accepts_consistent_states() {
+        let uf = PivotUnionFind::new_identity(50);
+        uf.validate().unwrap();
+        for i in 0..49 {
+            uf.union(i, i + 1);
+            uf.validate().unwrap();
+        }
+    }
+
+    #[test]
+    fn validate_detects_cycle_and_bad_pivot() {
+        let uf = PivotUnionFind::new_identity(4);
+        uf.union(0, 1);
+        // Corrupt the pivot of the merged component's root.
+        let root = uf.find(0) as usize;
+        uf.pivot[root].set(3);
+        assert!(uf.validate().unwrap_err().contains("not in its component"));
+        uf.pivot[root].set(1);
+        assert!(uf.validate().unwrap_err().contains("minimum key"));
+        uf.pivot[root].set(0);
+        uf.validate().unwrap();
+        // Corrupt the parent pointers into a cycle.
+        uf.parent[2].set(3);
+        uf.parent[3].set(2);
+        assert!(uf.validate().unwrap_err().contains("cycle"));
     }
 }

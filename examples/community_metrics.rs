@@ -10,7 +10,9 @@ use hcd::prelude::*;
 fn main() {
     // A web-style stand-in: power-law backbone plus clique overlays gives
     // a rich hierarchy where different metrics pick different cores.
-    let g = Dataset::by_abbrev("SK").expect("registry").generate(Scale::Tiny);
+    let g = Dataset::by_abbrev("SK")
+        .expect("registry")
+        .generate(Scale::Tiny);
     let exec = Executor::rayon(std::thread::available_parallelism().map_or(2, |p| p.get()));
     let cores = pkc_core_decomposition(&g, &exec);
     let hcd = phcd(&g, &cores, &exec);

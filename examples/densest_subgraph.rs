@@ -14,7 +14,9 @@ use hcd::prelude::*;
 
 fn main() {
     // A web-crawl-style graph: power-law backbone plus link-farm cliques.
-    let g = Dataset::by_abbrev("A").expect("registry").generate(Scale::Tiny);
+    let g = Dataset::by_abbrev("A")
+        .expect("registry")
+        .generate(Scale::Tiny);
     println!(
         "graph: {} vertices, {} edges",
         g.num_vertices(),

@@ -58,7 +58,11 @@ fn main() {
     let fresh = core_decomposition(&snapshot);
     let recompute = t0.elapsed();
     println!("one full recomputation: {recompute:?}");
-    assert_eq!(dc.coreness_slice(), fresh.as_slice(), "maintenance must agree");
+    assert_eq!(
+        dc.coreness_slice(),
+        fresh.as_slice(),
+        "maintenance must agree"
+    );
     println!(
         "incremental was {:.0}x cheaper per update",
         recompute.as_secs_f64() / (incremental.as_secs_f64() / updates as f64)

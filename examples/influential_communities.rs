@@ -12,7 +12,9 @@ use hcd::prelude::*;
 use rand::{Rng, SeedableRng};
 
 fn main() {
-    let g = Dataset::by_abbrev("A").expect("registry").generate(Scale::Tiny);
+    let g = Dataset::by_abbrev("A")
+        .expect("registry")
+        .generate(Scale::Tiny);
     let exec = Executor::rayon(std::thread::available_parallelism().map_or(2, |p| p.get()));
     let cores = pkc_core_decomposition(&g, &exec);
     let hcd = phcd(&g, &cores, &exec);

@@ -23,7 +23,11 @@ fn main() {
 
     // 2. Hierarchical core decomposition with PHCD.
     let hcd = phcd(&g, &cores, &exec);
-    println!("HCD: {} tree nodes, {} roots", hcd.num_nodes(), hcd.roots().len());
+    println!(
+        "HCD: {} tree nodes, {} roots",
+        hcd.num_nodes(),
+        hcd.roots().len()
+    );
     let per_level = cores_per_level(&hcd, cores.kmax());
     for (k, count) in per_level.iter().enumerate() {
         if *count > 0 {

@@ -8,7 +8,9 @@
 use hcd::prelude::*;
 
 fn main() {
-    let g = Dataset::by_abbrev("H").expect("registry").generate(Scale::Tiny);
+    let g = Dataset::by_abbrev("H")
+        .expect("registry")
+        .generate(Scale::Tiny);
     println!("graph: n={} m={}", g.num_vertices(), g.num_edges());
 
     // 1. Truss decomposition (serial support peeling).

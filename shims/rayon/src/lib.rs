@@ -1,0 +1,154 @@
+//! Offline shim for `rayon`: the subset this workspace uses —
+//! `ThreadPoolBuilder` / `ThreadPool::scope` / `Scope::spawn` —
+//! implemented on `std::thread::scope`.
+//!
+//! The `par` crate spawns at most one task per logical worker per region,
+//! so mapping each `spawn` to one OS thread preserves the execution model
+//! (real concurrency, OS-scheduled interleavings) without a work-stealing
+//! runtime. Panics in spawned tasks propagate when the scope joins, like
+//! rayon; the fault-tolerant executor catches them before they reach the
+//! scope boundary.
+
+use std::fmt;
+
+/// Builder for a [`ThreadPool`].
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: usize,
+}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        ThreadPoolBuilder::default()
+    }
+
+    /// Sets the number of logical workers (0 = one per available core).
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = n;
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = if self.num_threads == 0 {
+            std::thread::available_parallelism().map_or(1, |v| v.get())
+        } else {
+            self.num_threads
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// Error building a pool. The shim's build cannot fail, but the type is
+/// kept so callers handle the real rayon's failure mode.
+pub struct ThreadPoolBuildError(String);
+
+impl fmt::Debug for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ThreadPoolBuildError({})", self.0)
+    }
+}
+
+impl fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+/// A pool of `num_threads` logical workers. Threads are spawned per
+/// scope rather than kept hot; capacity is a bookkeeping number.
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    /// Runs `op` with a scope on which tasks can be spawned; returns when
+    /// every spawned task has completed. Panics if any task panicked.
+    pub fn scope<'env, OP, R>(&self, op: OP) -> R
+    where
+        OP: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R + Send,
+        R: Send,
+    {
+        std::thread::scope(|s| op(&Scope { inner: s }))
+    }
+}
+
+impl fmt::Debug for ThreadPool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ThreadPool(num_threads={})", self.num_threads)
+    }
+}
+
+/// Scope handle passed to [`ThreadPool::scope`] closures.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a task that may borrow from outside the scope; the owning
+    /// `scope` call joins it before returning.
+    pub fn spawn<F>(&self, f: F)
+    where
+        F: FnOnce(&Scope<'scope, 'env>) + Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || f(&Scope { inner }));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scope_joins_all_tasks() {
+        let pool = ThreadPoolBuilder::new().num_threads(4).build().unwrap();
+        let hits = AtomicUsize::new(0);
+        pool.scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        });
+        assert_eq!(hits.into_inner(), 4);
+    }
+
+    #[test]
+    fn nested_spawn_works() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let hits = AtomicUsize::new(0);
+        pool.scope(|s| {
+            s.spawn(|s| {
+                hits.fetch_add(1, Ordering::Relaxed);
+                s.spawn(|_| {
+                    hits.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        });
+        assert_eq!(hits.into_inner(), 2);
+    }
+
+    #[test]
+    fn panic_in_task_propagates_at_scope_exit() {
+        let pool = ThreadPoolBuilder::new().num_threads(2).build().unwrap();
+        let r = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            pool.scope(|s| {
+                s.spawn(|_| panic!("task failure"));
+            });
+        }));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn zero_threads_defaults_to_available() {
+        let pool = ThreadPoolBuilder::new().build().unwrap();
+        assert!(pool.current_num_threads() >= 1);
+    }
+}

@@ -1,114 +1,188 @@
 //! `hcd-cli` — command-line front end for the library.
 //!
 //! ```text
-//! hcd-cli stats  <graph>                        # n, m, davg, kmax, |T|
-//! hcd-cli build  <graph> -o index.hcd           # build + save the HCD
-//! hcd-cli search <graph> [-m METRIC] [-p P]     # best k-core per metric
-//! hcd-cli core   <graph> -v VERTEX -k K         # the k-core containing v
-//! hcd-cli dot    <graph>                        # Graphviz DOT of the HCD
-//! hcd-cli gen    <model> <out> [--seed S]       # generate a synthetic graph
+//! hcd-cli stats  <graph> [-p P]                           # n, m, davg, kmax, |T|
+//! hcd-cli build  <graph> -o index.hcd [-p P] [--timeout-ms T]
+//! hcd-cli search <graph> [-m METRIC] [-p P] [--timeout-ms T]
+//! hcd-cli core   <graph> -v VERTEX -k K                   # the k-core containing v
+//! hcd-cli dot    <graph> [-p P]                           # Graphviz DOT of the HCD
+//! hcd-cli gen    <model> <out> [--seed S]                 # generate a synthetic graph
 //! ```
 //!
 //! Graphs are text edge lists (`u v` per line, `#` comments) or the
 //! compact binary format (`.bin`), auto-detected by extension.
+//!
+//! ## Exit codes
+//!
+//! | code | meaning |
+//! |------|---------|
+//! | 0    | success |
+//! | 1    | runtime failure (I/O error, worker panic, bad input graph) |
+//! | 2    | usage error (unknown command, bad flag, unknown metric) |
+//! | 124  | deadline exceeded or cancelled (`--timeout-ms` fired) |
 
 use std::process::ExitCode;
+use std::time::Duration;
 
 use hcd::prelude::*;
+
+/// Exit code for a run aborted by `--timeout-ms`, matching the
+/// convention of coreutils `timeout(1)`.
+const EXIT_TIMEOUT: u8 = 124;
+/// Exit code for malformed invocations (usage text is printed).
+const EXIT_USAGE: u8 = 2;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     match run(&args) {
         Ok(()) => ExitCode::SUCCESS,
-        Err(msg) => {
+        Err(CliError::Usage(msg)) => {
             eprintln!("error: {msg}");
             eprintln!();
             eprintln!("{USAGE}");
+            ExitCode::from(EXIT_USAGE)
+        }
+        Err(CliError::Runtime(msg)) => {
+            eprintln!("error: {msg}");
             ExitCode::FAILURE
+        }
+        Err(CliError::Timeout(msg)) => {
+            eprintln!("error: {msg}");
+            ExitCode::from(EXIT_TIMEOUT)
         }
     }
 }
 
 const USAGE: &str = "usage:
-  hcd-cli stats  <graph>
-  hcd-cli build  <graph> -o <index.hcd>
-  hcd-cli search <graph> [-m metric] [-p threads]
+  hcd-cli stats  <graph> [-p threads]
+  hcd-cli build  <graph> -o <index.hcd> [-p threads] [--timeout-ms T]
+  hcd-cli search <graph> [-m metric] [-p threads] [--timeout-ms T]
   hcd-cli core   <graph> -v <vertex> -k <k>
-  hcd-cli dot    <graph>
+  hcd-cli dot    <graph> [-p threads]
   hcd-cli gen    <rmat|ba|er|ws|tree> <out.txt> [--seed S]
 
 metrics: average-degree internal-density cut-ratio conductance
-         modularity clustering-coefficient (default: average-degree)";
+         modularity clustering-coefficient (default: average-degree)
 
-fn run(args: &[String]) -> Result<(), String> {
-    let cmd = args.first().ok_or("missing command")?;
-    match cmd.as_str() {
-        "stats" => stats(args.get(1).ok_or("missing graph path")?),
-        "build" => build(
-            args.get(1).ok_or("missing graph path")?,
-            &flag_value(args, "-o")?.ok_or("missing -o <index.hcd>")?,
-        ),
-        "search" => search(
-            args.get(1).ok_or("missing graph path")?,
-            flag_value(args, "-m")?,
-            flag_value(args, "-p")?,
-        ),
-        "core" => core_query(
-            args.get(1).ok_or("missing graph path")?,
-            &flag_value(args, "-v")?.ok_or("missing -v <vertex>")?,
-            &flag_value(args, "-k")?.ok_or("missing -k <k>")?,
-        ),
-        "dot" => dot(args.get(1).ok_or("missing graph path")?),
-        "gen" => gen(
-            args.get(1).ok_or("missing model")?,
-            args.get(2).ok_or("missing output path")?,
-            flag_value(args, "--seed")?,
-        ),
-        other => Err(format!("unknown command {other:?}")),
+--timeout-ms arms a deadline checked at chunk boundaries and at coarse
+strides inside hot loops; on expiry the command exits with code 124.";
+
+/// Typed failure, mapped to a distinct process exit code in `main`.
+#[derive(Debug)]
+enum CliError {
+    /// Malformed invocation: exit 2, usage text printed.
+    Usage(String),
+    /// The command itself failed: exit 1.
+    Runtime(String),
+    /// A `--timeout-ms` deadline fired (or the run was cancelled): exit 124.
+    Timeout(String),
+}
+
+/// Maps a parallel-runtime failure onto the CLI's exit-code taxonomy:
+/// deadline/cancellation are "timeout" (124), contained worker panics
+/// are runtime failures (1).
+fn par_err(e: ParError) -> CliError {
+    match e {
+        ParError::Cancelled | ParError::DeadlineExceeded => CliError::Timeout(e.to_string()),
+        other => CliError::Runtime(other.to_string()),
     }
 }
 
-fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, String> {
+fn usage(msg: impl Into<String>) -> CliError {
+    CliError::Usage(msg.into())
+}
+
+fn run(args: &[String]) -> Result<(), CliError> {
+    let cmd = args.first().ok_or_else(|| usage("missing command"))?;
+    match cmd.as_str() {
+        "stats" => stats(
+            args.get(1).ok_or_else(|| usage("missing graph path"))?,
+            exec_options(args)?,
+        ),
+        "build" => build(
+            args.get(1).ok_or_else(|| usage("missing graph path"))?,
+            &flag_value(args, "-o")?.ok_or_else(|| usage("missing -o <index.hcd>"))?,
+            exec_options(args)?,
+        ),
+        "search" => search(
+            args.get(1).ok_or_else(|| usage("missing graph path"))?,
+            flag_value(args, "-m")?,
+            exec_options(args)?,
+        ),
+        "core" => core_query(
+            args.get(1).ok_or_else(|| usage("missing graph path"))?,
+            &flag_value(args, "-v")?.ok_or_else(|| usage("missing -v <vertex>"))?,
+            &flag_value(args, "-k")?.ok_or_else(|| usage("missing -k <k>"))?,
+        ),
+        "dot" => dot(
+            args.get(1).ok_or_else(|| usage("missing graph path"))?,
+            exec_options(args)?,
+        ),
+        "gen" => gen(
+            args.get(1).ok_or_else(|| usage("missing model"))?,
+            args.get(2).ok_or_else(|| usage("missing output path"))?,
+            flag_value(args, "--seed")?,
+        ),
+        other => Err(usage(format!("unknown command {other:?}"))),
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, CliError> {
     match args.iter().position(|a| a == flag) {
         None => Ok(None),
         Some(i) => args
             .get(i + 1)
             .cloned()
             .map(Some)
-            .ok_or_else(|| format!("{flag} requires a value")),
+            .ok_or_else(|| usage(format!("{flag} requires a value"))),
     }
 }
 
-fn load(path: &str) -> Result<CsrGraph, String> {
+fn load(path: &str) -> Result<CsrGraph, CliError> {
     let g = if path.ends_with(".bin") {
         hcd::graph::io::read_binary_file(path)
     } else {
         hcd::graph::io::read_edge_list_file(path)
     };
-    g.map_err(|e| format!("cannot read {path}: {e}"))
+    g.map_err(|e| CliError::Runtime(format!("cannot read {path}: {e}")))
 }
 
-fn default_executor(p: Option<String>) -> Result<Executor, String> {
-    let threads = match p {
-        Some(s) => s.parse::<usize>().map_err(|e| format!("bad -p: {e}"))?,
+/// Builds the executor shared by a whole command from its `-p` and
+/// `--timeout-ms` flags: `-p 1` (or a single-core machine) selects the
+/// sequential mode, anything larger a dedicated thread pool, and a
+/// timeout arms a deadline that every parallel region checks.
+fn exec_options(args: &[String]) -> Result<Executor, CliError> {
+    let threads = match flag_value(args, "-p")? {
+        Some(s) => s
+            .parse::<usize>()
+            .map_err(|e| usage(format!("bad -p: {e}")))?,
         None => std::thread::available_parallelism().map_or(1, |v| v.get()),
     };
-    Ok(if threads <= 1 {
+    let exec = if threads == 1 {
         Executor::sequential()
     } else {
-        Executor::rayon(threads)
-    })
+        // threads == 0 reaches try_rayon so the typed BuildError
+        // (ZeroWorkers) produces the usage message.
+        Executor::try_rayon(threads).map_err(|e| usage(format!("bad -p: {e}")))?
+    };
+    if let Some(ms) = flag_value(args, "--timeout-ms")? {
+        let ms = ms
+            .parse::<u64>()
+            .map_err(|e| usage(format!("bad --timeout-ms: {e}")))?;
+        exec.set_deadline(Deadline::from_now(Duration::from_millis(ms)));
+    }
+    Ok(exec)
 }
 
-fn pipeline(g: &CsrGraph) -> (CoreDecomposition, Hcd) {
-    let cores = core_decomposition(g);
-    let hcd = phcd(g, &cores, &Executor::sequential());
-    (cores, hcd)
+fn pipeline(g: &CsrGraph, exec: &Executor) -> Result<(CoreDecomposition, Hcd), CliError> {
+    let cores = try_pkc_core_decomposition(g, exec).map_err(par_err)?;
+    let hcd = try_phcd(g, &cores, exec).map_err(par_err)?;
+    Ok((cores, hcd))
 }
 
-fn stats(path: &str) -> Result<(), String> {
+fn stats(path: &str, exec: Executor) -> Result<(), CliError> {
     let g = load(path)?;
-    let (cores, hcd) = pipeline(&g);
+    let (cores, hcd) = pipeline(&g, &exec)?;
     println!("n     = {}", g.num_vertices());
     println!("m     = {}", g.num_edges());
     println!("davg  = {:.2}", g.avg_degree());
@@ -119,31 +193,31 @@ fn stats(path: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn build(path: &str, out: &str) -> Result<(), String> {
+fn build(path: &str, out: &str, exec: Executor) -> Result<(), CliError> {
     let g = load(path)?;
-    let (_, hcd) = pipeline(&g);
-    let file = std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
-    hcd::core::io::write_hcd(&hcd, file).map_err(|e| format!("cannot write index: {e}"))?;
+    let (_, hcd) = pipeline(&g, &exec)?;
+    let file = std::fs::File::create(out)
+        .map_err(|e| CliError::Runtime(format!("cannot create {out}: {e}")))?;
+    hcd::core::io::write_hcd(&hcd, file)
+        .map_err(|e| CliError::Runtime(format!("cannot write index: {e}")))?;
     println!("wrote {} nodes to {out}", hcd.num_nodes());
     Ok(())
 }
 
-fn parse_metric(m: Option<String>) -> Result<Metric, String> {
+fn parse_metric(m: Option<String>) -> Result<Metric, CliError> {
     let name = m.unwrap_or_else(|| "average-degree".into());
     Metric::ALL
         .into_iter()
         .find(|metric| metric.name() == name)
-        .ok_or_else(|| format!("unknown metric {name:?}"))
+        .ok_or_else(|| usage(format!("unknown metric {name:?}")))
 }
 
-fn search(path: &str, metric: Option<String>, p: Option<String>) -> Result<(), String> {
+fn search(path: &str, metric: Option<String>, exec: Executor) -> Result<(), CliError> {
     let g = load(path)?;
     let metric = parse_metric(metric)?;
-    let exec = default_executor(p)?;
-    let cores = pkc_core_decomposition(&g, &exec);
-    let hcd = phcd(&g, &cores, &exec);
-    let ctx = SearchContext::with_executor(&g, &cores, &hcd, &exec);
-    match pbks(&ctx, &metric, &exec) {
+    let (cores, hcd) = pipeline(&g, &exec)?;
+    let ctx = SearchContext::try_with_executor(&g, &cores, &hcd, &exec).map_err(par_err)?;
+    match try_pbks(&ctx, &metric, &exec).map_err(par_err)? {
         None => println!("graph is empty"),
         Some(best) => {
             println!("metric    = {}", metric.name());
@@ -157,14 +231,14 @@ fn search(path: &str, metric: Option<String>, p: Option<String>) -> Result<(), S
     Ok(())
 }
 
-fn core_query(path: &str, v: &str, k: &str) -> Result<(), String> {
+fn core_query(path: &str, v: &str, k: &str) -> Result<(), CliError> {
     let g = load(path)?;
-    let v: u32 = v.parse().map_err(|e| format!("bad -v: {e}"))?;
-    let k: u32 = k.parse().map_err(|e| format!("bad -k: {e}"))?;
+    let v: u32 = v.parse().map_err(|e| usage(format!("bad -v: {e}")))?;
+    let k: u32 = k.parse().map_err(|e| usage(format!("bad -k: {e}")))?;
     if v as usize >= g.num_vertices() {
-        return Err(format!("vertex {v} out of range"));
+        return Err(CliError::Runtime(format!("vertex {v} out of range")));
     }
-    let (cores, hcd) = pipeline(&g);
+    let (cores, hcd) = pipeline(&g, &Executor::sequential())?;
     match core_containing(&hcd, &cores, v, k) {
         None => println!(
             "vertex {v} has coreness {} < {k}: no such core",
@@ -188,16 +262,16 @@ fn core_query(path: &str, v: &str, k: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn dot(path: &str) -> Result<(), String> {
+fn dot(path: &str, exec: Executor) -> Result<(), CliError> {
     let g = load(path)?;
-    let (_, hcd) = pipeline(&g);
+    let (_, hcd) = pipeline(&g, &exec)?;
     print!("{}", hcd.to_dot());
     Ok(())
 }
 
-fn gen(model: &str, out: &str, seed: Option<String>) -> Result<(), String> {
+fn gen(model: &str, out: &str, seed: Option<String>) -> Result<(), CliError> {
     let seed: u64 = seed
-        .map(|s| s.parse().map_err(|e| format!("bad --seed: {e}")))
+        .map(|s| s.parse().map_err(|e| usage(format!("bad --seed: {e}"))))
         .transpose()?
         .unwrap_or(42);
     let g = match model {
@@ -206,10 +280,15 @@ fn gen(model: &str, out: &str, seed: Option<String>) -> Result<(), String> {
         "er" => gnp(10_000, 0.001, seed),
         "ws" => watts_strogatz(10_000, 8, 0.05, seed),
         "tree" => core_tree(3, 4, 16, seed),
-        other => return Err(format!("unknown model {other:?} (rmat|ba|er|ws|tree)")),
+        other => {
+            return Err(usage(format!(
+                "unknown model {other:?} (rmat|ba|er|ws|tree)"
+            )))
+        }
     };
-    let file = std::fs::File::create(out).map_err(|e| format!("cannot create {out}: {e}"))?;
-    hcd::graph::io::write_edge_list(&g, file).map_err(|e| e.to_string())?;
+    let file = std::fs::File::create(out)
+        .map_err(|e| CliError::Runtime(format!("cannot create {out}: {e}")))?;
+    hcd::graph::io::write_edge_list(&g, file).map_err(|e| CliError::Runtime(e.to_string()))?;
     println!(
         "wrote {} ({} vertices, {} edges)",
         out,

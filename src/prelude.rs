@@ -3,20 +3,26 @@
 
 pub use hcd_graph::{CsrGraph, GraphBuilder, InducedSubgraph, VertexId};
 
-pub use hcd_decomp::{core_decomposition, pkc_core_decomposition, CoreDecomposition};
+pub use hcd_decomp::{
+    core_decomposition, pkc_core_decomposition, try_pkc_core_decomposition, CoreDecomposition,
+};
 
-pub use hcd_core::phcd::phcd_with_ranks;
+pub use hcd_core::phcd::{phcd_with_ranks, try_phcd_with_ranks};
 pub use hcd_core::query::{core_containing, cores_per_level, hierarchy_position};
-pub use hcd_core::{lcps, naive_hcd, phcd, Hcd, TreeNode, VertexRanks};
+pub use hcd_core::{lcps, naive_hcd, phcd, try_phcd, Hcd, TreeNode, VertexRanks};
 
-pub use hcd_par::Executor;
+pub use hcd_par::{
+    BuildError, CancelToken, Deadline, Executor, Fault, FaultPlan, ParError, CHECKPOINT_STRIDE,
+};
 
 pub use hcd_search::bestk::{best_k, core_set_scores};
 pub use hcd_search::bks::bks_scores;
 pub use hcd_search::densest::{coreapp, opt_d, pbks_d};
 pub use hcd_search::influence::{InfluenceIndex, InfluentialCommunity};
 pub use hcd_search::pbks::pbks_scores;
-pub use hcd_search::{bks, max_clique, pbks, BestCore, Metric, MetricKind, SearchContext};
+pub use hcd_search::{
+    bks, max_clique, pbks, try_pbks, try_pbks_scores, BestCore, Metric, MetricKind, SearchContext,
+};
 
 pub use hcd_flow::{densest_subgraph, ecc_connectivity, k_edge_connected_components, stoer_wagner};
 
@@ -25,6 +31,5 @@ pub use hcd_dynamic::{DynamicCore, DynamicGraph};
 pub use hcd_truss::{naive_htd, phtd, truss_decomposition, EdgeIndex, Htd, TrussDecomposition};
 
 pub use hcd_datasets::{
-    barabasi_albert, clique_overlay, core_tree, gnp, rmat, watts_strogatz, Dataset, Scale,
-    DATASETS,
+    barabasi_albert, clique_overlay, core_tree, gnp, rmat, watts_strogatz, Dataset, Scale, DATASETS,
 };

@@ -21,7 +21,11 @@ fn gen_stats_search_pipeline() {
         .args(["gen", "tree", graph.to_str().unwrap(), "--seed", "5"])
         .output()
         .expect("run gen");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
 
     let out = cli()
         .args(["stats", graph.to_str().unwrap()])
@@ -61,7 +65,12 @@ fn build_writes_a_loadable_index() {
         .unwrap()
         .success());
     assert!(cli()
-        .args(["build", graph.to_str().unwrap(), "-o", index.to_str().unwrap()])
+        .args([
+            "build",
+            graph.to_str().unwrap(),
+            "-o",
+            index.to_str().unwrap()
+        ])
         .status()
         .unwrap()
         .success());
@@ -92,6 +101,102 @@ fn core_query_lists_members() {
 }
 
 #[test]
+fn stats_and_dot_accept_thread_count() {
+    let graph = tmp("threads.txt");
+    assert!(cli()
+        .args(["gen", "tree", graph.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    for sub in ["stats", "dot"] {
+        let out = cli()
+            .args([sub, graph.to_str().unwrap(), "-p", "2"])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "{sub} -p 2: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    std::fs::remove_file(&graph).ok();
+}
+
+#[test]
+fn expired_timeout_exits_with_code_124() {
+    let graph = tmp("timeout.txt");
+    assert!(cli()
+        .args(["gen", "ba", graph.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    // A zero-millisecond deadline is already expired when the first
+    // parallel region starts, so the run must abort cleanly with the
+    // dedicated timeout exit code (124, as in coreutils timeout(1)).
+    for extra in [vec![], vec!["-p".to_string(), "2".to_string()]] {
+        let mut args = vec![
+            "search".to_string(),
+            graph.to_str().unwrap().to_string(),
+            "--timeout-ms".to_string(),
+            "0".to_string(),
+        ];
+        args.extend(extra);
+        let out = cli().args(&args).output().unwrap();
+        assert_eq!(
+            out.status.code(),
+            Some(124),
+            "args {args:?}: stderr {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("deadline"), "{err}");
+    }
+    std::fs::remove_file(&graph).ok();
+}
+
+#[test]
+fn generous_timeout_does_not_fire() {
+    let graph = tmp("timeout_ok.txt");
+    assert!(cli()
+        .args(["gen", "tree", graph.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let out = cli()
+        .args([
+            "build",
+            graph.to_str().unwrap(),
+            "-o",
+            tmp("timeout_ok.hcd").to_str().unwrap(),
+            "--timeout-ms",
+            "600000",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_file(tmp("timeout_ok.hcd")).ok();
+}
+
+#[test]
+fn bad_flag_values_are_usage_errors() {
+    for args in [
+        vec!["search", "x.txt", "-p", "zero"],
+        vec!["search", "x.txt", "--timeout-ms", "soon"],
+        vec!["frobnicate"],
+    ] {
+        let out = cli().args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{args:?}");
+        let err = String::from_utf8_lossy(&out.stderr);
+        assert!(err.contains("usage"), "{args:?}: {err}");
+    }
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let out = cli().args(["frobnicate"]).output().unwrap();
     assert!(!out.status.success());
@@ -101,7 +206,11 @@ fn unknown_command_fails_with_usage() {
 
 #[test]
 fn missing_arguments_fail_cleanly() {
-    for args in [vec!["search"], vec!["core", "x"], vec!["gen", "nosuch", "y"]] {
+    for args in [
+        vec!["search"],
+        vec!["core", "x"],
+        vec!["gen", "nosuch", "y"],
+    ] {
         let out = cli().args(&args).output().unwrap();
         assert!(!out.status.success(), "{args:?} should fail");
     }

@@ -1,6 +1,7 @@
 //! Stress tests under real threads: repeated parallel runs must stay
 //! correct and agree with sequential ground truth even when the OS
-//! interleaves workers adversarially.
+//! interleaves workers adversarially — and fail *cleanly* when faults
+//! are injected into arbitrary chunks.
 
 use hcd::prelude::*;
 
@@ -52,10 +53,223 @@ fn concurrent_search_is_stable_under_oversubscription() {
     let cores = core_decomposition(&g);
     let hcd = phcd(&g, &cores, &Executor::sequential());
     let ctx = SearchContext::new(&g, &cores, &hcd);
-    let reference = pbks_scores(&ctx, &Metric::ClusteringCoefficient, &Executor::sequential());
+    let reference = pbks_scores(
+        &ctx,
+        &Metric::ClusteringCoefficient,
+        &Executor::sequential(),
+    );
     for _ in 0..5 {
         let exec = Executor::rayon(16);
         let got = pbks_scores(&ctx, &Metric::ClusteringCoefficient, &exec);
         assert_eq!(got.1, reference.1);
     }
+}
+
+// --- fault-injection matrix ------------------------------------------
+//
+// Every cell of (algorithm × executor mode × faulted chunk position)
+// must (1) fail with a clean typed error, never a process abort or a
+// hang, and (2) leave the executor reusable: clearing the plan and
+// rerunning on the *same* executor must reproduce the fault-free
+// reference result. This is the "no poisoned shared state" acceptance
+// criterion of the failure model.
+
+/// The three executor modes, with enough workers that the first region
+/// of every algorithm has non-empty first/middle/last chunks.
+fn fault_modes() -> Vec<(&'static str, Executor)> {
+    vec![
+        ("seq", Executor::sequential()),
+        ("rayon", Executor::rayon(4)),
+        ("sim", Executor::simulated(4)),
+    ]
+}
+
+/// First/middle/last chunk indices of a region on `exec` (deduplicated,
+/// so sequential mode tests the single chunk once).
+fn chunk_positions(exec: &Executor) -> Vec<usize> {
+    let p = exec.num_workers();
+    let mut pos = vec![0, p / 2, p - 1];
+    pos.dedup();
+    pos
+}
+
+#[test]
+fn injected_panic_matrix_phcd() {
+    let g = rmat(11, 10, None, 77);
+    let cores = core_decomposition(&g);
+    let reference = phcd(&g, &cores, &Executor::sequential()).canonicalize();
+    for (mode, exec) in fault_modes() {
+        for chunk in chunk_positions(&exec) {
+            exec.set_fault_plan(FaultPlan::new().inject(0, chunk, Fault::Panic));
+            let err = try_phcd(&g, &cores, &exec)
+                .expect_err(&format!("{mode}: panic in chunk {chunk} must surface"));
+            match err {
+                ParError::Panicked { worker, payload } => {
+                    assert_eq!(worker, chunk, "{mode}");
+                    assert!(payload.contains("injected fault"), "{mode}: {payload}");
+                }
+                other => panic!("{mode}: expected Panicked, got {other}"),
+            }
+            // Same executor, fault cleared: the rerun must be clean and
+            // byte-identical to the reference hierarchy.
+            exec.clear_fault_plan();
+            let h = try_phcd(&g, &cores, &exec)
+                .unwrap_or_else(|e| panic!("{mode}: clean rerun failed: {e}"));
+            assert_eq!(h.canonicalize(), reference, "{mode} chunk {chunk}");
+        }
+    }
+}
+
+#[test]
+fn injected_panic_matrix_pkc() {
+    let g = rmat(11, 10, None, 78);
+    let reference = core_decomposition(&g);
+    for (mode, exec) in fault_modes() {
+        for chunk in chunk_positions(&exec) {
+            exec.set_fault_plan(FaultPlan::new().inject(0, chunk, Fault::Panic));
+            let err = try_pkc_core_decomposition(&g, &exec)
+                .expect_err(&format!("{mode}: panic in chunk {chunk} must surface"));
+            assert!(
+                matches!(err, ParError::Panicked { .. }),
+                "{mode}: expected Panicked, got {err}"
+            );
+            exec.clear_fault_plan();
+            let got = try_pkc_core_decomposition(&g, &exec)
+                .unwrap_or_else(|e| panic!("{mode}: clean rerun failed: {e}"));
+            assert_eq!(got, reference, "{mode} chunk {chunk}");
+        }
+    }
+}
+
+#[test]
+fn injected_panic_matrix_pbks() {
+    let g = rmat(10, 12, None, 5);
+    let cores = core_decomposition(&g);
+    let hcd = phcd(&g, &cores, &Executor::sequential());
+    let ctx = SearchContext::new(&g, &cores, &hcd);
+    let metric = Metric::ClusteringCoefficient; // type-B: exercises the triangle pass
+    let reference = pbks_scores(&ctx, &metric, &Executor::sequential());
+    for (mode, exec) in fault_modes() {
+        for chunk in chunk_positions(&exec) {
+            exec.set_fault_plan(FaultPlan::new().inject(0, chunk, Fault::Panic));
+            let err = try_pbks_scores(&ctx, &metric, &exec)
+                .expect_err(&format!("{mode}: panic in chunk {chunk} must surface"));
+            assert!(
+                matches!(err, ParError::Panicked { .. }),
+                "{mode}: expected Panicked, got {err}"
+            );
+            exec.clear_fault_plan();
+            let got = try_pbks_scores(&ctx, &metric, &exec)
+                .unwrap_or_else(|e| panic!("{mode}: clean rerun failed: {e}"));
+            assert_eq!(got.1, reference.1, "{mode} chunk {chunk}");
+        }
+    }
+}
+
+#[test]
+fn panics_in_later_regions_are_contained_too() {
+    // Region 0 is the easy case; sweep panics across the first dozen
+    // regions of the PHCD pipeline to catch any step that forgets to
+    // propagate failure.
+    let g = rmat(10, 10, None, 9);
+    let cores = core_decomposition(&g);
+    let reference = phcd(&g, &cores, &Executor::sequential()).canonicalize();
+    let exec = Executor::rayon(4);
+    for region in 0..12 {
+        exec.set_fault_plan(FaultPlan::new().inject(region, 1, Fault::Panic));
+        match try_phcd(&g, &cores, &exec) {
+            // Regions past the end of the pipeline (or whose chunk 1 is
+            // empty) never hit the fault site; those runs must be clean.
+            Ok(h) => assert_eq!(h.canonicalize(), reference, "region {region}"),
+            Err(ParError::Panicked { payload, .. }) => {
+                assert!(payload.contains("injected fault"), "region {region}")
+            }
+            Err(other) => panic!("region {region}: unexpected {other}"),
+        }
+    }
+    exec.clear_fault_plan();
+    let h = try_phcd(&g, &cores, &exec).expect("executor reusable after sweep");
+    assert_eq!(h.canonicalize(), reference);
+}
+
+#[test]
+fn injected_delays_never_change_results() {
+    // Delays reorder chunk completion adversarially but must not alter
+    // any output: determinism comes from chunk ownership, not timing.
+    let g = rmat(10, 10, None, 13);
+    let cores = core_decomposition(&g);
+    let reference = phcd(&g, &cores, &Executor::sequential()).canonicalize();
+    let exec = Executor::rayon(4);
+    for seed in 0..4u64 {
+        // Deterministic per-seed delay pattern over the first 16 regions:
+        // each (region, chunk) site sleeps 0–700µs, skewed by the seed so
+        // different seeds produce different completion orders.
+        let mut plan = FaultPlan::new();
+        for region in 0..16usize {
+            for chunk in 0..4usize {
+                let us = (seed * 251 + (region as u64) * 37 + (chunk as u64) * 113) % 701;
+                plan = plan.inject(region, chunk, Fault::Delay(us));
+            }
+        }
+        exec.set_fault_plan(plan);
+        let h = try_phcd(&g, &cores, &exec)
+            .unwrap_or_else(|e| panic!("seed {seed}: delays must be benign: {e}"));
+        assert_eq!(h.canonicalize(), reference, "seed {seed}");
+    }
+}
+
+#[test]
+fn cancellation_and_deadline_abort_cleanly_in_all_modes() {
+    let g = rmat(11, 10, None, 21);
+    let cores = core_decomposition(&g);
+    for (mode, exec) in fault_modes() {
+        // Pre-cancelled token: the very first chunk boundary observes it.
+        let token = CancelToken::new();
+        token.cancel();
+        exec.set_cancel(token);
+        assert!(
+            matches!(try_phcd(&g, &cores, &exec), Err(ParError::Cancelled)),
+            "{mode}: cancel"
+        );
+        exec.clear_cancel();
+
+        // Already-expired deadline.
+        exec.set_deadline(Deadline::from_now(std::time::Duration::ZERO));
+        assert!(
+            matches!(
+                try_pkc_core_decomposition(&g, &exec),
+                Err(ParError::DeadlineExceeded)
+            ),
+            "{mode}: deadline"
+        );
+        exec.clear_deadline();
+
+        // Both cleared: the same executor finishes a clean run.
+        let h = try_phcd(&g, &cores, &exec)
+            .unwrap_or_else(|e| panic!("{mode}: rerun after abort failed: {e}"));
+        assert_eq!(
+            h.num_nodes(),
+            phcd(&g, &cores, &Executor::sequential()).num_nodes()
+        );
+    }
+}
+
+#[test]
+fn injected_cancel_fault_trips_shared_token() {
+    // Fault::Cancel models an external cancellation landing mid-region:
+    // the shared token must end up tripped so the caller can observe it.
+    let g = rmat(10, 10, None, 34);
+    let cores = core_decomposition(&g);
+    let exec = Executor::rayon(4);
+    let token = CancelToken::new();
+    exec.set_cancel(token.clone());
+    exec.set_fault_plan(FaultPlan::new().inject(0, 0, Fault::Cancel));
+    assert!(matches!(
+        try_phcd(&g, &cores, &exec),
+        Err(ParError::Cancelled)
+    ));
+    assert!(token.is_cancelled(), "shared token must be tripped");
+    exec.clear_cancel();
+    exec.clear_fault_plan();
+    assert!(try_phcd(&g, &cores, &exec).is_ok());
 }

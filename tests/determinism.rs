@@ -8,7 +8,11 @@ fn phcd_output_is_bitwise_identical_across_modes_and_runs() {
     let cores = core_decomposition(&g);
     let reference = phcd(&g, &cores, &Executor::sequential());
     for _ in 0..3 {
-        for exec in [Executor::rayon(4), Executor::simulated(5), Executor::rayon(2)] {
+        for exec in [
+            Executor::rayon(4),
+            Executor::simulated(5),
+            Executor::rayon(2),
+        ] {
             let h = phcd(&g, &cores, &exec);
             assert_eq!(reference.nodes(), h.nodes());
             assert_eq!(reference.tids(), h.tids());

@@ -12,7 +12,11 @@ fn pipeline(g: &CsrGraph) {
 
     // PHCD in all modes equals LCPS equals the brute-force oracle.
     let truth = naive_hcd(g, &bz).canonicalize();
-    for e in [Executor::sequential(), Executor::rayon(4), Executor::simulated(3)] {
+    for e in [
+        Executor::sequential(),
+        Executor::rayon(4),
+        Executor::simulated(3),
+    ] {
         assert_eq!(phcd(g, &bz, &e).canonicalize(), truth);
     }
     assert_eq!(lcps(g, &bz).canonicalize(), truth);
@@ -79,8 +83,7 @@ fn local_queries_agree_with_reconstruction() {
         }
         let mut got = core_containing(&hcd, &cores, v, k).unwrap();
         got.sort_unstable();
-        let mut want =
-            hcd::graph::traversal::bfs_filtered(&g, v, |u| cores.coreness(u) >= k);
+        let mut want = hcd::graph::traversal::bfs_filtered(&g, v, |u| cores.coreness(u) >= k);
         want.sort_unstable();
         assert_eq!(got, want, "v={v}");
     }
