@@ -13,11 +13,15 @@
 //!   the dataset list.
 //! * `HCD_BENCH_REPS` — repetitions per measurement (default 1; the
 //!   minimum is reported).
+//! * `HCD_BENCH_METRICS` — base path for per-region observability
+//!   snapshots: executors from [`executor`] run with region metering
+//!   enabled, and targets call [`dump_metrics`] to write
+//!   `<base>.<label>.json` (schema `hcd-metrics-v1`) per measurement.
 
 use std::time::{Duration, Instant};
 
 use hcd_datasets::{Dataset, Scale, DATASETS};
-use hcd_par::Executor;
+use hcd_par::{Executor, RunMetrics};
 
 /// The thread counts swept in the paper's figures.
 pub const THREAD_SWEEP: [usize; 5] = [1, 5, 10, 20, 40];
@@ -54,15 +58,53 @@ pub fn reps() -> usize {
 }
 
 /// An executor for `p` logical threads under the ambient bench mode.
-/// `p == 1` always runs truly sequentially.
+/// `p == 1` always runs truly sequentially. With `HCD_BENCH_METRICS`
+/// set, the executor records per-region metrics (see [`dump_metrics`]).
 pub fn executor(p: usize) -> Executor {
-    if p == 1 {
-        return Executor::sequential();
+    let exec = if p == 1 {
+        Executor::sequential()
+    } else {
+        match BenchMode::from_env() {
+            BenchMode::Sim => Executor::simulated(p),
+            BenchMode::Real => Executor::rayon(p),
+        }
+    };
+    if metrics_base().is_some() {
+        exec.set_metrics_enabled(true);
     }
-    match BenchMode::from_env() {
-        BenchMode::Sim => Executor::simulated(p),
-        BenchMode::Real => Executor::rayon(p),
+    exec
+}
+
+/// The `HCD_BENCH_METRICS` base path, if observability is requested.
+pub fn metrics_base() -> Option<String> {
+    std::env::var("HCD_BENCH_METRICS")
+        .ok()
+        .filter(|s| !s.is_empty())
+}
+
+/// Drains the executor's accumulated region metrics and, when
+/// `HCD_BENCH_METRICS` is set, writes them to `<base>.<label>.json`
+/// (label sanitized to `[A-Za-z0-9._-]`). Always returns the snapshot,
+/// so targets can also inspect imbalance ratios programmatically.
+pub fn dump_metrics(exec: &Executor, label: &str) -> RunMetrics {
+    let m = exec.take_metrics();
+    if let Some(base) = metrics_base() {
+        let safe: String = label
+            .chars()
+            .map(|c| {
+                if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                    c
+                } else {
+                    '_'
+                }
+            })
+            .collect();
+        let path = format!("{base}.{safe}.json");
+        if let Err(e) = std::fs::write(&path, m.to_json()) {
+            eprintln!("warning: cannot write metrics to {path}: {e}");
+        }
     }
+    m
 }
 
 /// Runs `f(exec)` and returns its (simulated or wall) duration plus the
@@ -172,6 +214,22 @@ mod tests {
         assert_eq!(all.len(), 10);
         let figs = datasets(&FIGURE_DATASETS);
         assert_eq!(figs.len(), 6);
+    }
+
+    #[test]
+    fn dump_metrics_returns_snapshot_without_env() {
+        let exec = Executor::sequential().with_metrics();
+        exec.region("bench.test").for_each_chunk(
+            8,
+            || (),
+            |_, _, range| {
+                std::hint::black_box(range.len());
+            },
+        );
+        let m = dump_metrics(&exec, "unit");
+        assert!(m.get("bench.test").is_some());
+        // Drained: a second dump is empty.
+        assert!(dump_metrics(&exec, "unit").is_empty());
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! LB: the union-find lower bound of Table III.
 
 use hcd_graph::CsrGraph;
-use hcd_par::Executor;
+use hcd_par::{Executor, ParError, CHECKPOINT_STRIDE};
 use hcd_unionfind::{ConcurrentPivotUnionFind, UnionFindPivot};
 
 /// Unions every adjacent vertex pair once — the minimum connection work
@@ -11,12 +11,27 @@ use hcd_unionfind::{ConcurrentPivotUnionFind, UnionFindPivot};
 /// Returns the populated union-find so callers can verify the result (and
 /// so the work is not optimized away).
 pub fn lb_union_all(g: &CsrGraph, exec: &Executor) -> ConcurrentPivotUnionFind {
+    match try_lb_union_all(g, exec) {
+        Ok(uf) => uf,
+        Err(e) => e.raise(),
+    }
+}
+
+/// Fallible version of [`lb_union_all`]: the adjacency scan polls the
+/// executor's cancellation checkpoint at a coarse edge stride, so
+/// deadlines and cancel tokens abort it promptly (see `hcd_par` failure
+/// model).
+pub fn try_lb_union_all(
+    g: &CsrGraph,
+    exec: &Executor,
+) -> Result<ConcurrentPivotUnionFind, ParError> {
     let n = g.num_vertices();
     let uf = ConcurrentPivotUnionFind::new_identity(n);
-    exec.for_each_chunk(
+    exec.region("lb.union").try_for_each_chunk(
         n,
         || (),
         |_, _, range| {
+            let mut since = 0usize;
             for v in range {
                 let v = v as u32;
                 for &u in g.neighbors(v) {
@@ -24,10 +39,16 @@ pub fn lb_union_all(g: &CsrGraph, exec: &Executor) -> ConcurrentPivotUnionFind {
                         uf.union(v, u);
                     }
                 }
+                since += g.degree(v);
+                if since >= CHECKPOINT_STRIDE {
+                    exec.checkpoint()?;
+                    since = 0;
+                }
             }
+            Ok(())
         },
-    );
-    uf
+    )?;
+    Ok(uf)
 }
 
 #[cfg(test)]
@@ -35,6 +56,8 @@ mod tests {
     use super::*;
     use hcd_graph::traversal::connected_components;
     use hcd_graph::GraphBuilder;
+    use hcd_par::{CancelToken, Deadline};
+    use std::time::Duration;
 
     #[test]
     fn lb_components_match_bfs_components() {
@@ -59,5 +82,24 @@ mod tests {
         let g = GraphBuilder::new().build();
         let uf = lb_union_all(&g, &Executor::sequential());
         assert_eq!(uf.num_components(), 0);
+    }
+
+    #[test]
+    fn respects_cancellation_and_deadline() {
+        let g = GraphBuilder::new().edges([(0, 1), (1, 2), (2, 0)]).build();
+        let exec = Executor::sequential();
+        let token = CancelToken::new();
+        exec.set_cancel(token.clone());
+        token.cancel();
+        assert!(matches!(
+            try_lb_union_all(&g, &exec).map(|_| ()),
+            Err(ParError::Cancelled)
+        ));
+        exec.clear_cancel();
+        exec.set_deadline(Deadline::from_now(Duration::ZERO));
+        assert!(matches!(
+            try_lb_union_all(&g, &exec).map(|_| ()),
+            Err(ParError::DeadlineExceeded)
+        ));
     }
 }

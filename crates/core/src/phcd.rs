@@ -121,31 +121,33 @@ pub fn try_phcd_with_ranks(
 
         // Step 1: pivots of adjacent k'-cores (k' > k) — future children.
         // All quantities are ranks.
-        let kpc_parts = exec.try_map_chunks_weighted(shell_weights, |_, range| {
-            let mut local = Vec::new();
-            for i in range {
-                let v = vsort[lo + i];
-                for &u in g.neighbors(v) {
-                    let ru = rank[u as usize] as usize;
-                    if ru >= hi && u_stamp[ru].swap(k, Ordering::AcqRel) != k {
-                        let pvt = uf.get_pivot(ru as u32);
-                        if !in_kpc[pvt as usize].load(Ordering::Acquire)
-                            && !in_kpc[pvt as usize].swap(true, Ordering::AcqRel)
-                        {
-                            local.push(pvt);
+        let kpc_parts =
+            exec.region("phcd.kpc")
+                .try_map_chunks_weighted(shell_weights, |_, range| {
+                    let mut local = Vec::new();
+                    for i in range {
+                        let v = vsort[lo + i];
+                        for &u in g.neighbors(v) {
+                            let ru = rank[u as usize] as usize;
+                            if ru >= hi && u_stamp[ru].swap(k, Ordering::AcqRel) != k {
+                                let pvt = uf.get_pivot(ru as u32);
+                                if !in_kpc[pvt as usize].load(Ordering::Acquire)
+                                    && !in_kpc[pvt as usize].swap(true, Ordering::AcqRel)
+                                {
+                                    local.push(pvt);
+                                }
+                            }
                         }
                     }
-                }
-            }
-            Ok(local)
-        })?;
+                    Ok(local)
+                })?;
         let kpc_pivot: Vec<u32> = kpc_parts.into_iter().flatten().collect();
 
         // Step 2: connect the shell to the existing graph. Equal-coreness
         // edges appear in both endpoints' lists; process them once (from
         // the lower-rank side). This is the hot adjacency loop, so it
         // polls the cancellation checkpoint at a coarse edge stride.
-        exec.try_for_each_chunk_weighted(
+        exec.region("phcd.union").try_for_each_chunk_weighted(
             shell_weights,
             || (),
             |_, _, range| {
@@ -178,20 +180,22 @@ pub fn try_phcd_with_ranks(
             unsafe impl Send for SendPtr {}
             unsafe impl Sync for SendPtr {}
             let out = SendPtr(pivot_of.as_mut_ptr());
-            let new_parts = exec.try_map_chunks(shell_len, |_, range| {
-                let _ = &out;
-                let mut fresh = Vec::new();
-                for i in range {
-                    let pvt = uf.get_pivot((lo + i) as u32);
-                    // SAFETY: slot i is written by exactly one worker.
-                    unsafe { *out.0.add(i) = pvt };
-                    let pvt_vertex = vsort[pvt as usize];
-                    if pivot_claim(&tid, pvt_vertex) {
-                        fresh.push(pvt);
+            let new_parts = exec
+                .region("phcd.pivots")
+                .try_map_chunks(shell_len, |_, range| {
+                    let _ = &out;
+                    let mut fresh = Vec::new();
+                    for i in range {
+                        let pvt = uf.get_pivot((lo + i) as u32);
+                        // SAFETY: slot i is written by exactly one worker.
+                        unsafe { *out.0.add(i) = pvt };
+                        let pvt_vertex = vsort[pvt as usize];
+                        if pivot_claim(&tid, pvt_vertex) {
+                            fresh.push(pvt);
+                        }
                     }
-                }
-                Ok(fresh)
-            })?;
+                    Ok(fresh)
+                })?;
             // Deterministic node ids: sort fresh pivots by rank (they are
             // ranks already).
             let mut fresh: Vec<u32> = new_parts.into_iter().flatten().collect();
@@ -209,7 +213,7 @@ pub fn try_phcd_with_ranks(
         // Step 3b: assign tids and fill vertex lists. Vertices are
         // grouped per chunk first so each node's mutex is taken once per
         // (chunk, node) instead of once per vertex.
-        exec.try_for_each_chunk(
+        exec.region("phcd.assign").try_for_each_chunk(
             shell_len,
             FxHashMap::<u32, Vec<VertexId>>::default,
             |_, groups, range| {
@@ -230,7 +234,7 @@ pub fn try_phcd_with_ranks(
         )?;
 
         // Step 4: parents of the k'-core nodes recorded in step 1.
-        exec.try_for_each_chunk(
+        exec.region("phcd.parents").try_for_each_chunk(
             kpc_pivot.len(),
             || (),
             |_, _, range| {

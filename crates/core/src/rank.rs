@@ -40,13 +40,14 @@ impl VertexRanks {
         let p = exec.num_workers();
 
         // Per-worker histogram of corenesses in its id range.
-        let hists: Vec<(usize, Vec<u32>)> = exec.try_map_chunks(n, |w, range| {
-            let mut hist = vec![0u32; nk];
-            for v in range {
-                hist[cores.coreness(v as VertexId) as usize] += 1;
-            }
-            Ok((w, hist))
-        })?;
+        let hists: Vec<(usize, Vec<u32>)> =
+            exec.region("rank.hist").try_map_chunks(n, |w, range| {
+                let mut hist = vec![0u32; nk];
+                for v in range {
+                    hist[cores.coreness(v as VertexId) as usize] += 1;
+                }
+                Ok((w, hist))
+            })?;
         // Offsets per (k, worker): all of H_0 first, then H_1, ...
         let mut offsets = vec![0usize; nk * p];
         let mut shell_start = vec![0usize; nk + 1];
@@ -67,7 +68,7 @@ impl VertexRanks {
         let mut vsort = vec![0 as VertexId; n];
         {
             let vsort_ptr = SendPtr(vsort.as_mut_ptr());
-            exec.try_for_each_chunk(
+            exec.region("rank.scatter").try_for_each_chunk(
                 n,
                 || offsets.clone(),
                 |w, cursors, range| {
@@ -92,7 +93,7 @@ impl VertexRanks {
         let mut rank = vec![0u32; n];
         {
             let rank_ptr = SendPtr(rank.as_mut_ptr());
-            exec.try_for_each_chunk(
+            exec.region("rank.invert").try_for_each_chunk(
                 n,
                 || (),
                 |_, _, range| {

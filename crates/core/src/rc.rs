@@ -45,29 +45,31 @@ pub fn rc_confirm_parents(
     hcd: &Hcd,
     exec: &Executor,
 ) -> usize {
-    let parts = exec.map_chunks(hcd.num_nodes(), |_, range| {
-        let mut confirmed = 0usize;
-        for i in range {
-            let node = hcd.node(i as u32);
-            if node.parent == NO_NODE {
-                continue;
+    let parts = exec
+        .region("rc.confirm")
+        .map_chunks(hcd.num_nodes(), |_, range| {
+            let mut confirmed = 0usize;
+            for i in range {
+                let node = hcd.node(i as u32);
+                if node.parent == NO_NODE {
+                    continue;
+                }
+                let kp = hcd.node(node.parent).k;
+                let start = node.vertices[0];
+                let reached = local_core_search(g, cores, start, kp);
+                let witness = reached
+                    .into_iter()
+                    .find(|&u| cores.coreness(u) == kp)
+                    .expect("parent level must be reachable");
+                assert_eq!(
+                    hcd.tid(witness),
+                    node.parent,
+                    "RC found a different parent for node {i}"
+                );
+                confirmed += 1;
             }
-            let kp = hcd.node(node.parent).k;
-            let start = node.vertices[0];
-            let reached = local_core_search(g, cores, start, kp);
-            let witness = reached
-                .into_iter()
-                .find(|&u| cores.coreness(u) == kp)
-                .expect("parent level must be reachable");
-            assert_eq!(
-                hcd.tid(witness),
-                node.parent,
-                "RC found a different parent for node {i}"
-            );
-            confirmed += 1;
-        }
-        confirmed
-    });
+            confirmed
+        });
     parts.into_iter().sum()
 }
 

@@ -3,7 +3,7 @@
 use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 
 use hcd_graph::CsrGraph;
-use hcd_par::Executor;
+use hcd_par::{Executor, ParError, CHECKPOINT_STRIDE};
 
 use crate::CoreDecomposition;
 
@@ -17,9 +17,24 @@ use crate::CoreDecomposition;
 /// Used both as a secondary parallel baseline and as an *independent
 /// oracle* to cross-check BZ and PKC in tests.
 pub fn hindex_core_decomposition(g: &CsrGraph, exec: &Executor) -> CoreDecomposition {
+    match try_hindex_core_decomposition(g, exec) {
+        Ok(cores) => cores,
+        Err(e) => e.raise(),
+    }
+}
+
+/// Fallible version of [`hindex_core_decomposition`]: the per-round
+/// neighborhood scan polls the executor's cancellation checkpoint at a
+/// coarse edge stride, so deadlines and cancel tokens abort the
+/// iteration promptly even on a single long round (see `hcd_par`
+/// failure model).
+pub fn try_hindex_core_decomposition(
+    g: &CsrGraph,
+    exec: &Executor,
+) -> Result<CoreDecomposition, ParError> {
     let n = g.num_vertices();
     if n == 0 {
-        return CoreDecomposition::from_coreness(Vec::new());
+        return Ok(CoreDecomposition::from_coreness(Vec::new()));
     }
 
     let values: Vec<AtomicU32> = (0..n as u32)
@@ -31,15 +46,21 @@ pub fn hindex_core_decomposition(g: &CsrGraph, exec: &Executor) -> CoreDecomposi
     let mut rounds = 0usize;
     while changed.swap(false, Ordering::AcqRel) {
         rounds += 1;
-        exec.for_each_chunk(
+        exec.region("hindex.round").try_for_each_chunk(
             n,
             // Scratch: counting array for the h-index computation.
             || vec![0u32; max_deg + 1],
             |_, counts, range| {
+                let mut since = 0usize;
                 for v in range {
                     let d = g.degree(v as u32) as u32;
                     if d == 0 {
                         continue;
+                    }
+                    since += d as usize;
+                    if since >= CHECKPOINT_STRIDE {
+                        exec.checkpoint()?;
+                        since = 0;
                     }
                     // Count neighbor values clamped at d.
                     let mut touched: Vec<u32> = Vec::with_capacity(g.degree(v as u32));
@@ -72,13 +93,14 @@ pub fn hindex_core_decomposition(g: &CsrGraph, exec: &Executor) -> CoreDecomposi
                         changed.store(true, Ordering::Release);
                     }
                 }
+                Ok(())
             },
-        );
+        )?;
         debug_assert!(rounds <= n + 1, "h-index iteration failed to converge");
     }
 
     let coreness: Vec<u32> = values.into_iter().map(AtomicU32::into_inner).collect();
-    CoreDecomposition::from_coreness(coreness)
+    Ok(CoreDecomposition::from_coreness(coreness))
 }
 
 #[cfg(test)]
@@ -137,5 +159,21 @@ mod tests {
         let g = GraphBuilder::new().min_vertices(5).build();
         let cd = hindex_core_decomposition(&g, &Executor::sequential());
         assert_eq!(cd.as_slice(), &[0, 0, 0, 0, 0]);
+    }
+
+    #[test]
+    fn respects_cancellation() {
+        let g = GraphBuilder::new().edges([(0, 1), (1, 2), (2, 0)]).build();
+        let exec = Executor::sequential();
+        let token = hcd_par::CancelToken::new();
+        exec.set_cancel(token.clone());
+        token.cancel();
+        assert_eq!(
+            try_hindex_core_decomposition(&g, &exec).map(|_| ()),
+            Err(hcd_par::ParError::Cancelled)
+        );
+        // Clean rerun after clearing converges to the right answer.
+        exec.clear_cancel();
+        assert_eq!(hindex_core_decomposition(&g, &exec), core_decomposition(&g));
     }
 }

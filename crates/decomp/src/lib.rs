@@ -23,7 +23,7 @@ pub mod hindex;
 pub mod pkc;
 
 pub use bz::core_decomposition;
-pub use hindex::hindex_core_decomposition;
+pub use hindex::{hindex_core_decomposition, try_hindex_core_decomposition};
 pub use pkc::{pkc_core_decomposition, try_pkc_core_decomposition};
 
 use hcd_graph::{CsrGraph, VertexId};

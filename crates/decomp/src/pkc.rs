@@ -49,18 +49,20 @@ pub fn try_pkc_core_decomposition(
     while processed < n {
         // Scan the alive list: vertices at the current level seed the
         // frontier; the rest survive into the next alive list.
-        let parts = exec.try_map_chunks(alive.len(), |_, range| {
-            let mut frontier = Vec::new();
-            let mut keep = Vec::new();
-            for &v in &alive[range] {
-                if deg[v as usize].load(Ordering::Relaxed) == level {
-                    frontier.push(v);
-                } else {
-                    keep.push(v);
+        let parts = exec
+            .region("pkc.scan")
+            .try_map_chunks(alive.len(), |_, range| {
+                let mut frontier = Vec::new();
+                let mut keep = Vec::new();
+                for &v in &alive[range] {
+                    if deg[v as usize].load(Ordering::Relaxed) == level {
+                        frontier.push(v);
+                    } else {
+                        keep.push(v);
+                    }
                 }
-            }
-            Ok((frontier, keep))
-        })?;
+                Ok((frontier, keep))
+            })?;
         let mut frontier: Vec<VertexId> = Vec::new();
         let mut next_alive: Vec<VertexId> = Vec::with_capacity(alive.len());
         for (f, k) in parts {
@@ -83,40 +85,42 @@ pub fn try_pkc_core_decomposition(
             };
             // The CAS decrement loop is the hot path, so it polls the
             // cancellation checkpoint at a coarse edge stride.
-            let waves = exec.try_map_chunks_weighted(&wave_prefix, |_, range| {
-                let mut next = Vec::new();
-                let mut since = 0usize;
-                for &v in &frontier[range] {
-                    since += g.degree(v);
-                    if since >= CHECKPOINT_STRIDE {
-                        exec.checkpoint()?;
-                        since = 0;
-                    }
-                    for &u in g.neighbors(v) {
-                        // Decrement u unless it is already at (or below)
-                        // the level; the decrement that lands exactly on
-                        // `level` claims u for the next wave.
-                        let mut d = deg[u as usize].load(Ordering::Relaxed);
-                        while d > level {
-                            match deg[u as usize].compare_exchange_weak(
-                                d,
-                                d - 1,
-                                Ordering::AcqRel,
-                                Ordering::Acquire,
-                            ) {
-                                Ok(_) => {
-                                    if d - 1 == level {
-                                        next.push(u);
+            let waves =
+                exec.region("pkc.wave")
+                    .try_map_chunks_weighted(&wave_prefix, |_, range| {
+                        let mut next = Vec::new();
+                        let mut since = 0usize;
+                        for &v in &frontier[range] {
+                            since += g.degree(v);
+                            if since >= CHECKPOINT_STRIDE {
+                                exec.checkpoint()?;
+                                since = 0;
+                            }
+                            for &u in g.neighbors(v) {
+                                // Decrement u unless it is already at (or below)
+                                // the level; the decrement that lands exactly on
+                                // `level` claims u for the next wave.
+                                let mut d = deg[u as usize].load(Ordering::Relaxed);
+                                while d > level {
+                                    match deg[u as usize].compare_exchange_weak(
+                                        d,
+                                        d - 1,
+                                        Ordering::AcqRel,
+                                        Ordering::Acquire,
+                                    ) {
+                                        Ok(_) => {
+                                            if d - 1 == level {
+                                                next.push(u);
+                                            }
+                                            break;
+                                        }
+                                        Err(cur) => d = cur,
                                     }
-                                    break;
                                 }
-                                Err(cur) => d = cur,
                             }
                         }
-                    }
-                }
-                Ok(next)
-            })?;
+                        Ok(next)
+                    })?;
             frontier = waves.into_iter().flatten().collect();
         }
         // Vertices claimed mid-level were removed from neither `alive`

@@ -45,7 +45,10 @@ pub fn split_weighted(prefix: &[u64], p: usize) -> Vec<Range<usize>> {
     let mut ranges = Vec::with_capacity(p);
     let mut start = 0usize;
     for w in 1..=p {
-        let target = base + total * w as u64 / p as u64;
+        // The quantile product can exceed u64 for prefixes near
+        // u64::MAX / p (edge-weight totals on huge weighted graphs), so
+        // compute it in u128; the quotient is ≤ total and fits back.
+        let target = base + (total as u128 * w as u128 / p as u128) as u64;
         // First index whose prefix reaches the target, but never before
         // `start` (zero-weight runs).
         let mut end = prefix.partition_point(|&x| x < target).max(start);
@@ -162,5 +165,82 @@ mod tests {
         let ranges = split_weighted(&prefix, 3);
         assert_eq!(ranges.len(), 3);
         assert_eq!(ranges.iter().map(|r| r.len()).sum::<usize>(), 10);
+    }
+
+    /// Checks the split invariants: exactly `p` contiguous ranges tiling
+    /// `0..n`, and no chunk heavier than a perfect share plus one item.
+    fn assert_valid_split(prefix: &[u64], p: usize) {
+        let n = prefix.len() - 1;
+        let total = prefix[n] - prefix[0];
+        let ranges = split_weighted(prefix, p);
+        assert_eq!(ranges.len(), p);
+        let mut next = 0usize;
+        let mut max_item = 0u64;
+        for i in 0..n {
+            max_item = max_item.max(prefix[i + 1] - prefix[i]);
+        }
+        for r in &ranges {
+            assert_eq!(r.start, next);
+            next = r.end;
+            let w = prefix[r.end] - prefix[r.start];
+            assert!(
+                w <= total / p as u64 + max_item,
+                "chunk {r:?} weight {w} exceeds share {} + heaviest item {max_item}",
+                total / p as u64
+            );
+        }
+        assert_eq!(next, n);
+    }
+
+    #[test]
+    fn weighted_total_near_u64_max_does_not_overflow() {
+        // Before widening to u128, `total * w` overflowed here (panicking
+        // in debug builds, mis-splitting in release).
+        let weights = [u64::MAX / 2, u64::MAX / 2 - 7, 3];
+        let prefix = prefix_of(&weights);
+        for p in [2usize, 3, 5, 40] {
+            assert_valid_split(&prefix, p);
+        }
+    }
+
+    #[test]
+    fn weighted_window_with_huge_base_does_not_overflow() {
+        // A window into a larger prefix array whose absolute values sit
+        // near u64::MAX but whose relative total is small.
+        let base = u64::MAX - 100;
+        let prefix = [base, base + 10, base + 20, base + 90, base + 100];
+        assert_valid_split(&prefix, 3);
+    }
+
+    mod proptests {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(64))]
+
+            #[test]
+            fn weighted_split_valid_near_overflow(
+                raw in prop::collection::vec(any::<u64>(), 1..24),
+                p in 1usize..40,
+            ) {
+                // Scale weights so the total approaches u64::MAX without
+                // the prefix sum itself overflowing; the old u64 quantile
+                // product overflows for almost every case in this regime.
+                let cap = u64::MAX / raw.len() as u64;
+                let prefix = prefix_of(
+                    &raw.iter().map(|&w| w % cap).collect::<Vec<_>>(),
+                );
+                assert_valid_split(&prefix, p);
+            }
+
+            #[test]
+            fn weighted_split_valid_small(
+                weights in prop::collection::vec(0u64..50, 1..40),
+                p in 1usize..12,
+            ) {
+                assert_valid_split(&prefix_of(&weights), p);
+            }
+        }
     }
 }

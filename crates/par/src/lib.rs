@@ -22,6 +22,26 @@
 //! behaviour (including any tie-breaking that depends on the work
 //! partition) is mode-independent.
 //!
+//! # Observability
+//!
+//! Every region can carry a static name via [`Executor::region`]:
+//!
+//! ```
+//! # use hcd_par::Executor;
+//! let exec = Executor::sequential().with_metrics();
+//! exec.region("demo.sum").for_each_index(100, |_| {});
+//! let metrics = exec.take_metrics();
+//! assert_eq!(metrics.regions[0].name, "demo.sum");
+//! ```
+//!
+//! With metrics enabled, each region execution records wall time,
+//! per-chunk durations (min/max/sum → a load-imbalance ratio), chunk
+//! counts, checkpoint polls, and failure/fault events into a
+//! [`RunMetrics`] snapshot ([`Executor::take_metrics`]); see the
+//! [`metrics`] module. Disabled (the default), the cost is one relaxed
+//! atomic load per region. The legacy unnamed entry points on
+//! [`Executor`] record under the name [`UNNAMED_REGION`].
+//!
 //! # Failure model
 //!
 //! Every region also exists in a fallible form (`try_for_each_chunk`,
@@ -54,16 +74,24 @@ use parking_lot::Mutex;
 pub mod chunks;
 pub mod error;
 pub mod fault;
+pub mod metrics;
 
 pub use chunks::{split_even, split_weighted};
 pub use error::{BuildError, ParError};
 pub use fault::{CancelToken, Deadline, Fault, FaultPlan};
+pub use metrics::{RegionMetrics, RunMetrics, METRICS_SCHEMA};
+
+use metrics::{ChunkStats, Recorder};
 
 /// Suggested number of innermost-loop iterations between
 /// [`Executor::checkpoint`] calls inside long chunk bodies. Coarse enough
 /// to be free, fine enough that cancellation/deadlines take effect within
 /// one stride.
 pub const CHECKPOINT_STRIDE: usize = 2048;
+
+/// Region name recorded for the legacy unnamed [`Executor`] entry points
+/// (`for_each_chunk` & co. called directly on the executor).
+pub const UNNAMED_REGION: &str = "unnamed";
 
 /// Accumulated accounting of a simulated run.
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
@@ -116,6 +144,7 @@ struct Ctrl {
 pub struct Executor {
     mode: Mode,
     ctrl: Ctrl,
+    metrics: Recorder,
 }
 
 impl Executor {
@@ -124,6 +153,7 @@ impl Executor {
         Executor {
             mode: Mode::Sequential,
             ctrl: Ctrl::default(),
+            metrics: Recorder::default(),
         }
     }
 
@@ -153,6 +183,7 @@ impl Executor {
         Ok(Executor {
             mode: Mode::Rayon { pool, workers },
             ctrl: Ctrl::default(),
+            metrics: Recorder::default(),
         })
     }
 
@@ -180,6 +211,7 @@ impl Executor {
                 stats: Mutex::new(SimStats::default()),
             },
             ctrl: Ctrl::default(),
+            metrics: Recorder::default(),
         })
     }
 
@@ -213,6 +245,41 @@ impl Executor {
             Mode::Simulated { stats, .. } => std::mem::take(&mut *stats.lock()),
             _ => SimStats::default(),
         }
+    }
+
+    // --- observability -----------------------------------------------
+
+    /// A named handle for opening parallel regions: all region entry
+    /// points exist on the returned [`Region`] and record their metrics
+    /// under `name` when metrics are enabled. Names are dotted
+    /// `component.step` identifiers (`"phcd.union"`,
+    /// `"pbks.triangles"`) restricted to `[a-z0-9._-]` by convention.
+    pub fn region(&self, name: &'static str) -> Region<'_> {
+        Region { exec: self, name }
+    }
+
+    /// Enables metrics recording (builder form).
+    pub fn with_metrics(self) -> Self {
+        self.set_metrics_enabled(true);
+        self
+    }
+
+    /// Enables or disables metrics recording on a live executor.
+    /// Disabled recording costs one relaxed atomic load per region.
+    pub fn set_metrics_enabled(&self, on: bool) {
+        self.metrics.set_enabled(on);
+    }
+
+    /// Whether metrics recording is enabled.
+    pub fn metrics_enabled(&self) -> bool {
+        self.metrics.enabled()
+    }
+
+    /// Returns and resets the recorded region metrics. Empty unless
+    /// metrics were enabled and at least one region ran. The enable flag
+    /// itself is untouched, so a long-lived executor keeps recording.
+    pub fn take_metrics(&self) -> RunMetrics {
+        self.metrics.take()
     }
 
     // --- failure-model control plane ---------------------------------
@@ -279,8 +346,10 @@ impl Executor {
     /// Cooperative cancellation point for long chunk bodies: checks the
     /// installed [`CancelToken`] and [`Deadline`]. Call every
     /// [`CHECKPOINT_STRIDE`] innermost iterations and propagate the error
-    /// with `?`.
+    /// with `?`. Polls are counted against the running region when
+    /// metrics are enabled.
     pub fn checkpoint(&self) -> Result<(), ParError> {
+        self.metrics.note_checkpoint();
         if let Some(token) = self.ctrl.cancel.lock().as_ref() {
             if token.is_cancelled() {
                 return Err(ParError::Cancelled);
@@ -294,7 +363,11 @@ impl Executor {
         Ok(())
     }
 
-    // --- parallel regions --------------------------------------------
+    // --- parallel regions (unnamed compatibility surface) ------------
+    //
+    // Each method is a thin delegate to the equivalent method on
+    // `self.region(UNNAMED_REGION)`; algorithms should prefer the named
+    // form so their regions show up attributably in RunMetrics.
 
     /// A parallel region over `0..n`, split into `p` even chunks, with a
     /// per-chunk scratch value.
@@ -308,12 +381,8 @@ impl Executor {
         MkS: Fn() -> S + Sync,
         F: Fn(usize, &mut S, Range<usize>) + Sync,
     {
-        if let Err(e) = self.try_for_each_chunk(n, make_scratch, |w, s, r| {
-            body(w, s, r);
-            Ok(())
-        }) {
-            e.raise();
-        }
+        self.region(UNNAMED_REGION)
+            .for_each_chunk(n, make_scratch, body)
     }
 
     /// Fallible version of [`Executor::for_each_chunk`]: the body returns
@@ -331,8 +400,8 @@ impl Executor {
         MkS: Fn() -> S + Sync,
         F: Fn(usize, &mut S, Range<usize>) -> Result<(), ParError> + Sync,
     {
-        let ranges = split_even(n, self.num_workers());
-        self.try_run_ranges(ranges, make_scratch, body)
+        self.region(UNNAMED_REGION)
+            .try_for_each_chunk(n, make_scratch, body)
     }
 
     /// Like [`Executor::for_each_chunk`], but chunk boundaries balance
@@ -351,12 +420,8 @@ impl Executor {
         MkS: Fn() -> S + Sync,
         F: Fn(usize, &mut S, Range<usize>) + Sync,
     {
-        if let Err(e) = self.try_for_each_chunk_weighted(weight_prefix, make_scratch, |w, s, r| {
-            body(w, s, r);
-            Ok(())
-        }) {
-            e.raise();
-        }
+        self.region(UNNAMED_REGION)
+            .for_each_chunk_weighted(weight_prefix, make_scratch, body)
     }
 
     /// Fallible version of [`Executor::for_each_chunk_weighted`].
@@ -371,16 +436,84 @@ impl Executor {
         MkS: Fn() -> S + Sync,
         F: Fn(usize, &mut S, Range<usize>) -> Result<(), ParError> + Sync,
     {
-        let ranges = chunks::split_weighted(weight_prefix, self.num_workers());
-        self.try_run_ranges(ranges, make_scratch, body)
+        self.region(UNNAMED_REGION)
+            .try_for_each_chunk_weighted(weight_prefix, make_scratch, body)
+    }
+
+    /// A parallel region over `0..n` without scratch.
+    pub fn for_each_index<F>(&self, n: usize, body: F)
+    where
+        F: Fn(usize) + Sync,
+    {
+        self.region(UNNAMED_REGION).for_each_index(n, body)
+    }
+
+    /// Fallible version of [`Executor::for_each_index`].
+    pub fn try_for_each_index<F>(&self, n: usize, body: F) -> Result<(), ParError>
+    where
+        F: Fn(usize) -> Result<(), ParError> + Sync,
+    {
+        self.region(UNNAMED_REGION).try_for_each_index(n, body)
+    }
+
+    /// A parallel region producing one value per chunk, returned in chunk
+    /// order (empty chunks yield no value, so the result has at most `p`
+    /// elements).
+    pub fn map_chunks<T, F>(&self, n: usize, body: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, Range<usize>) -> T + Sync,
+    {
+        self.region(UNNAMED_REGION).map_chunks(n, body)
+    }
+
+    /// Fallible version of [`Executor::map_chunks`]. On failure the
+    /// already-computed chunk values are dropped.
+    pub fn try_map_chunks<T, F>(&self, n: usize, body: F) -> Result<Vec<T>, ParError>
+    where
+        T: Send,
+        F: Fn(usize, Range<usize>) -> Result<T, ParError> + Sync,
+    {
+        self.region(UNNAMED_REGION).try_map_chunks(n, body)
+    }
+
+    /// Weighted analogue of [`Executor::map_chunks`]; see
+    /// [`Executor::for_each_chunk_weighted`] for the prefix convention.
+    pub fn map_chunks_weighted<T, F>(&self, weight_prefix: &[u64], body: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, Range<usize>) -> T + Sync,
+    {
+        self.region(UNNAMED_REGION)
+            .map_chunks_weighted(weight_prefix, body)
+    }
+
+    /// Fallible version of [`Executor::map_chunks_weighted`].
+    pub fn try_map_chunks_weighted<T, F>(
+        &self,
+        weight_prefix: &[u64],
+        body: F,
+    ) -> Result<Vec<T>, ParError>
+    where
+        T: Send,
+        F: Fn(usize, Range<usize>) -> Result<T, ParError> + Sync,
+    {
+        self.region(UNNAMED_REGION)
+            .try_map_chunks_weighted(weight_prefix, body)
     }
 
     /// Runs one region: checks cancellation/deadline before each chunk,
     /// applies any injected faults, contains panics, and records the
     /// first failure. Chunks observe a failure flag and skip once it is
     /// set; in rayon mode, chunks already running complete normally.
+    ///
+    /// When metrics are enabled (or the mode is simulated, which always
+    /// needs chunk clocks for `SimStats`), every chunk is timed; the same
+    /// measurements feed both accountings, so `RunMetrics::chunk_max_ns`
+    /// and `SimStats::charged` agree exactly.
     fn try_run_ranges<S, MkS, F>(
         &self,
+        name: &'static str,
         ranges: Vec<Range<usize>>,
         make_scratch: MkS,
         body: F,
@@ -396,6 +529,11 @@ impl Executor {
         let cancel = self.ctrl.cancel.lock().clone();
         let deadline = *self.ctrl.deadline.lock();
         let plan = self.ctrl.plan.lock().clone();
+        let metering = self.metrics.enabled();
+        let timed = metering || self.is_simulated();
+        let cstats = ChunkStats::new();
+        let cp_mark = self.metrics.checkpoint_mark();
+        let region_t0 = Instant::now();
 
         let first_err: Mutex<Option<ParError>> = Mutex::new(None);
         let tripped = AtomicBool::new(false);
@@ -407,7 +545,7 @@ impl Executor {
             tripped.store(true, Ordering::Release);
         };
 
-        let run_chunk = |w: usize, range: Range<usize>| {
+        let run_chunk_inner = |w: usize, range: Range<usize>| {
             if tripped.load(Ordering::Acquire) {
                 return;
             }
@@ -424,6 +562,9 @@ impl Executor {
                 }
             }
             let injected = plan.as_ref().and_then(|p| p.get(region, w));
+            if metering && injected.is_some() {
+                cstats.note_fault();
+            }
             match injected {
                 Some(Fault::Delay(micros)) => std::thread::sleep(Duration::from_micros(micros)),
                 Some(Fault::Cancel) => {
@@ -454,6 +595,15 @@ impl Executor {
                 }),
             }
         };
+        let run_chunk = |w: usize, range: Range<usize>| {
+            if timed {
+                let t0 = Instant::now();
+                run_chunk_inner(w, range);
+                cstats.record(t0.elapsed());
+            } else {
+                run_chunk_inner(w, range);
+            }
+        };
 
         match &self.mode {
             Mode::Sequential => {
@@ -476,32 +626,129 @@ impl Executor {
                 });
             }
             Mode::Simulated { stats, .. } => {
-                let mut max = Duration::ZERO;
-                let mut sum = Duration::ZERO;
                 for (w, range) in ranges.into_iter().enumerate() {
                     if range.is_empty() {
                         continue;
                     }
-                    let t0 = Instant::now();
                     run_chunk(w, range);
-                    let dt = t0.elapsed();
-                    max = max.max(dt);
-                    sum += dt;
                 }
+                // The simulated critical path is re-priced from the same
+                // chunk clocks the metrics see.
                 let mut st = stats.lock();
-                st.charged += max;
-                st.measured += sum;
+                st.charged += cstats.max();
+                st.measured += cstats.sum();
                 st.regions += 1;
             }
         }
 
-        match first_err.into_inner() {
+        let result = first_err.into_inner();
+        if metering {
+            let cp_delta = self.metrics.checkpoint_mark().saturating_sub(cp_mark);
+            self.metrics.record_region(
+                name,
+                region_t0.elapsed(),
+                &cstats,
+                cp_delta,
+                result.as_ref(),
+            );
+        }
+        match result {
             Some(e) => Err(e),
             None => Ok(()),
         }
     }
+}
 
-    /// A parallel region over `0..n` without scratch.
+/// A named handle for opening parallel regions on an [`Executor`];
+/// created with [`Executor::region`]. Carries the static region name
+/// under which executions are recorded into [`RunMetrics`].
+#[derive(Clone, Copy)]
+pub struct Region<'a> {
+    exec: &'a Executor,
+    name: &'static str,
+}
+
+impl<'a> Region<'a> {
+    /// The region's static name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// The underlying executor (for [`Executor::checkpoint`] inside
+    /// bodies).
+    pub fn executor(&self) -> &'a Executor {
+        self.exec
+    }
+
+    /// Named form of [`Executor::for_each_chunk`].
+    pub fn for_each_chunk<S, MkS, F>(&self, n: usize, make_scratch: MkS, body: F)
+    where
+        S: Send,
+        MkS: Fn() -> S + Sync,
+        F: Fn(usize, &mut S, Range<usize>) + Sync,
+    {
+        if let Err(e) = self.try_for_each_chunk(n, make_scratch, |w, s, r| {
+            body(w, s, r);
+            Ok(())
+        }) {
+            e.raise();
+        }
+    }
+
+    /// Named form of [`Executor::try_for_each_chunk`].
+    pub fn try_for_each_chunk<S, MkS, F>(
+        &self,
+        n: usize,
+        make_scratch: MkS,
+        body: F,
+    ) -> Result<(), ParError>
+    where
+        S: Send,
+        MkS: Fn() -> S + Sync,
+        F: Fn(usize, &mut S, Range<usize>) -> Result<(), ParError> + Sync,
+    {
+        let ranges = split_even(n, self.exec.num_workers());
+        self.exec
+            .try_run_ranges(self.name, ranges, make_scratch, body)
+    }
+
+    /// Named form of [`Executor::for_each_chunk_weighted`].
+    pub fn for_each_chunk_weighted<S, MkS, F>(
+        &self,
+        weight_prefix: &[u64],
+        make_scratch: MkS,
+        body: F,
+    ) where
+        S: Send,
+        MkS: Fn() -> S + Sync,
+        F: Fn(usize, &mut S, Range<usize>) + Sync,
+    {
+        if let Err(e) = self.try_for_each_chunk_weighted(weight_prefix, make_scratch, |w, s, r| {
+            body(w, s, r);
+            Ok(())
+        }) {
+            e.raise();
+        }
+    }
+
+    /// Named form of [`Executor::try_for_each_chunk_weighted`].
+    pub fn try_for_each_chunk_weighted<S, MkS, F>(
+        &self,
+        weight_prefix: &[u64],
+        make_scratch: MkS,
+        body: F,
+    ) -> Result<(), ParError>
+    where
+        S: Send,
+        MkS: Fn() -> S + Sync,
+        F: Fn(usize, &mut S, Range<usize>) -> Result<(), ParError> + Sync,
+    {
+        let ranges = chunks::split_weighted(weight_prefix, self.exec.num_workers());
+        self.exec
+            .try_run_ranges(self.name, ranges, make_scratch, body)
+    }
+
+    /// Named form of [`Executor::for_each_index`].
     pub fn for_each_index<F>(&self, n: usize, body: F)
     where
         F: Fn(usize) + Sync,
@@ -517,7 +764,7 @@ impl Executor {
         );
     }
 
-    /// Fallible version of [`Executor::for_each_index`].
+    /// Named form of [`Executor::try_for_each_index`].
     pub fn try_for_each_index<F>(&self, n: usize, body: F) -> Result<(), ParError>
     where
         F: Fn(usize) -> Result<(), ParError> + Sync,
@@ -534,9 +781,7 @@ impl Executor {
         )
     }
 
-    /// A parallel region producing one value per chunk, returned in chunk
-    /// order (empty chunks yield no value, so the result has at most `p`
-    /// elements).
+    /// Named form of [`Executor::map_chunks`].
     pub fn map_chunks<T, F>(&self, n: usize, body: F) -> Vec<T>
     where
         T: Send,
@@ -548,14 +793,13 @@ impl Executor {
         }
     }
 
-    /// Fallible version of [`Executor::map_chunks`]. On failure the
-    /// already-computed chunk values are dropped.
+    /// Named form of [`Executor::try_map_chunks`].
     pub fn try_map_chunks<T, F>(&self, n: usize, body: F) -> Result<Vec<T>, ParError>
     where
         T: Send,
         F: Fn(usize, Range<usize>) -> Result<T, ParError> + Sync,
     {
-        let p = self.num_workers();
+        let p = self.exec.num_workers();
         let slots: Vec<Mutex<Option<T>>> = (0..p).map(|_| Mutex::new(None)).collect();
         self.try_for_each_chunk(
             n,
@@ -568,8 +812,7 @@ impl Executor {
         Ok(slots.into_iter().filter_map(|s| s.into_inner()).collect())
     }
 
-    /// Weighted analogue of [`Executor::map_chunks`]; see
-    /// [`Executor::for_each_chunk_weighted`] for the prefix convention.
+    /// Named form of [`Executor::map_chunks_weighted`].
     pub fn map_chunks_weighted<T, F>(&self, weight_prefix: &[u64], body: F) -> Vec<T>
     where
         T: Send,
@@ -581,7 +824,7 @@ impl Executor {
         }
     }
 
-    /// Fallible version of [`Executor::map_chunks_weighted`].
+    /// Named form of [`Executor::try_map_chunks_weighted`].
     pub fn try_map_chunks_weighted<T, F>(
         &self,
         weight_prefix: &[u64],
@@ -591,7 +834,7 @@ impl Executor {
         T: Send,
         F: Fn(usize, Range<usize>) -> Result<T, ParError> + Sync,
     {
-        let p = self.num_workers();
+        let p = self.exec.num_workers();
         let slots: Vec<Mutex<Option<T>>> = (0..p).map(|_| Mutex::new(None)).collect();
         self.try_for_each_chunk_weighted(
             weight_prefix,
@@ -613,6 +856,12 @@ impl std::fmt::Debug for Executor {
             self.mode_name(),
             self.num_workers()
         )
+    }
+}
+
+impl std::fmt::Debug for Region<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Region({:?}, {:?})", self.name, self.exec)
     }
 }
 
@@ -977,5 +1226,179 @@ mod fault_tests {
         // Executor is still usable after the re-raise.
         let sums = exec.map_chunks(10, |_, r| r.len());
         assert_eq!(sums.iter().sum::<usize>(), 10);
+    }
+}
+
+#[cfg(test)]
+mod metrics_tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn executors() -> Vec<Executor> {
+        vec![
+            Executor::sequential(),
+            Executor::rayon(4),
+            Executor::simulated(4),
+        ]
+    }
+
+    #[test]
+    fn disabled_by_default_and_empty() {
+        for exec in executors() {
+            assert!(!exec.metrics_enabled());
+            exec.region("x").for_each_index(100, |_| {});
+            assert!(exec.take_metrics().is_empty(), "{}", exec.mode_name());
+        }
+    }
+
+    #[test]
+    fn named_regions_are_recorded_in_execution_order() {
+        for exec in executors() {
+            exec.set_metrics_enabled(true);
+            exec.region("a.first").for_each_index(50, |_| {});
+            exec.region("b.second").for_each_index(50, |_| {});
+            exec.region("a.first").for_each_index(50, |_| {});
+            let m = exec.take_metrics();
+            let names: Vec<_> = m.regions.iter().map(|r| r.name).collect();
+            assert_eq!(names, vec!["a.first", "b.second"], "{}", exec.mode_name());
+            let a = m.get("a.first").unwrap();
+            assert_eq!(a.invocations, 2);
+            assert!(a.chunks >= 2, "{}", exec.mode_name());
+            assert!(a.wall_ns > 0);
+            assert!(a.chunk_max_ns <= a.chunk_sum_ns);
+            assert!(a.chunk_min_ns <= a.chunk_max_ns);
+            // take() reset the snapshot but kept recording enabled.
+            assert!(exec.metrics_enabled());
+            assert!(exec.take_metrics().is_empty());
+        }
+    }
+
+    #[test]
+    fn unnamed_entry_points_record_under_the_sentinel_name() {
+        let exec = Executor::sequential().with_metrics();
+        exec.for_each_index(10, |_| {});
+        let m = exec.take_metrics();
+        assert_eq!(m.regions.len(), 1);
+        assert_eq!(m.regions[0].name, UNNAMED_REGION);
+    }
+
+    #[test]
+    fn simulated_charged_equals_metrics_chunk_max() {
+        let exec = Executor::simulated(4).with_metrics();
+        for round in 0..3 {
+            exec.region("work.round").for_each_index(5_000, |i| {
+                std::hint::black_box(i * round);
+            });
+        }
+        let sim = exec.take_sim_stats();
+        let m = exec.take_metrics();
+        // The two accountings share chunk clocks: exact agreement.
+        assert_eq!(m.total_charged(), sim.charged);
+        assert_eq!(
+            Duration::from_nanos(m.regions.iter().map(|r| r.chunk_sum_ns).sum()),
+            sim.measured
+        );
+        assert_eq!(
+            m.regions
+                .iter()
+                .map(|r| r.invocations as usize)
+                .sum::<usize>(),
+            sim.regions
+        );
+    }
+
+    #[test]
+    fn checkpoint_polls_are_attributed_to_the_running_region() {
+        let exec = Executor::sequential().with_metrics();
+        exec.region("polling")
+            .try_for_each_chunk(
+                10,
+                || (),
+                |_, _, range| {
+                    for _ in range {
+                        exec.checkpoint()?;
+                    }
+                    Ok(())
+                },
+            )
+            .unwrap();
+        exec.region("silent").for_each_index(10, |_| {});
+        let m = exec.take_metrics();
+        assert_eq!(m.get("polling").unwrap().checkpoints, 10);
+        assert_eq!(m.get("silent").unwrap().checkpoints, 0);
+    }
+
+    #[test]
+    fn failures_and_faults_are_counted() {
+        for exec in executors() {
+            exec.set_metrics_enabled(true);
+            // Injected panic.
+            exec.set_fault_plan(FaultPlan::new().inject(0, 0, Fault::Panic));
+            let _ = exec.region("faulty").try_for_each_index(100, |_| Ok(()));
+            exec.clear_fault_plan();
+            // Cancellation observed at a chunk boundary.
+            let token = CancelToken::new();
+            exec.set_cancel(token.clone());
+            token.cancel();
+            let _ = exec.region("aborted").try_for_each_index(100, |_| Ok(()));
+            exec.clear_cancel();
+            // Expired deadline.
+            exec.set_deadline(Deadline::from_now(Duration::ZERO));
+            let _ = exec.region("late").try_for_each_index(100, |_| Ok(()));
+            exec.clear_deadline();
+
+            let m = exec.take_metrics();
+            let mode = exec.mode_name();
+            let faulty = m.get("faulty").unwrap();
+            assert_eq!(faulty.panicked, 1, "{mode}");
+            assert_eq!(faulty.faults_injected, 1, "{mode}");
+            assert_eq!(m.get("aborted").unwrap().cancelled, 1, "{mode}");
+            assert_eq!(m.get("late").unwrap().deadline_exceeded, 1, "{mode}");
+        }
+    }
+
+    #[test]
+    fn imbalance_reflects_skewed_chunks() {
+        // 4 chunks, one of which sleeps: the imbalance ratio must rise
+        // well above 1.
+        let exec = Executor::simulated(4).with_metrics();
+        exec.region("skewed").for_each_chunk(
+            4,
+            || (),
+            |w, _, _range| {
+                if w == 0 {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+            },
+        );
+        let m = exec.take_metrics();
+        let r = m.get("skewed").unwrap();
+        assert_eq!(r.chunks, 4);
+        assert!(r.imbalance() > 2.0, "imbalance {}", r.imbalance());
+    }
+
+    #[test]
+    fn overhead_free_disabled_path_still_computes() {
+        // Sanity: metrics disabled, named regions still execute correctly.
+        let exec = Executor::rayon(4);
+        let acc = AtomicUsize::new(0);
+        exec.region("quiet").for_each_index(1000, |i| {
+            acc.fetch_add(i, Ordering::Relaxed);
+        });
+        assert_eq!(acc.into_inner(), 1000 * 999 / 2);
+        assert!(exec.take_metrics().is_empty());
+    }
+
+    #[test]
+    fn region_handle_is_reusable_and_copy() {
+        let exec = Executor::sequential().with_metrics();
+        let region = exec.region("copy.me");
+        let other = region; // Copy
+        region.for_each_index(5, |_| {});
+        other.for_each_index(5, |_| {});
+        assert_eq!(region.name(), "copy.me");
+        assert_eq!(region.executor().num_workers(), 1);
+        let m = exec.take_metrics();
+        assert_eq!(m.get("copy.me").unwrap().invocations, 2);
     }
 }

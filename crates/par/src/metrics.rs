@@ -1,0 +1,474 @@
+//! Region-level observability for the parallel runtime.
+//!
+//! Every parallel region opened through [`Executor::region`] carries a
+//! static name (`"phcd.union"`, `"pbks.triangles"`, …). When metrics are
+//! enabled on the executor, each region execution records its wall time,
+//! per-chunk durations (min / max / sum, from which a load-imbalance
+//! ratio follows), chunk counts, checkpoint polls, and any
+//! cancellation / deadline / panic / injected-fault events into a
+//! [`RunMetrics`] snapshot retrievable with
+//! [`Executor::take_metrics`].
+//!
+//! Cost model: when disabled (the default), the only overhead per region
+//! is one relaxed atomic load; per chunk, nothing. When enabled, each
+//! chunk pays two `Instant::now()` calls and a handful of relaxed atomic
+//! updates on stack-local accumulators; each region pays one short mutex
+//! lock to fold its totals into the per-name slot. In simulated mode the
+//! chunk clocks are shared with the `SimStats` accounting, so the two
+//! views are always consistent: per region, the duration charged to
+//! `SimStats::charged` *is* the `chunk_max` recorded here.
+//!
+//! [`Executor::region`]: crate::Executor::region
+//! [`Executor::take_metrics`]: crate::Executor::take_metrics
+
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::time::Duration;
+
+use parking_lot::Mutex;
+
+use crate::ParError;
+
+/// Aggregated statistics for all executions of one named region.
+///
+/// A region name is typically executed many times (e.g. `phcd.union`
+/// once per k-shell level); the counters here sum over all executions
+/// ("invocations") observed since the last [`take_metrics`] call.
+///
+/// [`take_metrics`]: crate::Executor::take_metrics
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionMetrics {
+    /// The static region name passed to [`Executor::region`].
+    ///
+    /// [`Executor::region`]: crate::Executor::region
+    pub name: &'static str,
+    /// Number of times a region with this name was executed.
+    pub invocations: u64,
+    /// Total non-empty chunks executed across all invocations.
+    pub chunks: u64,
+    /// Wall time of the region bodies, summed over invocations
+    /// (includes the scheduling barrier, so `wall_ns >= chunk_max_ns`
+    /// in sequential/simulated modes and `>=` the critical path in
+    /// rayon mode).
+    pub wall_ns: u64,
+    /// Sum of all chunk durations (the region's total work).
+    pub chunk_sum_ns: u64,
+    /// Sum over invocations of the *maximum* chunk duration — the
+    /// critical path a perfectly synchronized parallel machine would
+    /// pay. In simulated mode this equals the region's contribution to
+    /// [`SimStats::charged`](crate::SimStats::charged).
+    pub chunk_max_ns: u64,
+    /// Sum over invocations of the *minimum* chunk duration.
+    pub chunk_min_ns: u64,
+    /// [`Executor::checkpoint`](crate::Executor::checkpoint) polls
+    /// observed while this region was running.
+    pub checkpoints: u64,
+    /// Invocations that ended in [`ParError::Cancelled`].
+    pub cancelled: u64,
+    /// Invocations that ended in [`ParError::DeadlineExceeded`].
+    pub deadline_exceeded: u64,
+    /// Invocations that ended in [`ParError::Panicked`].
+    pub panicked: u64,
+    /// Faults injected into chunks of this region by a
+    /// [`FaultPlan`](crate::FaultPlan).
+    pub faults_injected: u64,
+}
+
+impl RegionMetrics {
+    fn new(name: &'static str) -> Self {
+        RegionMetrics {
+            name,
+            invocations: 0,
+            chunks: 0,
+            wall_ns: 0,
+            chunk_sum_ns: 0,
+            chunk_max_ns: 0,
+            chunk_min_ns: 0,
+            checkpoints: 0,
+            cancelled: 0,
+            deadline_exceeded: 0,
+            panicked: 0,
+            faults_injected: 0,
+        }
+    }
+
+    /// Load-imbalance ratio: critical path over ideal (mean) chunk
+    /// time, `chunk_max / (chunk_sum / chunks)`. `1.0` is a perfectly
+    /// balanced region; `p` means one chunk did all the work of a
+    /// `p`-chunk region. Returns `1.0` for degenerate (no-work) regions.
+    pub fn imbalance(&self) -> f64 {
+        if self.chunks == 0 || self.chunk_sum_ns == 0 {
+            return 1.0;
+        }
+        let mean = self.chunk_sum_ns as f64 / self.chunks as f64;
+        self.chunk_max_ns as f64 / (self.invocations as f64 * mean)
+    }
+
+    /// Total wall time as a [`Duration`].
+    pub fn wall(&self) -> Duration {
+        Duration::from_nanos(self.wall_ns)
+    }
+
+    /// Critical-path time (summed max chunk) as a [`Duration`].
+    pub fn charged(&self) -> Duration {
+        Duration::from_nanos(self.chunk_max_ns)
+    }
+}
+
+/// A snapshot of all region metrics recorded since the last
+/// [`take_metrics`](crate::Executor::take_metrics) call, in first-seen
+/// (execution) order.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RunMetrics {
+    /// Per-region aggregates, ordered by first execution.
+    pub regions: Vec<RegionMetrics>,
+}
+
+/// Version tag of the JSON document emitted by [`RunMetrics::to_json`].
+pub const METRICS_SCHEMA: &str = "hcd-metrics-v1";
+
+impl RunMetrics {
+    /// The aggregate for `name`, if that region ever ran.
+    pub fn get(&self, name: &str) -> Option<&RegionMetrics> {
+        self.regions.iter().find(|r| r.name == name)
+    }
+
+    /// Whether nothing was recorded (metrics disabled or no regions ran).
+    pub fn is_empty(&self) -> bool {
+        self.regions.is_empty()
+    }
+
+    /// Sum of critical-path (max-chunk) time over all regions — in
+    /// simulated mode identical to
+    /// [`SimStats::charged`](crate::SimStats::charged).
+    pub fn total_charged(&self) -> Duration {
+        Duration::from_nanos(self.regions.iter().map(|r| r.chunk_max_ns).sum())
+    }
+
+    /// Sum of region wall time over all regions.
+    pub fn total_wall(&self) -> Duration {
+        Duration::from_nanos(self.regions.iter().map(|r| r.wall_ns).sum())
+    }
+
+    /// Serializes the snapshot as a stable, self-describing JSON
+    /// document (schema [`METRICS_SCHEMA`]):
+    ///
+    /// ```json
+    /// {
+    ///   "schema": "hcd-metrics-v1",
+    ///   "total_wall_ns": 123,
+    ///   "total_charged_ns": 45,
+    ///   "regions": [
+    ///     {
+    ///       "name": "phcd.union", "invocations": 3, "chunks": 12,
+    ///       "wall_ns": 100, "chunk_sum_ns": 90, "chunk_max_ns": 30,
+    ///       "chunk_min_ns": 10, "imbalance": 1.33, "checkpoints": 5,
+    ///       "cancelled": 0, "deadline_exceeded": 0, "panicked": 0,
+    ///       "faults_injected": 0
+    ///     }
+    ///   ]
+    /// }
+    /// ```
+    ///
+    /// Region names are restricted to `[a-z0-9._-]` by convention, so no
+    /// string escaping is required; any other byte is replaced by `_`
+    /// defensively.
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256 + 256 * self.regions.len());
+        out.push_str("{\n");
+        out.push_str(&format!("  \"schema\": \"{METRICS_SCHEMA}\",\n"));
+        out.push_str(&format!(
+            "  \"total_wall_ns\": {},\n",
+            self.total_wall().as_nanos()
+        ));
+        out.push_str(&format!(
+            "  \"total_charged_ns\": {},\n",
+            self.total_charged().as_nanos()
+        ));
+        out.push_str("  \"regions\": [");
+        for (i, r) in self.regions.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let name: String = r
+                .name
+                .chars()
+                .map(|c| {
+                    if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                        c
+                    } else {
+                        '_'
+                    }
+                })
+                .collect();
+            out.push_str(&format!(
+                "\n    {{\"name\": \"{}\", \"invocations\": {}, \"chunks\": {}, \
+                 \"wall_ns\": {}, \"chunk_sum_ns\": {}, \"chunk_max_ns\": {}, \
+                 \"chunk_min_ns\": {}, \"imbalance\": {:.4}, \"checkpoints\": {}, \
+                 \"cancelled\": {}, \"deadline_exceeded\": {}, \"panicked\": {}, \
+                 \"faults_injected\": {}}}",
+                name,
+                r.invocations,
+                r.chunks,
+                r.wall_ns,
+                r.chunk_sum_ns,
+                r.chunk_max_ns,
+                r.chunk_min_ns,
+                r.imbalance(),
+                r.checkpoints,
+                r.cancelled,
+                r.deadline_exceeded,
+                r.panicked,
+                r.faults_injected,
+            ));
+        }
+        if !self.regions.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("]\n}\n");
+        out
+    }
+}
+
+/// Stack-local per-chunk accumulators for one region execution. Chunks
+/// update these with relaxed atomics (they race only on `fetch_*`
+/// operations, which are order-insensitive); the region driver folds
+/// them into the recorder once the barrier completes.
+#[derive(Debug)]
+pub(crate) struct ChunkStats {
+    count: AtomicU64,
+    sum_ns: AtomicU64,
+    max_ns: AtomicU64,
+    min_ns: AtomicU64,
+    faults: AtomicU64,
+}
+
+impl ChunkStats {
+    pub(crate) fn new() -> Self {
+        ChunkStats {
+            count: AtomicU64::new(0),
+            sum_ns: AtomicU64::new(0),
+            max_ns: AtomicU64::new(0),
+            min_ns: AtomicU64::new(u64::MAX),
+            faults: AtomicU64::new(0),
+        }
+    }
+
+    pub(crate) fn record(&self, d: Duration) {
+        let ns = u64::try_from(d.as_nanos()).unwrap_or(u64::MAX);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_ns.fetch_add(ns, Ordering::Relaxed);
+        self.max_ns.fetch_max(ns, Ordering::Relaxed);
+        self.min_ns.fetch_min(ns, Ordering::Relaxed);
+    }
+
+    pub(crate) fn note_fault(&self) {
+        self.faults.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn chunks(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn sum(&self) -> Duration {
+        Duration::from_nanos(self.sum_ns.load(Ordering::Relaxed))
+    }
+
+    pub(crate) fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns.load(Ordering::Relaxed))
+    }
+
+    fn min_ns_or_zero(&self) -> u64 {
+        match self.min_ns.load(Ordering::Relaxed) {
+            u64::MAX => 0,
+            v => v,
+        }
+    }
+
+    fn faults_injected(&self) -> u64 {
+        self.faults.load(Ordering::Relaxed)
+    }
+}
+
+/// The per-executor recorder: an enable flag, a global checkpoint-poll
+/// counter (attributed to the currently running region — regions of one
+/// executor never overlap), and per-name slots folded under a mutex at
+/// region end.
+#[derive(Debug, Default)]
+pub(crate) struct Recorder {
+    enabled: AtomicBool,
+    checkpoint_polls: AtomicUsize,
+    slots: Mutex<Vec<RegionMetrics>>,
+}
+
+impl Recorder {
+    pub(crate) fn enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn set_enabled(&self, on: bool) {
+        self.enabled.store(on, Ordering::Relaxed);
+    }
+
+    /// Called from [`Executor::checkpoint`](crate::Executor::checkpoint);
+    /// a single relaxed increment when enabled, nothing otherwise.
+    pub(crate) fn note_checkpoint(&self) {
+        if self.enabled() {
+            self.checkpoint_polls.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of the global checkpoint counter, taken before and after
+    /// a region to attribute the delta to it.
+    pub(crate) fn checkpoint_mark(&self) -> usize {
+        self.checkpoint_polls.load(Ordering::Relaxed)
+    }
+
+    /// Folds one region execution into its named slot.
+    pub(crate) fn record_region(
+        &self,
+        name: &'static str,
+        wall: Duration,
+        chunks: &ChunkStats,
+        checkpoint_delta: usize,
+        outcome: Option<&ParError>,
+    ) {
+        let mut slots = self.slots.lock();
+        let slot = match slots.iter_mut().find(|s| s.name == name) {
+            Some(s) => s,
+            None => {
+                slots.push(RegionMetrics::new(name));
+                slots.last_mut().expect("just pushed")
+            }
+        };
+        slot.invocations += 1;
+        slot.chunks += chunks.chunks();
+        slot.wall_ns += u64::try_from(wall.as_nanos()).unwrap_or(u64::MAX);
+        slot.chunk_sum_ns += u64::try_from(chunks.sum().as_nanos()).unwrap_or(u64::MAX);
+        slot.chunk_max_ns += u64::try_from(chunks.max().as_nanos()).unwrap_or(u64::MAX);
+        slot.chunk_min_ns += chunks.min_ns_or_zero();
+        slot.checkpoints += checkpoint_delta as u64;
+        slot.faults_injected += chunks.faults_injected();
+        match outcome {
+            Some(ParError::Cancelled) => slot.cancelled += 1,
+            Some(ParError::DeadlineExceeded) => slot.deadline_exceeded += 1,
+            Some(ParError::Panicked { .. }) => slot.panicked += 1,
+            None => {}
+        }
+    }
+
+    /// Returns and resets the recorded snapshot (the enable flag is
+    /// left untouched so a long-lived executor keeps recording).
+    pub(crate) fn take(&self) -> RunMetrics {
+        self.checkpoint_polls.store(0, Ordering::Relaxed);
+        RunMetrics {
+            regions: std::mem::take(&mut *self.slots.lock()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(name: &'static str) -> RegionMetrics {
+        RegionMetrics {
+            invocations: 2,
+            chunks: 8,
+            wall_ns: 1_000,
+            chunk_sum_ns: 800,
+            chunk_max_ns: 300,
+            chunk_min_ns: 50,
+            checkpoints: 4,
+            ..RegionMetrics::new(name)
+        }
+    }
+
+    #[test]
+    fn imbalance_ratio() {
+        let mut r = region("x");
+        // mean chunk = 100ns, per-invocation max = 150ns => 1.5.
+        r.invocations = 2;
+        r.chunks = 8;
+        r.chunk_sum_ns = 800;
+        r.chunk_max_ns = 300;
+        assert!((r.imbalance() - 1.5).abs() < 1e-9);
+        // Degenerate regions report perfectly balanced.
+        let empty = RegionMetrics::new("e");
+        assert_eq!(empty.imbalance(), 1.0);
+    }
+
+    #[test]
+    fn json_shape_is_stable() {
+        let rm = RunMetrics {
+            regions: vec![region("phcd.union"), region("pbks.triangles")],
+        };
+        let json = rm.to_json();
+        assert!(json.contains("\"schema\": \"hcd-metrics-v1\""));
+        assert!(json.contains("\"name\": \"phcd.union\""));
+        assert!(json.contains("\"chunk_max_ns\": 300"));
+        assert!(json.contains("\"imbalance\": 1.5000"));
+        assert!(json.contains("\"total_charged_ns\": 600"));
+        // Balanced brackets / braces (cheap well-formedness check).
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count(),
+            "{json}"
+        );
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+    }
+
+    #[test]
+    fn json_sanitizes_names() {
+        let rm = RunMetrics {
+            regions: vec![RegionMetrics::new("we\"ird\nname")],
+        };
+        let json = rm.to_json();
+        assert!(json.contains("\"we_ird_name\""));
+    }
+
+    #[test]
+    fn empty_metrics_json() {
+        let json = RunMetrics::default().to_json();
+        assert!(json.contains("\"regions\": []"));
+        assert!(json.contains("\"total_wall_ns\": 0"));
+    }
+
+    #[test]
+    fn recorder_accumulates_and_resets() {
+        let rec = Recorder::default();
+        rec.set_enabled(true);
+        let cs = ChunkStats::new();
+        cs.record(Duration::from_nanos(100));
+        cs.record(Duration::from_nanos(300));
+        cs.note_fault();
+        rec.record_region("a", Duration::from_nanos(500), &cs, 3, None);
+        rec.record_region(
+            "a",
+            Duration::from_nanos(100),
+            &ChunkStats::new(),
+            0,
+            Some(&ParError::Cancelled),
+        );
+        let m = rec.take();
+        assert_eq!(m.regions.len(), 1);
+        let a = m.get("a").unwrap();
+        assert_eq!(a.invocations, 2);
+        assert_eq!(a.chunks, 2);
+        assert_eq!(a.chunk_sum_ns, 400);
+        assert_eq!(a.chunk_max_ns, 300);
+        assert_eq!(a.chunk_min_ns, 100);
+        assert_eq!(a.checkpoints, 3);
+        assert_eq!(a.cancelled, 1);
+        assert_eq!(a.faults_injected, 1);
+        // Reset:
+        assert!(rec.take().is_empty());
+    }
+
+    #[test]
+    fn chunk_stats_min_of_no_chunks_is_zero() {
+        let cs = ChunkStats::new();
+        assert_eq!(cs.min_ns_or_zero(), 0);
+        assert_eq!(cs.chunks(), 0);
+        assert_eq!(cs.max(), Duration::ZERO);
+    }
+}

@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 use hcd_core::Hcd;
 use hcd_decomp::CoreDecomposition;
 use hcd_graph::{CsrGraph, VertexId};
-use hcd_par::Executor;
+use hcd_par::{Executor, ParError, CHECKPOINT_STRIDE};
 
 use crate::metrics::{GraphTotals, Metric, PrimaryValues};
 use crate::pbks::Contrib;
@@ -26,15 +26,32 @@ pub fn type_a_scores_inline(
     metric: &Metric,
     exec: &Executor,
 ) -> Vec<f64> {
+    match try_type_a_scores_inline(g, cores, hcd, metric, exec) {
+        Ok(scores) => scores,
+        Err(e) => e.raise(),
+    }
+}
+
+/// Fallible version of [`type_a_scores_inline`]: the adjacency rescan
+/// polls the executor's cancellation checkpoint at a coarse edge stride
+/// (see `hcd_par` failure model).
+pub fn try_type_a_scores_inline(
+    g: &CsrGraph,
+    cores: &CoreDecomposition,
+    hcd: &Hcd,
+    metric: &Metric,
+    exec: &Executor,
+) -> Result<Vec<f64>, ParError> {
     let num_nodes = hcd.num_nodes();
     let n_acc: Vec<AtomicU64> = (0..num_nodes).map(|_| AtomicU64::new(0)).collect();
     let m2_acc: Vec<AtomicU64> = (0..num_nodes).map(|_| AtomicU64::new(0)).collect();
     let b_acc: Vec<AtomicI64> = (0..num_nodes).map(|_| AtomicI64::new(0)).collect();
 
-    exec.for_each_chunk(
+    exec.region("ablation.inline").try_for_each_chunk(
         g.num_vertices(),
         || (),
         |_, _, range| {
+            let mut since = 0usize;
             for v in range {
                 let v = v as VertexId;
                 let c = cores.coreness(v);
@@ -54,9 +71,15 @@ pub fn type_a_scores_inline(
                 n_acc[i].fetch_add(1, Ordering::Relaxed);
                 m2_acc[i].fetch_add(2 * gt + eq, Ordering::Relaxed);
                 b_acc[i].fetch_add(lt - gt as i64, Ordering::Relaxed);
+                since += g.degree(v) + 1;
+                if since >= CHECKPOINT_STRIDE {
+                    exec.checkpoint()?;
+                    since = 0;
+                }
             }
+            Ok(())
         },
-    );
+    )?;
 
     let mut contribs: Vec<Contrib> = (0..num_nodes)
         .map(|i| Contrib {
@@ -67,18 +90,18 @@ pub fn type_a_scores_inline(
             triplets: 0,
         })
         .collect();
-    crate::accumulate::accumulate_bottom_up(hcd, &mut contribs, Contrib::merge, exec);
+    crate::accumulate::try_accumulate_bottom_up(hcd, &mut contribs, Contrib::merge, exec)?;
     let totals = GraphTotals {
         n: g.num_vertices() as u64,
         m: g.num_edges() as u64,
     };
-    contribs
+    Ok(contribs
         .into_iter()
         .map(|c| {
             let p: PrimaryValues = c.into_primary();
             metric.score(&p, &totals)
         })
-        .collect()
+        .collect())
 }
 
 #[cfg(test)]

@@ -57,7 +57,7 @@ where
     let base = SendPtr(values.as_mut_ptr());
 
     for level in levels.iter().rev() {
-        exec.try_for_each_chunk(
+        exec.region("accumulate.level").try_for_each_chunk(
             level.len(),
             || (),
             |_, _, range| {

@@ -11,7 +11,7 @@
 use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
 use hcd_graph::VertexId;
-use hcd_par::Executor;
+use hcd_par::{Executor, ParError, CHECKPOINT_STRIDE};
 
 use crate::metrics::{Metric, MetricKind, PrimaryValues};
 use crate::preprocess::SearchContext;
@@ -33,6 +33,24 @@ pub fn core_set_scores(
     metric: &Metric,
     exec: &Executor,
 ) -> Vec<LevelScore> {
+    match try_core_set_scores(ctx, metric, exec) {
+        Ok(scores) => scores,
+        Err(e) => e.raise(),
+    }
+}
+
+/// Fallible version of [`core_set_scores`]: returns `Err` if the
+/// contribution region panics, is cancelled, or exceeds the executor's
+/// deadline. The triangle enumeration is `O(m^1.5)` — by far the longest
+/// loop of this extension — so it polls the cancellation checkpoint at a
+/// coarse per-wedge work stride; a deadline takes effect within one
+/// `CHECKPOINT_STRIDE` of scanned edges rather than after the full pass
+/// (see `hcd_par` failure model).
+pub fn try_core_set_scores(
+    ctx: &SearchContext<'_>,
+    metric: &Metric,
+    exec: &Executor,
+) -> Result<Vec<LevelScore>, ParError> {
     let kmax = ctx.cores.kmax() as usize;
     let nk = kmax + 1;
     let n_acc: Vec<AtomicU64> = (0..nk).map(|_| AtomicU64::new(0)).collect();
@@ -48,13 +66,14 @@ pub fn core_set_scores(
         counts: Vec<u32>,
     }
 
-    exec.for_each_chunk(
+    exec.region("bestk.contrib").try_for_each_chunk(
         n,
         || Scratch {
             marks: vec![false; n],
             counts: vec![0; nk],
         },
         |_, scratch, range| {
+            let mut since = 0usize;
             for v in range {
                 let v = v as VertexId;
                 let cv = ctx.cores.coreness(v) as usize;
@@ -64,6 +83,11 @@ pub fn core_set_scores(
                 n_acc[cv].fetch_add(1, Ordering::Relaxed);
                 m2_acc[cv].fetch_add(2 * gt + eq, Ordering::Relaxed);
                 b_acc[cv].fetch_add(lt - gt as i64, Ordering::Relaxed);
+                since += 1;
+                if since >= CHECKPOINT_STRIDE {
+                    exec.checkpoint()?;
+                    since = 0;
+                }
                 if !type_b {
                     continue;
                 }
@@ -77,6 +101,14 @@ pub fn core_set_scores(
                 for &u in ctx.g.neighbors(v) {
                     let du = ctx.g.degree(u);
                     if du < dv || (du == dv && u < v) {
+                        // The wedge scan below is the O(m^1.5) hot loop:
+                        // poll once per scanned adjacency stride so a
+                        // deadline fires mid-vertex, not after it.
+                        since += du;
+                        if since >= CHECKPOINT_STRIDE {
+                            exec.checkpoint()?;
+                            since = 0;
+                        }
                         let ru = ctx.ranks.rank(u);
                         for &w in ctx.g.neighbors(u) {
                             if scratch.marks[w as usize] {
@@ -115,8 +147,9 @@ pub fn core_set_scores(
                     }
                 }
             }
+            Ok(())
         },
-    );
+    )?;
 
     // Suffix sums: K_k = shells k..=kmax.
     let totals = ctx.totals();
@@ -136,15 +169,27 @@ pub fn core_set_scores(
         });
     }
     out.reverse();
-    out
+    Ok(out)
 }
 
 /// The best `k` for the metric: `argmax_k score(K_k)` (ties toward the
 /// larger, more selective `k`).
 pub fn best_k(ctx: &SearchContext<'_>, metric: &Metric, exec: &Executor) -> Option<LevelScore> {
-    core_set_scores(ctx, metric, exec)
+    match try_best_k(ctx, metric, exec) {
+        Ok(best) => best,
+        Err(e) => e.raise(),
+    }
+}
+
+/// Fallible version of [`best_k`].
+pub fn try_best_k(
+    ctx: &SearchContext<'_>,
+    metric: &Metric,
+    exec: &Executor,
+) -> Result<Option<LevelScore>, ParError> {
+    Ok(try_core_set_scores(ctx, metric, exec)?
         .into_iter()
-        .max_by(|a, b| a.score.partial_cmp(&b.score).unwrap().then(a.k.cmp(&b.k)))
+        .max_by(|a, b| crate::metrics::score_cmp(a.score, b.score).then(a.k.cmp(&b.k))))
 }
 
 #[cfg(test)]
@@ -183,5 +228,76 @@ mod tests {
         let best = best_k(&ctx, &Metric::InternalDensity, &Executor::sequential()).unwrap();
         // The 4-core set (the near-clique S4) is the densest level.
         assert_eq!(best.k, 4);
+    }
+
+    #[test]
+    fn best_k_matches_across_modes_and_survives_fault_rerun() {
+        let (g, cores, hcd) = search_fixture();
+        let ctx = SearchContext::new(&g, &cores, &hcd);
+        let want = best_k(
+            &ctx,
+            &Metric::ClusteringCoefficient,
+            &Executor::sequential(),
+        )
+        .unwrap();
+        for exec in [Executor::rayon(4), Executor::simulated(3)] {
+            // An injected panic fails cleanly...
+            exec.set_fault_plan(hcd_par::FaultPlan::new().inject(0, 0, hcd_par::Fault::Panic));
+            let err = try_best_k(&ctx, &Metric::ClusteringCoefficient, &exec).unwrap_err();
+            assert!(matches!(err, hcd_par::ParError::Panicked { .. }));
+            exec.clear_fault_plan();
+            // ...and the rerun on the same executor is correct.
+            let got = best_k(&ctx, &Metric::ClusteringCoefficient, &exec).unwrap();
+            assert_eq!(got, want, "mode {}", exec.mode_name());
+        }
+    }
+
+    #[test]
+    fn nan_scores_never_win_or_panic() {
+        // No built-in metric emits NaN, but custom scores can. The argmax
+        // previously used `partial_cmp().unwrap()` and panicked; now NaN
+        // ranks below every real score and a real candidate wins.
+        let mk = |k, score| LevelScore {
+            k,
+            score,
+            primaries: PrimaryValues::default(),
+        };
+        let candidates = vec![mk(0, f64::NAN), mk(1, 1.5), mk(2, f64::NAN), mk(3, 0.5)];
+        let best = candidates
+            .into_iter()
+            .max_by(|a, b| crate::metrics::score_cmp(a.score, b.score).then(a.k.cmp(&b.k)))
+            .unwrap();
+        assert_eq!(best.k, 1);
+    }
+
+    #[test]
+    fn deadline_fires_inside_triangle_loop_within_one_stride() {
+        // A 70-clique: the wedge scan alone is far past CHECKPOINT_STRIDE
+        // edge reads. Sequential mode runs the whole region as a single
+        // chunk, so after the pre-chunk deadline check passes there are no
+        // further chunk boundaries — only the in-body stride poll can
+        // observe the deadline expiring mid-chunk (armed here by an
+        // injected straggler delay that outlasts it).
+        let mut b = hcd_graph::GraphBuilder::new();
+        for u in 0..70u32 {
+            for v in (u + 1)..70 {
+                b = b.edge(u, v);
+            }
+        }
+        let g = b.build();
+        let cores = hcd_decomp::core_decomposition(&g);
+        let hcd = hcd_core::phcd(&g, &cores, &Executor::sequential());
+        let ctx = SearchContext::new(&g, &cores, &hcd);
+        let exec = Executor::sequential();
+        exec.set_fault_plan(hcd_par::FaultPlan::new().inject(0, 0, hcd_par::Fault::Delay(50_000)));
+        exec.set_deadline(hcd_par::Deadline::from_now(
+            std::time::Duration::from_millis(10),
+        ));
+        let err = try_core_set_scores(&ctx, &Metric::ClusteringCoefficient, &exec).unwrap_err();
+        assert_eq!(err, hcd_par::ParError::DeadlineExceeded);
+        // The executor survives; cleared, the same query completes.
+        exec.clear_deadline();
+        exec.clear_fault_plan();
+        assert!(try_core_set_scores(&ctx, &Metric::ClusteringCoefficient, &exec).is_ok());
     }
 }

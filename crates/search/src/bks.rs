@@ -202,7 +202,7 @@ pub fn bks_scores_with(
 pub fn bks(ctx: &SearchContext<'_>, metric: &Metric) -> Option<BestCore> {
     let (scores, primaries) = bks_scores(ctx, metric);
     let best = (0..scores.len())
-        .max_by(|&a, &b| scores[a].partial_cmp(&scores[b]).unwrap().then(b.cmp(&a)))?;
+        .max_by(|&a, &b| crate::metrics::score_cmp(scores[a], scores[b]).then(b.cmp(&a)))?;
     Some(BestCore {
         node: best as u32,
         k: ctx.hcd.node(best as u32).k,

@@ -62,7 +62,7 @@ pub fn coreapp(
         .max_by(|&a, &b| {
             let da = 2.0 * me[a] as f64 / nv[a] as f64;
             let db = 2.0 * me[b] as f64 / nv[b] as f64;
-            da.partial_cmp(&db).unwrap()
+            crate::metrics::score_cmp(da, db)
         })
         .unwrap();
     let vertices: Vec<VertexId> = g

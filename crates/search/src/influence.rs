@@ -8,9 +8,9 @@
 //! accumulation over the forest, computed once in parallel, after which
 //! any `(k, r)` query is answered by scanning node summaries.
 
-use hcd_par::Executor;
+use hcd_par::{Executor, ParError, CHECKPOINT_STRIDE};
 
-use crate::accumulate::accumulate_bottom_up;
+use crate::accumulate::try_accumulate_bottom_up;
 use crate::preprocess::SearchContext;
 
 /// A precomputed index answering top-r influential-community queries.
@@ -42,6 +42,26 @@ impl InfluenceIndex {
     /// Panics if `weights.len()` differs from the vertex count or any
     /// weight is NaN.
     pub fn build(ctx: &SearchContext<'_>, weights: &[f64], exec: &Executor) -> Self {
+        match Self::try_build(ctx, weights, exec) {
+            Ok(idx) => idx,
+            Err(e) => e.raise(),
+        }
+    }
+
+    /// Fallible version of [`InfluenceIndex::build`]: the per-node min
+    /// pass polls the executor's cancellation checkpoint at a coarse
+    /// member-count stride, so deadlines and cancel tokens abort the
+    /// build promptly (see `hcd_par` failure model).
+    ///
+    /// # Panics
+    ///
+    /// Same contract panics as [`InfluenceIndex::build`] (wrong weight
+    /// count, NaN weights) — those are caller bugs, not runtime failures.
+    pub fn try_build(
+        ctx: &SearchContext<'_>,
+        weights: &[f64],
+        exec: &Executor,
+    ) -> Result<Self, ParError> {
         assert_eq!(
             weights.len(),
             ctx.g.num_vertices(),
@@ -58,25 +78,31 @@ impl InfluenceIndex {
             unsafe impl Send for SendPtr {}
             unsafe impl Sync for SendPtr {}
             let out = SendPtr(influence.as_mut_ptr());
-            exec.for_each_chunk(
+            exec.region("influence.node_min").try_for_each_chunk(
                 hcd.num_nodes(),
                 || (),
                 |_, _, range| {
                     let _ = &out;
+                    let mut since = 0usize;
                     for i in range {
-                        let min = hcd
-                            .node(i as u32)
-                            .vertices
+                        let members = &hcd.node(i as u32).vertices;
+                        let min = members
                             .iter()
                             .map(|&v| weights[v as usize])
                             .fold(f64::INFINITY, f64::min);
                         // SAFETY: disjoint slots.
                         unsafe { *out.0.add(i) = min };
+                        since += members.len() + 1;
+                        if since >= CHECKPOINT_STRIDE {
+                            exec.checkpoint()?;
+                            since = 0;
+                        }
                     }
+                    Ok(())
                 },
-            );
+            )?;
         }
-        accumulate_bottom_up(
+        try_accumulate_bottom_up(
             hcd,
             &mut influence,
             |a, b| {
@@ -85,20 +111,19 @@ impl InfluenceIndex {
                 }
             },
             exec,
-        );
+        )?;
         let mut by_influence: Vec<(u32, u32)> = (0..hcd.num_nodes() as u32)
             .map(|i| (hcd.node(i).k, i))
             .collect();
         by_influence.sort_by(|&(_, a), &(_, b)| {
             influence[b as usize]
-                .partial_cmp(&influence[a as usize])
-                .expect("no NaN weights")
+                .total_cmp(&influence[a as usize])
                 .then(a.cmp(&b))
         });
-        InfluenceIndex {
+        Ok(InfluenceIndex {
             influence,
             by_influence,
-        }
+        })
     }
 
     /// Influence of node `i`'s original k-core.

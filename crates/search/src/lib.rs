@@ -34,9 +34,11 @@ pub mod pbks;
 pub mod preprocess;
 
 pub use accumulate::{accumulate_bottom_up, try_accumulate_bottom_up};
+pub use bestk::{best_k, core_set_scores, try_best_k, try_core_set_scores};
 pub use bks::bks;
 pub use clique::max_clique;
-pub use metrics::{Metric, MetricKind, PrimaryValues};
+pub use influence::InfluenceIndex;
+pub use metrics::{score_cmp, Metric, MetricKind, PrimaryValues};
 pub use pbks::{pbks, pbks_scores, try_pbks, try_pbks_scores, BestCore};
 pub use preprocess::SearchContext;
 

@@ -176,6 +176,17 @@ impl Metric {
     }
 }
 
+/// Total order on scores for argmax selection, ranking NaN below every
+/// real value (including `-inf`). Raw `f64::total_cmp` would rank
+/// positive NaN *above* `+inf` and make a NaN-scoring candidate win;
+/// `partial_cmp().unwrap()` (the previous code) panicked outright. NaN
+/// scores can arise from custom or future extension metrics, so the
+/// search comparators treat them as "worst", deterministically.
+pub fn score_cmp(a: f64, b: f64) -> std::cmp::Ordering {
+    let key = |x: f64| if x.is_nan() { f64::NEG_INFINITY } else { x };
+    key(a).total_cmp(&key(b))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -300,5 +311,22 @@ mod tests {
         a.merge(&a.clone());
         assert_eq!(a.n, 2);
         assert_eq!(a.triplets, 10);
+    }
+
+    #[test]
+    fn score_cmp_ranks_nan_below_everything() {
+        use std::cmp::Ordering;
+        assert_eq!(score_cmp(f64::NAN, f64::NEG_INFINITY), Ordering::Equal);
+        assert_eq!(score_cmp(f64::NAN, -1e308), Ordering::Less);
+        assert_eq!(score_cmp(f64::NAN, f64::INFINITY), Ordering::Less);
+        assert_eq!(score_cmp(0.0, f64::NAN), Ordering::Greater);
+        assert_eq!(score_cmp(1.0, 2.0), Ordering::Less);
+        assert_eq!(score_cmp(2.0, 2.0), Ordering::Equal);
+        // A max_by over a NaN-containing slice picks a real value.
+        let scores = [f64::NAN, 0.5, f64::NAN, 0.25];
+        let best = (0..scores.len())
+            .max_by(|&a, &b| score_cmp(scores[a], scores[b]))
+            .unwrap();
+        assert_eq!(best, 1);
     }
 }

@@ -74,7 +74,7 @@ pub(crate) fn try_type_a_contributions(
     let m2_acc: Vec<AtomicU64> = (0..num_nodes).map(|_| AtomicU64::new(0)).collect();
     let b_acc: Vec<AtomicI64> = (0..num_nodes).map(|_| AtomicI64::new(0)).collect();
 
-    exec.try_for_each_chunk(
+    exec.region("pbks.type_a").try_for_each_chunk(
         ctx.g.num_vertices(),
         || (),
         |_, _, range| {
@@ -146,7 +146,7 @@ pub(crate) fn try_type_b_contributions(
     };
     // The triangle pass is the most expensive loop in the search — poll
     // the cancellation checkpoint at a coarse per-vertex work stride.
-    exec.try_for_each_chunk_weighted(
+    exec.region("pbks.triangles").try_for_each_chunk_weighted(
         &deg_prefix,
         || Scratch {
             marks: vec![false; n],
@@ -260,7 +260,7 @@ pub fn try_pbks_scores(
         unsafe impl Send for SendPtr {}
         unsafe impl Sync for SendPtr {}
         let out = SendPtr(scores.as_mut_ptr());
-        exec.try_for_each_chunk(
+        exec.region("pbks.score").try_for_each_chunk(
             primaries.len(),
             || (),
             |_, _, range| {
@@ -297,7 +297,7 @@ pub fn try_pbks(
 ) -> Result<Option<BestCore>, ParError> {
     let (scores, primaries) = try_pbks_scores(ctx, metric, exec)?;
     let best = (0..scores.len()).max_by(|&a, &b| {
-        scores[a].partial_cmp(&scores[b]).unwrap().then(b.cmp(&a)) // prefer the smaller id on ties
+        crate::metrics::score_cmp(scores[a], scores[b]).then(b.cmp(&a)) // prefer the smaller id on ties
     });
     Ok(best.map(|best| BestCore {
         node: best as u32,

@@ -67,7 +67,7 @@ impl<'a> SearchContext<'a> {
             unsafe impl Sync for SendPtr {}
             let gt_ptr = SendPtr(gt.as_mut_ptr());
             let eq_ptr = SendPtr(eq.as_mut_ptr());
-            exec.try_for_each_chunk(
+            exec.region("search.preprocess").try_for_each_chunk(
                 n,
                 || (),
                 |_, _, range| {

@@ -6,7 +6,7 @@ use std::sync::atomic::{AtomicBool, AtomicU32, Ordering};
 use parking_lot::Mutex;
 
 use hcd_graph::{CsrGraph, FxHashMap};
-use hcd_par::Executor;
+use hcd_par::{Executor, ParError, CHECKPOINT_STRIDE};
 use hcd_unionfind::{ConcurrentPivotUnionFind, UnionFindPivot};
 
 use crate::decompose::TrussDecomposition;
@@ -139,12 +139,28 @@ fn level_triangles<F: FnMut(u32, u32)>(
 /// tree nodes and resolves parents, exactly as PHCD's four steps do for
 /// vertices.
 pub fn phtd(g: &CsrGraph, idx: &EdgeIndex, truss: &TrussDecomposition, exec: &Executor) -> Htd {
+    match try_phtd(g, idx, truss, exec) {
+        Ok(htd) => htd,
+        Err(e) => e.raise(),
+    }
+}
+
+/// Fallible version of [`phtd`]: the triangle-enumeration passes poll the
+/// executor's cancellation checkpoint at a coarse adjacency-work stride,
+/// so cancel tokens and deadlines abort the construction promptly (see
+/// the `hcd_par` failure model).
+pub fn try_phtd(
+    g: &CsrGraph,
+    idx: &EdgeIndex,
+    truss: &TrussDecomposition,
+    exec: &Executor,
+) -> Result<Htd, ParError> {
     let m = idx.len();
     if m == 0 {
-        return Htd {
+        return Ok(Htd {
             nodes: Vec::new(),
             tid: Vec::new(),
-        };
+        });
     }
     let t = truss.as_slice();
 
@@ -175,39 +191,61 @@ pub fn phtd(g: &CsrGraph, idx: &EdgeIndex, truss: &TrussDecomposition, exec: &Ex
             _ => continue,
         };
 
+        // Triangle enumeration for edge e scans the adjacency of its
+        // lower-degree endpoint — the stride unit for checkpoint polls.
+        let tri_work = |e: u32| {
+            let (u, v) = idx.endpoints(e);
+            g.degree(u).min(g.degree(v)) + 1
+        };
+
         // Step 1: pivots of adjacent k'-trusses (k' > k).
-        let kpc_parts = exec.map_chunks(shell.len(), |_, range| {
-            let mut local = Vec::new();
-            for &e in &shell[range] {
-                level_triangles(g, idx, t, e, k, |e1, e2| {
-                    for other in [e1, e2] {
-                        if t[other as usize] > k {
-                            let pvt = uf.get_pivot(other);
-                            if !in_kpc[pvt as usize].swap(true, Ordering::AcqRel) {
-                                local.push(pvt);
+        let kpc_parts = exec
+            .region("truss.kpc")
+            .try_map_chunks(shell.len(), |_, range| {
+                let mut local = Vec::new();
+                let mut since = 0usize;
+                for &e in &shell[range] {
+                    level_triangles(g, idx, t, e, k, |e1, e2| {
+                        for other in [e1, e2] {
+                            if t[other as usize] > k {
+                                let pvt = uf.get_pivot(other);
+                                if !in_kpc[pvt as usize].swap(true, Ordering::AcqRel) {
+                                    local.push(pvt);
+                                }
                             }
                         }
+                    });
+                    since += tri_work(e);
+                    if since >= CHECKPOINT_STRIDE {
+                        exec.checkpoint()?;
+                        since = 0;
                     }
-                });
-            }
-            local
-        });
+                }
+                Ok(local)
+            })?;
         let kpc_pivot: Vec<u32> = kpc_parts.into_iter().flatten().collect();
 
         // Step 2: union each shell edge with its co-triangle edges of
         // trussness >= k.
-        exec.for_each_chunk(
+        exec.region("truss.union").try_for_each_chunk(
             shell.len(),
             || (),
             |_, _, range| {
+                let mut since = 0usize;
                 for &e in &shell[range] {
                     level_triangles(g, idx, t, e, k, |e1, e2| {
                         uf.union(e, e1);
                         uf.union(e, e2);
                     });
+                    since += tri_work(e);
+                    if since >= CHECKPOINT_STRIDE {
+                        exec.checkpoint()?;
+                        since = 0;
+                    }
                 }
+                Ok(())
             },
-        );
+        )?;
 
         // Step 3: group shell edges into nodes by pivot.
         let mut pivot_of: Vec<u32> = vec![0; shell.len()];
@@ -216,22 +254,35 @@ pub fn phtd(g: &CsrGraph, idx: &EdgeIndex, truss: &TrussDecomposition, exec: &Ex
             unsafe impl Send for SendPtr {}
             unsafe impl Sync for SendPtr {}
             let out = SendPtr(pivot_of.as_mut_ptr());
-            let fresh_parts = exec.map_chunks(shell.len(), |_, range| {
-                let _ = &out;
-                let mut fresh = Vec::new();
-                for i in range {
-                    let pvt = uf.get_pivot(shell[i]);
-                    // SAFETY: disjoint slots.
-                    unsafe { *out.0.add(i) = pvt };
-                    if tid[pvt as usize]
-                        .compare_exchange(NO_NODE, NO_NODE - 1, Ordering::AcqRel, Ordering::Acquire)
-                        .is_ok()
-                    {
-                        fresh.push(pvt);
-                    }
-                }
-                fresh
-            });
+            let fresh_parts =
+                exec.region("truss.fresh")
+                    .try_map_chunks(shell.len(), |_, range| {
+                        let _ = &out;
+                        let mut fresh = Vec::new();
+                        let mut since = 0usize;
+                        for i in range {
+                            let pvt = uf.get_pivot(shell[i]);
+                            // SAFETY: disjoint slots.
+                            unsafe { *out.0.add(i) = pvt };
+                            if tid[pvt as usize]
+                                .compare_exchange(
+                                    NO_NODE,
+                                    NO_NODE - 1,
+                                    Ordering::AcqRel,
+                                    Ordering::Acquire,
+                                )
+                                .is_ok()
+                            {
+                                fresh.push(pvt);
+                            }
+                            since += 1;
+                            if since >= CHECKPOINT_STRIDE {
+                                exec.checkpoint()?;
+                                since = 0;
+                            }
+                        }
+                        Ok(fresh)
+                    })?;
             let mut fresh: Vec<u32> = fresh_parts.into_iter().flatten().collect();
             fresh.sort_unstable();
             for pvt in fresh {
@@ -243,36 +294,50 @@ pub fn phtd(g: &CsrGraph, idx: &EdgeIndex, truss: &TrussDecomposition, exec: &Ex
                 tid[pvt as usize].store(id, Ordering::Release);
             }
         }
-        exec.for_each_chunk(
+        exec.region("truss.assign").try_for_each_chunk(
             shell.len(),
             FxHashMap::<u32, Vec<u32>>::default,
             |_, groups, range| {
+                let mut since = 0usize;
                 for i in range.clone() {
                     let e = shell[i];
                     let id = tid[pivot_of[i] as usize].load(Ordering::Acquire);
                     tid[e as usize].store(id, Ordering::Release);
                     groups.entry(id).or_default().push(e);
+                    since += 1;
+                    if since >= CHECKPOINT_STRIDE {
+                        exec.checkpoint()?;
+                        since = 0;
+                    }
                 }
                 for (id, mut es) in groups.drain() {
                     node_edges[id as usize].lock().append(&mut es);
                 }
+                Ok(())
             },
-        );
+        )?;
 
         // Step 4: parents.
-        exec.for_each_chunk(
+        exec.region("truss.parents").try_for_each_chunk(
             kpc_pivot.len(),
             || (),
             |_, _, range| {
+                let mut since = 0usize;
                 for &pv in &kpc_pivot[range] {
                     in_kpc[pv as usize].store(false, Ordering::Relaxed);
                     let ch = tid[pv as usize].load(Ordering::Acquire);
                     let pa = tid[uf.get_pivot(pv) as usize].load(Ordering::Acquire);
                     node_parent[ch as usize].store(pa, Ordering::Release);
                     node_children[pa as usize].lock().push(ch);
+                    since += 1;
+                    if since >= CHECKPOINT_STRIDE {
+                        exec.checkpoint()?;
+                        since = 0;
+                    }
                 }
+                Ok(())
             },
-        );
+        )?;
     }
 
     let mut nodes = Vec::with_capacity(node_k.len());
@@ -289,7 +354,7 @@ pub fn phtd(g: &CsrGraph, idx: &EdgeIndex, truss: &TrussDecomposition, exec: &Ex
         });
     }
     let tid = tid.into_iter().map(AtomicU32::into_inner).collect();
-    Htd { nodes, tid }
+    Ok(Htd { nodes, tid })
 }
 
 /// Brute-force HTD from the definitions: per level, connected components
@@ -462,6 +527,30 @@ mod tests {
             let got = phtd(&g, &idx, &td, &Executor::rayon(4)).canonicalize();
             assert_eq!(got, truth, "case {case}");
         }
+    }
+
+    #[test]
+    fn respects_cancellation() {
+        use hcd_par::{CancelToken, ParError};
+        let mut b = GraphBuilder::new();
+        for u in 0..8u32 {
+            for v in (u + 1)..8 {
+                b = b.edge(u, v);
+            }
+        }
+        let g = b.build();
+        let (idx, td) = truss_decomposition(&g);
+        let exec = Executor::rayon(2);
+        let token = CancelToken::new();
+        token.cancel();
+        exec.set_cancel(token);
+        let got = try_phtd(&g, &idx, &td, &exec).map(|_| ());
+        assert!(matches!(got, Err(ParError::Cancelled)));
+        // Clearing the token makes the same executor usable again.
+        exec.clear_cancel();
+        let truth = naive_htd(&g, &idx, &td).canonicalize();
+        let h = try_phtd(&g, &idx, &td, &exec).unwrap();
+        assert_eq!(h.canonicalize(), truth);
     }
 
     #[test]

@@ -27,7 +27,7 @@ pub mod hierarchy;
 
 pub use decompose::{truss_decomposition, TrussDecomposition};
 pub use edges::EdgeIndex;
-pub use hierarchy::{naive_htd, phtd, Htd, TrussNode};
+pub use hierarchy::{naive_htd, phtd, try_phtd, Htd, TrussNode};
 
 #[cfg(test)]
 mod proptests;

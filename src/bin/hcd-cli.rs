@@ -1,9 +1,9 @@
 //! `hcd-cli` — command-line front end for the library.
 //!
 //! ```text
-//! hcd-cli stats  <graph> [-p P]                           # n, m, davg, kmax, |T|
-//! hcd-cli build  <graph> -o index.hcd [-p P] [--timeout-ms T]
-//! hcd-cli search <graph> [-m METRIC] [-p P] [--timeout-ms T]
+//! hcd-cli stats  <graph> [-p P] [--metrics M.json]        # n, m, davg, kmax, |T|
+//! hcd-cli build  <graph> -o index.hcd [-p P] [--timeout-ms T] [--metrics M.json]
+//! hcd-cli search <graph> [-m METRIC] [-p P] [--timeout-ms T] [--metrics M.json]
 //! hcd-cli core   <graph> -v VERTEX -k K                   # the k-core containing v
 //! hcd-cli dot    <graph> [-p P]                           # Graphviz DOT of the HCD
 //! hcd-cli gen    <model> <out> [--seed S]                 # generate a synthetic graph
@@ -54,9 +54,9 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  hcd-cli stats  <graph> [-p threads]
-  hcd-cli build  <graph> -o <index.hcd> [-p threads] [--timeout-ms T]
-  hcd-cli search <graph> [-m metric] [-p threads] [--timeout-ms T]
+  hcd-cli stats  <graph> [-p threads] [--metrics out.json]
+  hcd-cli build  <graph> -o <index.hcd> [-p threads] [--timeout-ms T] [--metrics out.json]
+  hcd-cli search <graph> [-m metric] [-p threads] [--timeout-ms T] [--metrics out.json]
   hcd-cli core   <graph> -v <vertex> -k <k>
   hcd-cli dot    <graph> [-p threads]
   hcd-cli gen    <rmat|ba|er|ws|tree> <out.txt> [--seed S]
@@ -65,7 +65,11 @@ metrics: average-degree internal-density cut-ratio conductance
          modularity clustering-coefficient (default: average-degree)
 
 --timeout-ms arms a deadline checked at chunk boundaries and at coarse
-strides inside hot loops; on expiry the command exits with code 124.";
+strides inside hot loops; on expiry the command exits with code 124.
+
+--metrics writes per-region runtime observability (schema
+hcd-metrics-v1) as JSON; the file is written even when the command
+fails, so aborted runs can be diagnosed.";
 
 /// Typed failure, mapped to a distinct process exit code in `main`.
 #[derive(Debug)]
@@ -95,20 +99,20 @@ fn usage(msg: impl Into<String>) -> CliError {
 fn run(args: &[String]) -> Result<(), CliError> {
     let cmd = args.first().ok_or_else(|| usage("missing command"))?;
     match cmd.as_str() {
-        "stats" => stats(
-            args.get(1).ok_or_else(|| usage("missing graph path"))?,
-            exec_options(args)?,
-        ),
-        "build" => build(
-            args.get(1).ok_or_else(|| usage("missing graph path"))?,
-            &flag_value(args, "-o")?.ok_or_else(|| usage("missing -o <index.hcd>"))?,
-            exec_options(args)?,
-        ),
-        "search" => search(
-            args.get(1).ok_or_else(|| usage("missing graph path"))?,
-            flag_value(args, "-m")?,
-            exec_options(args)?,
-        ),
+        "stats" => {
+            let path = args.get(1).ok_or_else(|| usage("missing graph path"))?;
+            with_metrics(args, exec_options(args)?, |exec| stats(path, exec))
+        }
+        "build" => {
+            let path = args.get(1).ok_or_else(|| usage("missing graph path"))?;
+            let out = flag_value(args, "-o")?.ok_or_else(|| usage("missing -o <index.hcd>"))?;
+            with_metrics(args, exec_options(args)?, |exec| build(path, &out, exec))
+        }
+        "search" => {
+            let path = args.get(1).ok_or_else(|| usage("missing graph path"))?;
+            let metric = flag_value(args, "-m")?;
+            with_metrics(args, exec_options(args)?, |exec| search(path, metric, exec))
+        }
         "core" => core_query(
             args.get(1).ok_or_else(|| usage("missing graph path"))?,
             &flag_value(args, "-v")?.ok_or_else(|| usage("missing -v <vertex>"))?,
@@ -174,15 +178,40 @@ fn exec_options(args: &[String]) -> Result<Executor, CliError> {
     Ok(exec)
 }
 
+/// Runs a command with `--metrics <path>` support: when the flag is
+/// given, region metering is enabled on the executor before the command
+/// body runs, and the recorded [`RunMetrics`] snapshot is written as JSON
+/// afterwards — even when the command fails, so aborted runs (timeouts,
+/// contained panics) leave a diagnosable trace. A command failure takes
+/// precedence over a metrics-write failure in the exit code.
+fn with_metrics<F>(args: &[String], exec: Executor, f: F) -> Result<(), CliError>
+where
+    F: FnOnce(&Executor) -> Result<(), CliError>,
+{
+    let path = flag_value(args, "--metrics")?;
+    if path.is_some() {
+        exec.set_metrics_enabled(true);
+    }
+    let result = f(&exec);
+    if let Some(path) = path {
+        let json = exec.take_metrics().to_json();
+        if let Err(e) = std::fs::write(&path, json) {
+            let write_err = CliError::Runtime(format!("cannot write metrics to {path}: {e}"));
+            return result.and(Err(write_err));
+        }
+    }
+    result
+}
+
 fn pipeline(g: &CsrGraph, exec: &Executor) -> Result<(CoreDecomposition, Hcd), CliError> {
     let cores = try_pkc_core_decomposition(g, exec).map_err(par_err)?;
     let hcd = try_phcd(g, &cores, exec).map_err(par_err)?;
     Ok((cores, hcd))
 }
 
-fn stats(path: &str, exec: Executor) -> Result<(), CliError> {
+fn stats(path: &str, exec: &Executor) -> Result<(), CliError> {
     let g = load(path)?;
-    let (cores, hcd) = pipeline(&g, &exec)?;
+    let (cores, hcd) = pipeline(&g, exec)?;
     println!("n     = {}", g.num_vertices());
     println!("m     = {}", g.num_edges());
     println!("davg  = {:.2}", g.avg_degree());
@@ -193,9 +222,9 @@ fn stats(path: &str, exec: Executor) -> Result<(), CliError> {
     Ok(())
 }
 
-fn build(path: &str, out: &str, exec: Executor) -> Result<(), CliError> {
+fn build(path: &str, out: &str, exec: &Executor) -> Result<(), CliError> {
     let g = load(path)?;
-    let (_, hcd) = pipeline(&g, &exec)?;
+    let (_, hcd) = pipeline(&g, exec)?;
     let file = std::fs::File::create(out)
         .map_err(|e| CliError::Runtime(format!("cannot create {out}: {e}")))?;
     hcd::core::io::write_hcd(&hcd, file)
@@ -212,12 +241,12 @@ fn parse_metric(m: Option<String>) -> Result<Metric, CliError> {
         .ok_or_else(|| usage(format!("unknown metric {name:?}")))
 }
 
-fn search(path: &str, metric: Option<String>, exec: Executor) -> Result<(), CliError> {
+fn search(path: &str, metric: Option<String>, exec: &Executor) -> Result<(), CliError> {
     let g = load(path)?;
     let metric = parse_metric(metric)?;
-    let (cores, hcd) = pipeline(&g, &exec)?;
-    let ctx = SearchContext::try_with_executor(&g, &cores, &hcd, &exec).map_err(par_err)?;
-    match try_pbks(&ctx, &metric, &exec).map_err(par_err)? {
+    let (cores, hcd) = pipeline(&g, exec)?;
+    let ctx = SearchContext::try_with_executor(&g, &cores, &hcd, exec).map_err(par_err)?;
+    match try_pbks(&ctx, &metric, exec).map_err(par_err)? {
         None => println!("graph is empty"),
         Some(best) => {
             println!("metric    = {}", metric.name());

@@ -4,7 +4,8 @@
 pub use hcd_graph::{CsrGraph, GraphBuilder, InducedSubgraph, VertexId};
 
 pub use hcd_decomp::{
-    core_decomposition, pkc_core_decomposition, try_pkc_core_decomposition, CoreDecomposition,
+    core_decomposition, hindex_core_decomposition, pkc_core_decomposition,
+    try_hindex_core_decomposition, try_pkc_core_decomposition, CoreDecomposition,
 };
 
 pub use hcd_core::phcd::{phcd_with_ranks, try_phcd_with_ranks};
@@ -12,10 +13,11 @@ pub use hcd_core::query::{core_containing, cores_per_level, hierarchy_position};
 pub use hcd_core::{lcps, naive_hcd, phcd, try_phcd, Hcd, TreeNode, VertexRanks};
 
 pub use hcd_par::{
-    BuildError, CancelToken, Deadline, Executor, Fault, FaultPlan, ParError, CHECKPOINT_STRIDE,
+    BuildError, CancelToken, Deadline, Executor, Fault, FaultPlan, ParError, RegionMetrics,
+    RunMetrics, CHECKPOINT_STRIDE, METRICS_SCHEMA,
 };
 
-pub use hcd_search::bestk::{best_k, core_set_scores};
+pub use hcd_search::bestk::{best_k, core_set_scores, try_best_k, try_core_set_scores};
 pub use hcd_search::bks::bks_scores;
 pub use hcd_search::densest::{coreapp, opt_d, pbks_d};
 pub use hcd_search::influence::{InfluenceIndex, InfluentialCommunity};
@@ -28,7 +30,9 @@ pub use hcd_flow::{densest_subgraph, ecc_connectivity, k_edge_connected_componen
 
 pub use hcd_dynamic::{DynamicCore, DynamicGraph};
 
-pub use hcd_truss::{naive_htd, phtd, truss_decomposition, EdgeIndex, Htd, TrussDecomposition};
+pub use hcd_truss::{
+    naive_htd, phtd, truss_decomposition, try_phtd, EdgeIndex, Htd, TrussDecomposition,
+};
 
 pub use hcd_datasets::{
     barabasi_albert, clique_overlay, core_tree, gnp, rmat, watts_strogatz, Dataset, Scale, DATASETS,

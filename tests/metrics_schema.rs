@@ -1,0 +1,399 @@
+//! Validates the `--metrics` JSON emitted by `hcd-cli` against the
+//! documented `hcd-metrics-v1` schema, end to end: generate a graph, run
+//! a command with `--metrics`, parse the file with a dependency-free
+//! JSON reader, and check every structural and arithmetic invariant the
+//! schema promises. CI runs the same validation on an RMAT graph.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::Command;
+
+fn cli() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_hcd-cli"))
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("hcd_metrics_test_{}_{name}", std::process::id()));
+    p
+}
+
+// --- minimal JSON reader (the workspace is serde-free by design) -----
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Null,
+    Bool(bool),
+    Num(f64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0usize;
+        let v = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing garbage at byte {pos}"));
+        }
+        Ok(v)
+    }
+
+    fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(m) => m.get(key),
+            _ => None,
+        }
+    }
+
+    fn num(&self) -> Option<f64> {
+        match self {
+            Json::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    fn str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && b[*pos].is_ascii_whitespace() {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut map = BTreeMap::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            loop {
+                skip_ws(b, pos);
+                let key = match parse_value(b, pos)? {
+                    Json::Str(s) => s,
+                    other => return Err(format!("non-string key {other:?}")),
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}", pos = *pos));
+                }
+                *pos += 1;
+                map.insert(key, parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(map));
+                    }
+                    other => return Err(format!("expected ',' or '}}', got {other:?}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut out = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(out));
+            }
+            loop {
+                out.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(out));
+                    }
+                    other => return Err(format!("expected ',' or ']', got {other:?}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let start = *pos;
+            while *pos < b.len() && b[*pos] != b'"' {
+                if b[*pos] == b'\\' {
+                    return Err("escapes not used by the emitter".into());
+                }
+                *pos += 1;
+            }
+            if *pos >= b.len() {
+                return Err("unterminated string".into());
+            }
+            let s = std::str::from_utf8(&b[start..*pos])
+                .map_err(|e| e.to_string())?
+                .to_string();
+            *pos += 1;
+            Ok(Json::Str(s))
+        }
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(Json::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(Json::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(Json::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            s.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|e| format!("bad number {s:?}: {e}"))
+        }
+    }
+}
+
+// --- schema validation ------------------------------------------------
+
+/// Field names every region entry must carry, with non-negative values.
+const REGION_FIELDS: [&str; 12] = [
+    "invocations",
+    "chunks",
+    "wall_ns",
+    "chunk_sum_ns",
+    "chunk_max_ns",
+    "chunk_min_ns",
+    "imbalance",
+    "checkpoints",
+    "cancelled",
+    "deadline_exceeded",
+    "panicked",
+    "faults_injected",
+];
+
+/// Asserts the full `hcd-metrics-v1` contract on a parsed document and
+/// returns the region names in emission order.
+fn validate_schema(doc: &Json) -> Vec<String> {
+    assert_eq!(
+        doc.get("schema").and_then(Json::str),
+        Some("hcd-metrics-v1"),
+        "schema tag"
+    );
+    let total_wall = doc
+        .get("total_wall_ns")
+        .and_then(Json::num)
+        .expect("total_wall_ns");
+    let total_charged = doc
+        .get("total_charged_ns")
+        .and_then(Json::num)
+        .expect("total_charged_ns");
+    assert!(total_wall >= 0.0 && total_charged >= 0.0);
+
+    let regions = doc.get("regions").and_then(Json::arr).expect("regions[]");
+    let mut names = Vec::new();
+    let mut sum_wall = 0.0;
+    let mut sum_charged = 0.0;
+    for r in regions {
+        let name = r.get("name").and_then(Json::str).expect("region name");
+        assert!(
+            name.chars()
+                .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-')),
+            "name charset: {name:?}"
+        );
+        for field in REGION_FIELDS {
+            let v = r
+                .get(field)
+                .and_then(Json::num)
+                .unwrap_or_else(|| panic!("{name}: missing {field}"));
+            assert!(v >= 0.0, "{name}.{field} = {v}");
+        }
+        let chunks = r.get("chunks").and_then(Json::num).unwrap();
+        let invocations = r.get("invocations").and_then(Json::num).unwrap();
+        let sum = r.get("chunk_sum_ns").and_then(Json::num).unwrap();
+        let max = r.get("chunk_max_ns").and_then(Json::num).unwrap();
+        let min = r.get("chunk_min_ns").and_then(Json::num).unwrap();
+        assert!(invocations >= 1.0, "{name}: recorded without running");
+        // An invocation over an empty index range runs zero chunks, so
+        // `chunks` is not bounded below by `invocations`.
+        assert!(chunks > 0.0 || sum == 0.0, "{name}: timed chunkless run");
+        assert!(max <= sum, "{name}: chunk_max > chunk_sum");
+        assert!(min <= max || max == 0.0, "{name}: chunk_min > chunk_max");
+        sum_wall += r.get("wall_ns").and_then(Json::num).unwrap();
+        sum_charged += max;
+        names.push(name.to_string());
+    }
+    assert_eq!(sum_wall, total_wall, "total_wall_ns is the region sum");
+    assert_eq!(
+        sum_charged, total_charged,
+        "total_charged_ns is the sum of chunk maxima"
+    );
+    names
+}
+
+fn gen_graph(name: &str, model: &str) -> PathBuf {
+    let graph = tmp(name);
+    let out = cli()
+        .args(["gen", model, graph.to_str().unwrap(), "--seed", "7"])
+        .output()
+        .expect("run gen");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    graph
+}
+
+#[test]
+fn build_metrics_cover_every_phcd_region() {
+    let graph = gen_graph("build.txt", "rmat");
+    let index = tmp("build.hcd");
+    let metrics = tmp("build.json");
+    let out = cli()
+        .args([
+            "build",
+            graph.to_str().unwrap(),
+            "-o",
+            index.to_str().unwrap(),
+            "-p",
+            "4",
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run build");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&metrics).expect("metrics file written");
+    let doc = Json::parse(&text).expect("valid JSON");
+    let names = validate_schema(&doc);
+    for region in [
+        "phcd.kpc",
+        "phcd.union",
+        "phcd.pivots",
+        "phcd.assign",
+        "phcd.parents",
+    ] {
+        assert!(
+            names.iter().any(|n| n == region),
+            "missing {region}: {names:?}"
+        );
+    }
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_file(&index).ok();
+    std::fs::remove_file(&metrics).ok();
+}
+
+#[test]
+fn search_metrics_cover_the_pbks_pipeline() {
+    let graph = gen_graph("search.txt", "tree");
+    let metrics = tmp("search.json");
+    let out = cli()
+        .args([
+            "search",
+            graph.to_str().unwrap(),
+            "-m",
+            "clustering-coefficient",
+            "-p",
+            "2",
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run search");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&metrics).expect("metrics file written");
+    let names = validate_schema(&Json::parse(&text).expect("valid JSON"));
+    // The search pipeline layers preprocessing and scoring on top of the
+    // construction regions; a type-B metric also runs the triangle pass.
+    for region in [
+        "search.preprocess",
+        "pbks.type_a",
+        "pbks.triangles",
+        "pbks.score",
+    ] {
+        assert!(
+            names.iter().any(|n| n == region),
+            "missing {region}: {names:?}"
+        );
+    }
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_file(&metrics).ok();
+}
+
+#[test]
+fn metrics_file_is_written_even_when_the_deadline_fires() {
+    let graph = gen_graph("timeout.txt", "ba");
+    let metrics = tmp("timeout.json");
+    let out = cli()
+        .args([
+            "search",
+            graph.to_str().unwrap(),
+            "--timeout-ms",
+            "0",
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run search");
+    assert_eq!(out.status.code(), Some(124), "deadline exit code");
+    let text =
+        std::fs::read_to_string(&metrics).expect("metrics must be written for aborted runs too");
+    let doc = Json::parse(&text).expect("valid JSON");
+    let names = validate_schema(&doc);
+    // The aborted region recorded its failure.
+    let regions = doc.get("regions").and_then(Json::arr).unwrap();
+    let aborted: f64 = regions
+        .iter()
+        .map(|r| r.get("deadline_exceeded").and_then(Json::num).unwrap())
+        .sum();
+    assert!(aborted >= 1.0, "no deadline recorded in {names:?}");
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_file(&metrics).ok();
+}
+
+#[test]
+fn without_the_flag_no_metrics_file_appears() {
+    let graph = gen_graph("noflag.txt", "tree");
+    let metrics = tmp("noflag.json");
+    std::fs::remove_file(&metrics).ok();
+    let out = cli()
+        .args(["stats", graph.to_str().unwrap(), "-p", "2"])
+        .output()
+        .expect("run stats");
+    assert!(out.status.success());
+    assert!(!metrics.exists());
+    std::fs::remove_file(&graph).ok();
+}
