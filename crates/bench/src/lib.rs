@@ -17,11 +17,15 @@
 //!   snapshots: executors from [`executor`] run with region metering
 //!   enabled, and targets call [`dump_metrics`] to write
 //!   `<base>.<label>.json` (schema `hcd-metrics-v1`) per measurement.
+//! * `HCD_BENCH_TRACE` — base path for per-thread span timelines:
+//!   executors from [`executor`] run with tracing armed, and targets
+//!   call [`dump_trace`] to write `<base>.<label>.json` (schema
+//!   `hcd-trace-v1`, Chrome trace-event JSON) per measurement.
 
 use std::time::{Duration, Instant};
 
 use hcd_datasets::{Dataset, Scale, DATASETS};
-use hcd_par::{Executor, RunMetrics};
+use hcd_par::{Executor, RunMetrics, Trace};
 
 /// The thread counts swept in the paper's figures.
 pub const THREAD_SWEEP: [usize; 5] = [1, 5, 10, 20, 40];
@@ -72,6 +76,9 @@ pub fn executor(p: usize) -> Executor {
     if metrics_base().is_some() {
         exec.set_metrics_enabled(true);
     }
+    if trace_base().is_some() {
+        exec.arm_trace();
+    }
     exec
 }
 
@@ -82,6 +89,27 @@ pub fn metrics_base() -> Option<String> {
         .filter(|s| !s.is_empty())
 }
 
+/// The `HCD_BENCH_TRACE` base path, if span timelines are requested.
+pub fn trace_base() -> Option<String> {
+    std::env::var("HCD_BENCH_TRACE")
+        .ok()
+        .filter(|s| !s.is_empty())
+}
+
+/// Sanitizes a measurement label into a filename fragment.
+fn safe_label(label: &str) -> String {
+    label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
+                c
+            } else {
+                '_'
+            }
+        })
+        .collect()
+}
+
 /// Drains the executor's accumulated region metrics and, when
 /// `HCD_BENCH_METRICS` is set, writes them to `<base>.<label>.json`
 /// (label sanitized to `[A-Za-z0-9._-]`). Always returns the snapshot,
@@ -89,22 +117,31 @@ pub fn metrics_base() -> Option<String> {
 pub fn dump_metrics(exec: &Executor, label: &str) -> RunMetrics {
     let m = exec.take_metrics();
     if let Some(base) = metrics_base() {
-        let safe: String = label
-            .chars()
-            .map(|c| {
-                if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
-                    c
-                } else {
-                    '_'
-                }
-            })
-            .collect();
-        let path = format!("{base}.{safe}.json");
+        let path = format!("{base}.{}.json", safe_label(label));
         if let Err(e) = std::fs::write(&path, m.to_json()) {
             eprintln!("warning: cannot write metrics to {path}: {e}");
         }
     }
     m
+}
+
+/// Drains the executor's trace buffers and, when `HCD_BENCH_TRACE` is
+/// set, writes the Chrome trace-event JSON to `<base>.<label>.json`
+/// (label sanitized as in [`dump_metrics`]). Taking a trace disarms the
+/// session, so when the env var is set the executor is re-armed for the
+/// next measurement — mirroring how metering stays enabled across
+/// [`dump_metrics`] calls. Always returns the trace, so targets can
+/// also inspect the event stream programmatically.
+pub fn dump_trace(exec: &Executor, label: &str) -> Trace {
+    let t = exec.take_trace();
+    if let Some(base) = trace_base() {
+        let path = format!("{base}.{}.json", safe_label(label));
+        if let Err(e) = std::fs::write(&path, t.to_chrome_json()) {
+            eprintln!("warning: cannot write trace to {path}: {e}");
+        }
+        exec.arm_trace();
+    }
+    t
 }
 
 /// Runs `f(exec)` and returns its (simulated or wall) duration plus the
@@ -230,6 +267,28 @@ mod tests {
         assert!(m.get("bench.test").is_some());
         // Drained: a second dump is empty.
         assert!(dump_metrics(&exec, "unit").is_empty());
+    }
+
+    #[test]
+    fn dump_trace_returns_events_without_env() {
+        let exec = Executor::sequential().with_trace();
+        exec.region("bench.trace").for_each_chunk(
+            8,
+            || (),
+            |_, _, range| {
+                std::hint::black_box(range.len());
+            },
+        );
+        let t = dump_trace(&exec, "unit");
+        assert!(
+            t.events
+                .iter()
+                .any(|e| e.kind == hcd_par::EventKind::RegionEnter),
+            "span events recorded"
+        );
+        // Drained and (without HCD_BENCH_TRACE) left disarmed.
+        assert!(dump_trace(&exec, "unit").events.is_empty());
+        assert!(!exec.trace_armed());
     }
 
     #[test]

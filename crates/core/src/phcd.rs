@@ -86,7 +86,14 @@ pub fn try_phcd_with_ranks(
     // shell's upper bound).
     let rank = ranks.ranks();
     let vsort = ranks.vsort();
-    let uf = ConcurrentPivotUnionFind::new_identity(n);
+    // Union-find operation counts only when someone is looking (metrics
+    // or an armed trace); disabled stats cost one branch per operation.
+    let observed = exec.metrics_enabled() || exec.trace_armed();
+    let uf = if observed {
+        ConcurrentPivotUnionFind::new_identity(n).with_stats()
+    } else {
+        ConcurrentPivotUnionFind::new_identity(n)
+    };
     let tid: Vec<AtomicU32> = (0..n).map(|_| AtomicU32::new(NO_NODE)).collect();
     // Node storage, appended level by level (serially, tiny).
     let mut node_k: Vec<u32> = Vec::new();
@@ -111,11 +118,13 @@ pub fn try_phcd_with_ranks(
         p
     };
 
+    let mut union_phases = 0u64;
     for k in (0..=kmax).rev() {
         let (lo, hi) = ranks.shell_bounds(k);
         if lo == hi {
             continue;
         }
+        union_phases += 1;
         let shell_len = hi - lo;
         let shell_weights = &deg_prefix[lo..=hi];
 
@@ -252,6 +261,15 @@ pub fn try_phcd_with_ranks(
             },
         )?;
     }
+
+    // Flush algorithm counters (no-ops unless metrics are enabled).
+    exec.add_counter("phcd.union_phases", union_phases);
+    let uc = uf.counts();
+    exec.add_counter("phcd.uf.finds", uc.finds);
+    exec.add_counter("phcd.uf.find_hops", uc.find_hops);
+    exec.add_counter("phcd.uf.unions", uc.unions);
+    exec.add_counter("phcd.uf.cas_retries", uc.cas_retries);
+    exec.add_counter("phcd.uf.pivot_merges", uc.pivot_merges);
 
     // Finalize: sorted, deterministic index.
     let num_nodes = node_k.len();

@@ -45,8 +45,12 @@ pub fn try_pkc_core_decomposition(
     let mut level: u32 = 0;
     // Alive vertices, compacted after each level (the PKC optimization).
     let mut alive: Vec<VertexId> = (0..n as VertexId).collect();
+    // Observability: peeling rounds and per-wave frontier sizes.
+    let mut levels_run = 0u64;
+    let mut waves_run = 0u64;
 
     while processed < n {
+        levels_run += 1;
         // Scan the alive list: vertices at the current level seed the
         // frontier; the rest survive into the next alive list.
         let parts = exec
@@ -74,6 +78,10 @@ pub fn try_pkc_core_decomposition(
         // Peel the frontier in waves until it drains. Wave work is
         // proportional to frontier degrees, so chunk by degree weight.
         while !frontier.is_empty() {
+            waves_run += 1;
+            // Frontier-size samples: high-water mark in the metrics
+            // snapshot, one counter-track point per wave in the trace.
+            exec.gauge("pkc.frontier", frontier.len() as u64);
             processed += frontier.len();
             let wave_prefix: Vec<u64> = {
                 let mut p = Vec::with_capacity(frontier.len() + 1);
@@ -131,6 +139,8 @@ pub fn try_pkc_core_decomposition(
         alive.retain(|&v| deg[v as usize].load(Ordering::Relaxed) > level);
         level += 1;
     }
+    exec.add_counter("pkc.levels", levels_run);
+    exec.add_counter("pkc.waves", waves_run);
 
     let coreness: Vec<u32> = deg.into_iter().map(AtomicU32::into_inner).collect();
     Ok(CoreDecomposition::from_coreness(coreness))

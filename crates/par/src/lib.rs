@@ -72,16 +72,21 @@ use std::time::{Duration, Instant};
 use parking_lot::Mutex;
 
 pub mod chunks;
+pub mod diff;
 pub mod error;
 pub mod fault;
 pub mod metrics;
+pub mod trace;
 
 pub use chunks::{split_even, split_weighted};
+pub use diff::{diff_metrics, DiffEntry, DiffOptions, DiffReport, Snapshot};
 pub use error::{BuildError, ParError};
 pub use fault::{CancelToken, Deadline, Fault, FaultPlan};
-pub use metrics::{RegionMetrics, RunMetrics, METRICS_SCHEMA};
+pub use metrics::{CounterValue, RegionMetrics, RunMetrics, METRICS_SCHEMA};
+pub use trace::{EventKind, Trace, TraceEvent, DEFAULT_EVENT_CAPACITY, TRACE_SCHEMA};
 
 use metrics::{ChunkStats, Recorder};
+use trace::TraceCtl;
 
 /// Suggested number of innermost-loop iterations between
 /// [`Executor::checkpoint`] calls inside long chunk bodies. Coarse enough
@@ -145,6 +150,7 @@ pub struct Executor {
     mode: Mode,
     ctrl: Ctrl,
     metrics: Recorder,
+    trace: TraceCtl,
 }
 
 impl Executor {
@@ -154,6 +160,7 @@ impl Executor {
             mode: Mode::Sequential,
             ctrl: Ctrl::default(),
             metrics: Recorder::default(),
+            trace: TraceCtl::default(),
         }
     }
 
@@ -184,6 +191,7 @@ impl Executor {
             mode: Mode::Rayon { pool, workers },
             ctrl: Ctrl::default(),
             metrics: Recorder::default(),
+            trace: TraceCtl::default(),
         })
     }
 
@@ -212,6 +220,7 @@ impl Executor {
             },
             ctrl: Ctrl::default(),
             metrics: Recorder::default(),
+            trace: TraceCtl::default(),
         })
     }
 
@@ -282,6 +291,67 @@ impl Executor {
         self.metrics.take()
     }
 
+    /// Arms timeline tracing with the default per-thread event capacity
+    /// ([`DEFAULT_EVENT_CAPACITY`]); see the [`trace`] module. Until
+    /// [`Executor::take_trace`] is called, every region records span
+    /// events (region enter/exit, chunk begin/end, checkpoint polls,
+    /// injected faults) and [`Executor::gauge`] samples into per-thread
+    /// ring buffers. Disarmed (the default), the cost is one relaxed
+    /// atomic load per region and nothing per chunk.
+    pub fn arm_trace(&self) {
+        self.trace.arm(DEFAULT_EVENT_CAPACITY);
+    }
+
+    /// Arms timeline tracing with an explicit per-thread event capacity
+    /// (rounded up to at least 16). When a thread records more events
+    /// than this, the oldest are overwritten and counted in
+    /// [`Trace::dropped`].
+    pub fn arm_trace_with_capacity(&self, events_per_thread: usize) {
+        self.trace.arm(events_per_thread);
+    }
+
+    /// Builder form of [`Executor::arm_trace`].
+    pub fn with_trace(self) -> Self {
+        self.arm_trace();
+        self
+    }
+
+    /// Whether a trace session is currently armed.
+    pub fn trace_armed(&self) -> bool {
+        self.trace.armed()
+    }
+
+    /// Disarms tracing and returns the collected timeline (empty if
+    /// tracing was never armed). Call only at quiescence — after all
+    /// regions have returned.
+    pub fn take_trace(&self) -> Trace {
+        self.trace.take()
+    }
+
+    /// Adds `delta` to the named monotone counter (e.g. union-find CAS
+    /// retries). Recorded into [`RunMetrics::counters`] when metrics are
+    /// enabled; free (one relaxed load) otherwise. Thread-safe, but
+    /// intended to be called from region drivers / algorithm code that
+    /// flushes thread-local tallies, not per element.
+    pub fn add_counter(&self, name: &'static str, delta: u64) {
+        if self.metrics.enabled() && delta > 0 {
+            self.metrics.update_counter(name, delta, "sum");
+        }
+    }
+
+    /// Records a point sample of the named gauge (e.g. the peeling
+    /// frontier size of the current wave). The metrics snapshot keeps the
+    /// high-water mark; an armed trace additionally records every sample
+    /// as a counter-track point, so the timeline shows the full curve.
+    pub fn gauge(&self, name: &'static str, value: u64) {
+        if self.metrics.enabled() {
+            self.metrics.update_counter(name, value, "max");
+        }
+        if let Some(session) = self.trace.session() {
+            session.record(EventKind::Counter, name, u32::MAX, value);
+        }
+    }
+
     // --- failure-model control plane ---------------------------------
 
     /// Installs a cancellation token (builder form). Regions abort with
@@ -350,6 +420,9 @@ impl Executor {
     /// metrics are enabled.
     pub fn checkpoint(&self) -> Result<(), ParError> {
         self.metrics.note_checkpoint();
+        if let Some(session) = self.trace.session() {
+            session.record(EventKind::Checkpoint, "checkpoint", u32::MAX, 0);
+        }
         if let Some(token) = self.ctrl.cancel.lock().as_ref() {
             if token.is_cancelled() {
                 return Err(ParError::Cancelled);
@@ -533,6 +606,12 @@ impl Executor {
         let timed = metering || self.is_simulated();
         let cstats = ChunkStats::new();
         let cp_mark = self.metrics.checkpoint_mark();
+        // One relaxed load when disarmed; the Arc is cloned once per
+        // region (never per chunk) when armed.
+        let tracer = self.trace.session();
+        if let Some(t) = &tracer {
+            t.record(EventKind::RegionEnter, name, u32::MAX, 0);
+        }
         let region_t0 = Instant::now();
 
         let first_err: Mutex<Option<ParError>> = Mutex::new(None);
@@ -562,8 +641,13 @@ impl Executor {
                 }
             }
             let injected = plan.as_ref().and_then(|p| p.get(region, w));
-            if metering && injected.is_some() {
-                cstats.note_fault();
+            if injected.is_some() {
+                if metering {
+                    cstats.note_fault();
+                }
+                if let Some(t) = &tracer {
+                    t.record(EventKind::Fault, name, w as u32, 0);
+                }
             }
             match injected {
                 Some(Fault::Delay(micros)) => std::thread::sleep(Duration::from_micros(micros)),
@@ -596,12 +680,18 @@ impl Executor {
             }
         };
         let run_chunk = |w: usize, range: Range<usize>| {
+            if let Some(t) = &tracer {
+                t.record(EventKind::ChunkBegin, name, w as u32, 0);
+            }
             if timed {
                 let t0 = Instant::now();
                 run_chunk_inner(w, range);
                 cstats.record(t0.elapsed());
             } else {
                 run_chunk_inner(w, range);
+            }
+            if let Some(t) = &tracer {
+                t.record(EventKind::ChunkEnd, name, w as u32, 0);
             }
         };
 
@@ -642,6 +732,14 @@ impl Executor {
         }
 
         let result = first_err.into_inner();
+        if let Some(t) = &tracer {
+            t.record(
+                EventKind::RegionExit,
+                name,
+                u32::MAX,
+                u64::from(result.is_some()),
+            );
+        }
         if metering {
             let cp_delta = self.metrics.checkpoint_mark().saturating_sub(cp_mark);
             self.metrics.record_region(
@@ -1390,6 +1488,28 @@ mod metrics_tests {
     }
 
     #[test]
+    fn counters_and_gauges_record_into_metrics() {
+        let exec = Executor::sequential().with_metrics();
+        exec.add_counter("uf.cas_retries", 3);
+        exec.add_counter("uf.cas_retries", 4);
+        exec.add_counter("noop", 0); // zero deltas are dropped
+        exec.gauge("pkc.frontier", 10);
+        exec.gauge("pkc.frontier", 90);
+        exec.gauge("pkc.frontier", 40);
+        let m = exec.take_metrics();
+        assert_eq!(m.get_counter("uf.cas_retries").unwrap().value, 7);
+        assert_eq!(m.get_counter("uf.cas_retries").unwrap().kind, "sum");
+        assert_eq!(m.get_counter("pkc.frontier").unwrap().value, 90);
+        assert_eq!(m.get_counter("pkc.frontier").unwrap().kind, "max");
+        assert!(m.get_counter("noop").is_none());
+        // Disabled: counters are not recorded.
+        let quiet = Executor::sequential();
+        quiet.add_counter("x", 5);
+        quiet.gauge("y", 5);
+        assert!(quiet.take_metrics().is_empty());
+    }
+
+    #[test]
     fn region_handle_is_reusable_and_copy() {
         let exec = Executor::sequential().with_metrics();
         let region = exec.region("copy.me");
@@ -1400,5 +1520,182 @@ mod metrics_tests {
         assert_eq!(region.executor().num_workers(), 1);
         let m = exec.take_metrics();
         assert_eq!(m.get("copy.me").unwrap().invocations, 2);
+    }
+}
+
+#[cfg(test)]
+mod trace_tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn executors() -> Vec<Executor> {
+        vec![
+            Executor::sequential(),
+            Executor::rayon(4),
+            Executor::simulated(4),
+        ]
+    }
+
+    #[test]
+    fn disarmed_by_default_and_empty() {
+        for exec in executors() {
+            assert!(!exec.trace_armed());
+            exec.region("quiet").for_each_index(100, |_| {});
+            assert!(exec.take_trace().is_empty(), "{}", exec.mode_name());
+        }
+    }
+
+    #[test]
+    fn armed_trace_records_region_and_chunk_spans() {
+        for exec in executors() {
+            exec.arm_trace();
+            exec.region("traced.region").for_each_index(1000, |_| {});
+            exec.gauge("demo.gauge", 42);
+            let trace = exec.take_trace();
+            let mode = exec.mode_name();
+            assert!(!exec.trace_armed(), "{mode}");
+            assert_eq!(trace.dropped, 0, "{mode}");
+            let enters: Vec<_> = trace.of_kind(EventKind::RegionEnter).collect();
+            let exits: Vec<_> = trace.of_kind(EventKind::RegionExit).collect();
+            assert_eq!(enters.len(), 1, "{mode}");
+            assert_eq!(exits.len(), 1, "{mode}");
+            assert_eq!(enters[0].name, "traced.region");
+            assert_eq!(exits[0].value, 0, "clean region, {mode}");
+            let begins = trace.of_kind(EventKind::ChunkBegin).count();
+            let ends = trace.of_kind(EventKind::ChunkEnd).count();
+            assert_eq!(begins, ends, "{mode}");
+            assert_eq!(begins, exec.num_workers().min(1000), "{mode}");
+            assert_eq!(trace.of_kind(EventKind::Counter).count(), 1, "{mode}");
+            // The executor is reusable; a fresh arm starts clean.
+            exec.arm_trace();
+            assert!(exec.trace_armed());
+            assert!(exec.take_trace().is_empty(), "{mode}");
+        }
+    }
+
+    #[test]
+    fn chunk_spans_nest_inside_region_spans_per_mode() {
+        for exec in executors() {
+            exec.arm_trace();
+            exec.region("nested").for_each_index(100, |_| {});
+            let trace = exec.take_trace();
+            let enter = trace.of_kind(EventKind::RegionEnter).next().unwrap().ts_ns;
+            let exit = trace.of_kind(EventKind::RegionExit).next().unwrap().ts_ns;
+            for e in trace
+                .of_kind(EventKind::ChunkBegin)
+                .chain(trace.of_kind(EventKind::ChunkEnd))
+            {
+                assert!(
+                    enter <= e.ts_ns && e.ts_ns <= exit,
+                    "{}: chunk event at {} outside region [{enter}, {exit}]",
+                    exec.mode_name(),
+                    e.ts_ns
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn faults_and_failures_appear_in_the_trace() {
+        let exec = Executor::simulated(4);
+        exec.arm_trace();
+        exec.set_fault_plan(FaultPlan::new().inject(0, 1, Fault::Panic));
+        let err = exec.region("faulty").try_for_each_index(100, |_| Ok(()));
+        assert!(err.is_err());
+        let trace = exec.take_trace();
+        let faults: Vec<_> = trace.of_kind(EventKind::Fault).collect();
+        assert_eq!(faults.len(), 1);
+        assert_eq!(faults[0].worker, 1);
+        assert_eq!(faults[0].name, "faulty");
+        let exit = trace.of_kind(EventKind::RegionExit).next().unwrap();
+        assert_eq!(exit.value, 1, "failed region flagged");
+        exec.clear_fault_plan();
+    }
+
+    #[test]
+    fn checkpoints_are_traced_when_armed() {
+        let exec = Executor::sequential();
+        exec.arm_trace();
+        exec.region("polling")
+            .try_for_each_chunk(
+                8,
+                || (),
+                |_, _, range| {
+                    for _ in range {
+                        exec.checkpoint()?;
+                    }
+                    Ok(())
+                },
+            )
+            .unwrap();
+        let trace = exec.take_trace();
+        assert_eq!(trace.of_kind(EventKind::Checkpoint).count(), 8);
+    }
+
+    #[test]
+    fn disarmed_tracing_leaves_sim_charged_identical_to_metrics() {
+        // Acceptance gate: with tracing disarmed, the chunk hot path is
+        // byte-for-byte PR 2's — the simulated charged time still equals
+        // the metrics critical path exactly, which could not hold if the
+        // disarmed path did per-chunk work outside the shared clocks.
+        let exec = Executor::simulated(4).with_metrics();
+        assert!(!exec.trace_armed());
+        for _ in 0..5 {
+            exec.region("hot.loop").for_each_index(10_000, |i| {
+                std::hint::black_box(i);
+            });
+        }
+        let sim = exec.take_sim_stats();
+        let m = exec.take_metrics();
+        assert_eq!(m.total_charged(), sim.charged);
+        assert_eq!(
+            Duration::from_nanos(m.regions.iter().map(|r| r.chunk_sum_ns).sum()),
+            sim.measured
+        );
+    }
+
+    #[test]
+    fn armed_tracing_preserves_accounting_consistency() {
+        // Tracing adds time (inside the chunk clocks), but both
+        // accountings share those clocks, so they must still agree.
+        let exec = Executor::simulated(4).with_metrics();
+        exec.arm_trace();
+        exec.region("traced.hot").for_each_index(10_000, |i| {
+            std::hint::black_box(i);
+        });
+        let sim = exec.take_sim_stats();
+        let m = exec.take_metrics();
+        assert_eq!(m.total_charged(), sim.charged);
+        assert!(!exec.take_trace().is_empty());
+    }
+
+    #[test]
+    fn bounded_buffers_drop_oldest_but_count_them() {
+        let exec = Executor::sequential();
+        exec.arm_trace_with_capacity(16);
+        for _ in 0..100 {
+            exec.region("wrap").for_each_index(1, |_| {});
+        }
+        let trace = exec.take_trace();
+        // 100 regions x 4 events (enter, chunk begin/end, exit) = 400.
+        assert_eq!(trace.events.len(), 16);
+        assert_eq!(trace.dropped, 384);
+    }
+
+    #[test]
+    fn chrome_export_of_real_run_is_well_formed() {
+        let exec = Executor::rayon(3);
+        exec.arm_trace();
+        let acc = AtomicUsize::new(0);
+        exec.region("export.me").for_each_index(300, |_| {
+            acc.fetch_add(1, Ordering::Relaxed);
+        });
+        exec.gauge("export.gauge", 7);
+        let json = exec.take_trace().to_chrome_json();
+        assert!(json.contains("\"schema\": \"hcd-trace-v1\""));
+        assert!(json.contains("\"export.me\""));
+        assert!(json.contains("\"worker-"));
+        assert!(json.contains("\"ph\": \"C\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 }

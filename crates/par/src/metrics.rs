@@ -26,6 +26,7 @@ use std::time::Duration;
 
 use parking_lot::Mutex;
 
+use crate::trace::escape_json;
 use crate::ParError;
 
 /// Aggregated statistics for all executions of one named region.
@@ -74,7 +75,9 @@ pub struct RegionMetrics {
 }
 
 impl RegionMetrics {
-    fn new(name: &'static str) -> Self {
+    /// A zeroed aggregate for `name` (useful for tests and synthetic
+    /// snapshots; the recorder creates these internally).
+    pub fn new(name: &'static str) -> Self {
         RegionMetrics {
             name,
             invocations: 0,
@@ -114,6 +117,23 @@ impl RegionMetrics {
     }
 }
 
+/// One named algorithm counter (see [`Executor::add_counter`] and
+/// [`Executor::gauge`]): a monotone sum (`kind == "sum"`, e.g. union-find
+/// CAS retries) or a high-water mark (`kind == "max"`, e.g. peak peeling
+/// frontier).
+///
+/// [`Executor::add_counter`]: crate::Executor::add_counter
+/// [`Executor::gauge`]: crate::Executor::gauge
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterValue {
+    /// Counter name, dotted like region names (`"uf.cas_retries"`).
+    pub name: &'static str,
+    /// Accumulated value (sum or max depending on `kind`).
+    pub value: u64,
+    /// `"sum"` or `"max"`.
+    pub kind: &'static str,
+}
+
 /// A snapshot of all region metrics recorded since the last
 /// [`take_metrics`](crate::Executor::take_metrics) call, in first-seen
 /// (execution) order.
@@ -121,6 +141,8 @@ impl RegionMetrics {
 pub struct RunMetrics {
     /// Per-region aggregates, ordered by first execution.
     pub regions: Vec<RegionMetrics>,
+    /// Named algorithm counters, ordered by first update.
+    pub counters: Vec<CounterValue>,
 }
 
 /// Version tag of the JSON document emitted by [`RunMetrics::to_json`].
@@ -132,9 +154,14 @@ impl RunMetrics {
         self.regions.iter().find(|r| r.name == name)
     }
 
+    /// The counter named `name`, if it was ever updated.
+    pub fn get_counter(&self, name: &str) -> Option<&CounterValue> {
+        self.counters.iter().find(|c| c.name == name)
+    }
+
     /// Whether nothing was recorded (metrics disabled or no regions ran).
     pub fn is_empty(&self) -> bool {
-        self.regions.is_empty()
+        self.regions.is_empty() && self.counters.is_empty()
     }
 
     /// Sum of critical-path (max-chunk) time over all regions — in
@@ -165,13 +192,16 @@ impl RunMetrics {
     ///       "cancelled": 0, "deadline_exceeded": 0, "panicked": 0,
     ///       "faults_injected": 0
     ///     }
+    ///   ],
+    ///   "counters": [
+    ///     {"name": "uf.cas_retries", "kind": "sum", "value": 17}
     ///   ]
     /// }
     /// ```
     ///
-    /// Region names are restricted to `[a-z0-9._-]` by convention, so no
-    /// string escaping is required; any other byte is replaced by `_`
-    /// defensively.
+    /// Region and counter names are restricted to `[a-z0-9._-]` by
+    /// convention, but any name is emitted faithfully with standard JSON
+    /// string escaping, so the document stays well-formed regardless.
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256 + 256 * self.regions.len());
         out.push_str("{\n");
@@ -189,17 +219,7 @@ impl RunMetrics {
             if i > 0 {
                 out.push(',');
             }
-            let name: String = r
-                .name
-                .chars()
-                .map(|c| {
-                    if c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-') {
-                        c
-                    } else {
-                        '_'
-                    }
-                })
-                .collect();
+            let name = escape_json(r.name);
             out.push_str(&format!(
                 "\n    {{\"name\": \"{}\", \"invocations\": {}, \"chunks\": {}, \
                  \"wall_ns\": {}, \"chunk_sum_ns\": {}, \"chunk_max_ns\": {}, \
@@ -222,6 +242,22 @@ impl RunMetrics {
             ));
         }
         if !self.regions.is_empty() {
+            out.push_str("\n  ");
+        }
+        out.push_str("],\n");
+        out.push_str("  \"counters\": [");
+        for (i, c) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\n    {{\"name\": \"{}\", \"kind\": \"{}\", \"value\": {}}}",
+                escape_json(c.name),
+                c.kind,
+                c.value,
+            ));
+        }
+        if !self.counters.is_empty() {
             out.push_str("\n  ");
         }
         out.push_str("]\n}\n");
@@ -298,6 +334,7 @@ pub(crate) struct Recorder {
     enabled: AtomicBool,
     checkpoint_polls: AtomicUsize,
     slots: Mutex<Vec<RegionMetrics>>,
+    counters: Mutex<Vec<CounterValue>>,
 }
 
 impl Recorder {
@@ -356,12 +393,30 @@ impl Recorder {
         }
     }
 
+    /// Folds a delta into the named counter slot. `kind` must be
+    /// `"sum"` (add) or `"max"` (high-water mark); a name keeps the kind
+    /// of its first update.
+    pub(crate) fn update_counter(&self, name: &'static str, value: u64, kind: &'static str) {
+        let mut counters = self.counters.lock();
+        match counters.iter_mut().find(|c| c.name == name) {
+            Some(c) => {
+                if c.kind == "max" {
+                    c.value = c.value.max(value);
+                } else {
+                    c.value = c.value.saturating_add(value);
+                }
+            }
+            None => counters.push(CounterValue { name, value, kind }),
+        }
+    }
+
     /// Returns and resets the recorded snapshot (the enable flag is
     /// left untouched so a long-lived executor keeps recording).
     pub(crate) fn take(&self) -> RunMetrics {
         self.checkpoint_polls.store(0, Ordering::Relaxed);
         RunMetrics {
             regions: std::mem::take(&mut *self.slots.lock()),
+            counters: std::mem::take(&mut *self.counters.lock()),
         }
     }
 }
@@ -398,9 +453,54 @@ mod tests {
     }
 
     #[test]
+    fn imbalance_edge_cases() {
+        // Zero chunks recorded (region never ran a chunk): balanced by
+        // definition, not NaN from 0/0.
+        let mut r = RegionMetrics::new("z");
+        r.invocations = 3;
+        assert_eq!(r.imbalance(), 1.0);
+
+        // Chunks ran but all completed in under a nanosecond of
+        // accumulated time: same degenerate guard.
+        r.chunks = 4;
+        r.chunk_sum_ns = 0;
+        assert_eq!(r.imbalance(), 1.0);
+
+        // A single chunk IS the critical path and the mean: exactly 1.0.
+        let mut single = RegionMetrics::new("s");
+        single.invocations = 1;
+        single.chunks = 1;
+        single.chunk_sum_ns = 777;
+        single.chunk_max_ns = 777;
+        assert!((single.imbalance() - 1.0).abs() < 1e-12);
+
+        // All chunks equal: max == mean, perfectly balanced regardless
+        // of chunk count.
+        let mut even = RegionMetrics::new("v");
+        even.invocations = 1;
+        even.chunks = 10;
+        even.chunk_sum_ns = 1_000;
+        even.chunk_max_ns = 100;
+        assert!((even.imbalance() - 1.0).abs() < 1e-12);
+
+        // Worst case: one chunk did everything in a 4-chunk region.
+        let mut skew = RegionMetrics::new("w");
+        skew.invocations = 1;
+        skew.chunks = 4;
+        skew.chunk_sum_ns = 400;
+        skew.chunk_max_ns = 400;
+        assert!((skew.imbalance() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
     fn json_shape_is_stable() {
         let rm = RunMetrics {
             regions: vec![region("phcd.union"), region("pbks.triangles")],
+            counters: vec![CounterValue {
+                name: "uf.cas_retries",
+                value: 17,
+                kind: "sum",
+            }],
         };
         let json = rm.to_json();
         assert!(json.contains("\"schema\": \"hcd-metrics-v1\""));
@@ -408,6 +508,7 @@ mod tests {
         assert!(json.contains("\"chunk_max_ns\": 300"));
         assert!(json.contains("\"imbalance\": 1.5000"));
         assert!(json.contains("\"total_charged_ns\": 600"));
+        assert!(json.contains("\"name\": \"uf.cas_retries\", \"kind\": \"sum\", \"value\": 17"));
         // Balanced brackets / braces (cheap well-formedness check).
         assert_eq!(
             json.matches('{').count(),
@@ -418,12 +519,23 @@ mod tests {
     }
 
     #[test]
-    fn json_sanitizes_names() {
+    fn json_escapes_names() {
+        // Names outside the [a-z0-9._-] convention must survive as valid
+        // JSON string literals, not corrupt the document.
         let rm = RunMetrics {
-            regions: vec![RegionMetrics::new("we\"ird\nname")],
+            regions: vec![RegionMetrics::new("we\"ird\\na\nme")],
+            counters: vec![CounterValue {
+                name: "c\"tr",
+                value: 1,
+                kind: "sum",
+            }],
         };
         let json = rm.to_json();
-        assert!(json.contains("\"we_ird_name\""));
+        assert!(json.contains(r#""we\"ird\\na\nme""#), "{json}");
+        assert!(json.contains(r#""c\"tr""#), "{json}");
+        // Every quote in the document is either structural or escaped:
+        // the name fields parse back out intact.
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
     }
 
     #[test]
@@ -461,6 +573,22 @@ mod tests {
         assert_eq!(a.cancelled, 1);
         assert_eq!(a.faults_injected, 1);
         // Reset:
+        assert!(rec.take().is_empty());
+    }
+
+    #[test]
+    fn counters_sum_and_max_fold_correctly() {
+        let rec = Recorder::default();
+        rec.update_counter("uf.find_hops", 10, "sum");
+        rec.update_counter("uf.find_hops", 5, "sum");
+        rec.update_counter("pkc.frontier", 100, "max");
+        rec.update_counter("pkc.frontier", 40, "max");
+        rec.update_counter("pkc.frontier", 250, "max");
+        let m = rec.take();
+        assert_eq!(m.get_counter("uf.find_hops").unwrap().value, 15);
+        let frontier = m.get_counter("pkc.frontier").unwrap();
+        assert_eq!(frontier.value, 250);
+        assert_eq!(frontier.kind, "max");
         assert!(rec.take().is_empty());
     }
 

@@ -56,7 +56,12 @@ where
     unsafe impl<T> Sync for SendPtr<T> {}
     let base = SendPtr(values.as_mut_ptr());
 
+    let mut levels_run = 0u64;
     for level in levels.iter().rev() {
+        if level.is_empty() {
+            continue;
+        }
+        levels_run += 1;
         exec.region("accumulate.level").try_for_each_chunk(
             level.len(),
             || (),
@@ -77,6 +82,8 @@ where
             },
         )?;
     }
+    // Tree depth in levels — the span of the accumulation.
+    exec.add_counter("accumulate.levels", levels_run);
     Ok(())
 }
 

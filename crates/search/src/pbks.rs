@@ -146,6 +146,10 @@ pub(crate) fn try_type_b_contributions(
     };
     // The triangle pass is the most expensive loop in the search — poll
     // the cancellation checkpoint at a coarse per-vertex work stride.
+    // Neighbor probes (the inner `w` loop) are the pass's true work
+    // measure, O(Σ min(d(u), d(v))); tallied chunk-locally and flushed
+    // with one atomic add per chunk.
+    let probe_work = AtomicU64::new(0);
     exec.region("pbks.triangles").try_for_each_chunk_weighted(
         &deg_prefix,
         || Scratch {
@@ -154,6 +158,7 @@ pub(crate) fn try_type_b_contributions(
             reps: vec![0; kmax + 1],
         },
         |_, scratch, range| {
+            let mut probes = 0u64;
             let mut since = 0usize;
             for v in range {
                 let v = v as VertexId;
@@ -174,6 +179,7 @@ pub(crate) fn try_type_b_contributions(
                     let du = ctx.g.degree(u);
                     if du < dv || (du == dv && u < v) {
                         let ru = ctx.ranks.rank(u);
+                        probes += du as u64;
                         for &w in ctx.g.neighbors(u) {
                             if scratch.marks[w as usize] {
                                 let rw = ctx.ranks.rank(w);
@@ -213,9 +219,11 @@ pub(crate) fn try_type_b_contributions(
                     }
                 }
             }
+            probe_work.fetch_add(probes, Ordering::Relaxed);
             Ok(())
         },
     )?;
+    exec.add_counter("pbks.triangle_probes", probe_work.load(Ordering::Relaxed));
 
     for (i, c) in contribs.iter_mut().enumerate() {
         c.triangles += ta[i].load(Ordering::Relaxed);

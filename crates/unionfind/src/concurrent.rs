@@ -29,7 +29,19 @@
 
 use std::sync::atomic::{AtomicU32, AtomicU64, Ordering};
 
-use crate::UnionFindPivot;
+use crate::{UfCounts, UnionFindPivot};
+
+/// Relaxed atomic tallies shared by all mutator threads. Per-call hop
+/// counts are accumulated locally and folded with a single `fetch_add`,
+/// so enabled stats add O(1) atomics per operation, not per hop.
+#[derive(Debug, Default)]
+struct ConcStats {
+    finds: AtomicU64,
+    find_hops: AtomicU64,
+    unions: AtomicU64,
+    cas_retries: AtomicU64,
+    pivot_merges: AtomicU64,
+}
 
 const PARENT_MASK: u64 = 0xFFFF_FFFF;
 
@@ -77,6 +89,7 @@ pub struct ConcurrentPivotUnionFind {
     entry: Vec<AtomicU64>,
     pivot: Vec<AtomicU32>,
     key: Vec<u32>,
+    stats: Option<ConcStats>,
 }
 
 impl ConcurrentPivotUnionFind {
@@ -93,6 +106,30 @@ impl ConcurrentPivotUnionFind {
             entry: (0..n as u32).map(|i| AtomicU64::new(pack(0, i))).collect(),
             pivot: (0..n as u32).map(AtomicU32::new).collect(),
             key: keys,
+            stats: None,
+        }
+    }
+
+    /// Enables operation counting (builder form); see [`UfCounts`].
+    /// Disabled (the default), every operation pays only one branch.
+    pub fn with_stats(mut self) -> Self {
+        self.stats = Some(ConcStats::default());
+        self
+    }
+
+    /// A quiescent-or-approximate snapshot of the operation tallies;
+    /// all-zero when stats are disabled. Exact once all mutator threads
+    /// have joined (relaxed counters carry no ordering, only totals).
+    pub fn counts(&self) -> UfCounts {
+        match &self.stats {
+            Some(s) => UfCounts {
+                finds: s.finds.load(Ordering::Relaxed),
+                find_hops: s.find_hops.load(Ordering::Relaxed),
+                unions: s.unions.load(Ordering::Relaxed),
+                cas_retries: s.cas_retries.load(Ordering::Relaxed),
+                pivot_merges: s.pivot_merges.load(Ordering::Relaxed),
+            },
+            None => UfCounts::default(),
         }
     }
 
@@ -157,6 +194,9 @@ impl ConcurrentPivotUnionFind {
     /// containing `root`, chasing root changes until the write sticks on a
     /// live root.
     fn merge_pivot(&self, mut root: u32, pv: u32) {
+        // Retries (failed pivot CAS) and chases (root relinked under a
+        // new root mid-merge) both measure pivot-protocol contention.
+        let mut retries = 0u64;
         loop {
             let cur = self.pivot[root as usize].load(Ordering::Acquire);
             if self.key[pv as usize] < self.key[cur as usize]
@@ -164,6 +204,7 @@ impl ConcurrentPivotUnionFind {
                     .compare_exchange(cur, pv, Ordering::AcqRel, Ordering::Acquire)
                     .is_err()
             {
+                retries += 1;
                 continue; // someone else updated; re-evaluate
             }
             // If `root` was linked away (before or after our write), the
@@ -171,9 +212,15 @@ impl ConcurrentPivotUnionFind {
             // root ourselves.
             let live = self.find(root);
             if live == root {
-                return;
+                break;
             }
+            retries += 1;
             root = live;
+        }
+        if let Some(s) = &self.stats {
+            if retries > 0 {
+                s.pivot_merges.fetch_add(retries, Ordering::Relaxed);
+            }
         }
     }
 }
@@ -184,12 +231,14 @@ impl UnionFindPivot for ConcurrentPivotUnionFind {
     }
 
     fn find(&self, mut x: u32) -> u32 {
-        loop {
+        let mut hops = 0u64;
+        let root = loop {
             let e = self.entry[x as usize].load(Ordering::Acquire);
             let p = parent_of(e);
             if p == x {
-                return x;
+                break x;
             }
+            hops += 1;
             let ep = self.entry[p as usize].load(Ordering::Acquire);
             let gp = parent_of(ep);
             if gp != p {
@@ -202,20 +251,40 @@ impl UnionFindPivot for ConcurrentPivotUnionFind {
                 );
             }
             x = p;
+        };
+        if let Some(s) = &self.stats {
+            s.finds.fetch_add(1, Ordering::Relaxed);
+            if hops > 0 {
+                s.find_hops.fetch_add(hops, Ordering::Relaxed);
+            }
         }
+        root
     }
 
     fn union(&self, x: u32, y: u32) -> bool {
+        let mut retries = 0u64;
+        let flush = |retries: u64, merged: bool| {
+            if let Some(s) = &self.stats {
+                if retries > 0 {
+                    s.cas_retries.fetch_add(retries, Ordering::Relaxed);
+                }
+                if merged {
+                    s.unions.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        };
         loop {
             let rx = self.find(x);
             let ry = self.find(y);
             if rx == ry {
+                flush(retries, false);
                 return false;
             }
             let ex = self.entry[rx as usize].load(Ordering::Acquire);
             let ey = self.entry[ry as usize].load(Ordering::Acquire);
             // Re-validate rootness (entries may have changed since find).
             if parent_of(ex) != rx || parent_of(ey) != ry {
+                retries += 1;
                 continue;
             }
             let (kx, ky) = (rank_of(ex), rank_of(ey));
@@ -234,6 +303,7 @@ impl UnionFindPivot for ConcurrentPivotUnionFind {
                 )
                 .is_err()
             {
+                retries += 1;
                 continue;
             }
             if tie {
@@ -249,6 +319,7 @@ impl UnionFindPivot for ConcurrentPivotUnionFind {
             }
             let pl = self.pivot[loser as usize].load(Ordering::Acquire);
             self.merge_pivot(winner, pl);
+            flush(retries, true);
             return true;
         }
     }
@@ -409,6 +480,51 @@ mod tests {
         }
         uf.validate().unwrap();
         assert_eq!(uf.get_pivot((n - 1) as u32), 0);
+    }
+
+    #[test]
+    fn stats_disabled_by_default_and_count_when_enabled() {
+        let quiet = ConcurrentPivotUnionFind::new_identity(10);
+        quiet.union(0, 1);
+        assert!(quiet.counts().is_zero());
+
+        let uf = ConcurrentPivotUnionFind::new_identity(100).with_stats();
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        let c = uf.counts();
+        assert_eq!(c.unions, 99);
+        // Each union: two finds up front plus at least one inside
+        // merge_pivot's root re-check.
+        assert!(c.finds >= 297, "finds {}", c.finds);
+        assert_eq!(c.cas_retries, 0, "no contention single-threaded");
+    }
+
+    #[test]
+    fn stats_are_coherent_under_contention() {
+        // 8 threads race on a dense merge pattern; totals must reflect
+        // every successful union exactly once even though retries vary
+        // run to run.
+        let n = 10_000;
+        let uf = Arc::new(ConcurrentPivotUnionFind::new_identity(n).with_stats());
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let uf = Arc::clone(&uf);
+                std::thread::spawn(move || {
+                    for i in (t..n - 1).step_by(8) {
+                        uf.union(i as u32, i as u32 + 1);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        let c = uf.counts();
+        // Exactly n-1 merges happened in total, regardless of the race.
+        assert_eq!(c.unions, (n - 1) as u64);
+        assert!(c.finds >= 2 * c.unions);
+        uf.validate().unwrap();
     }
 
     #[test]

@@ -21,6 +21,51 @@ pub mod seq;
 pub use concurrent::ConcurrentPivotUnionFind;
 pub use seq::PivotUnionFind;
 
+/// Operation counters of a union-find instance, collected when stats are
+/// enabled with `with_stats()` on either variant (default off: the only
+/// cost of disabled stats is one branch per operation).
+///
+/// These are the structure-level signals the paper's performance story
+/// turns on: `find_hops` measures path-compression effectiveness,
+/// `cas_retries` measures linking contention (always 0 for the
+/// sequential variant), `pivot_merges` measures how often pivot
+/// min-merges had to retry or chase relinked roots.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct UfCounts {
+    /// `find` calls (including those inside `union` / `get_pivot`).
+    pub finds: u64,
+    /// Parent-pointer hops taken across all finds; `finds > 0` with
+    /// `find_hops == 0` means every element pointed straight at a root.
+    pub find_hops: u64,
+    /// Successful unions (calls that actually merged two components).
+    pub unions: u64,
+    /// Failed link/rank CAS attempts that forced the union loop to
+    /// retry (concurrent variant only).
+    pub cas_retries: u64,
+    /// Pivot min-merge CAS retries plus root-chase iterations
+    /// (sequential variant: pivot overwrites during unions).
+    pub pivot_merges: u64,
+}
+
+impl UfCounts {
+    /// Element-wise sum, for folding per-structure counts into one
+    /// report.
+    pub fn merged(self, other: UfCounts) -> UfCounts {
+        UfCounts {
+            finds: self.finds + other.finds,
+            find_hops: self.find_hops + other.find_hops,
+            unions: self.unions + other.unions,
+            cas_retries: self.cas_retries + other.cas_retries,
+            pivot_merges: self.pivot_merges + other.pivot_merges,
+        }
+    }
+
+    /// Whether every counter is zero.
+    pub fn is_zero(&self) -> bool {
+        *self == UfCounts::default()
+    }
+}
+
 /// Common interface of the sequential and concurrent union-find.
 ///
 /// Elements are dense ids `0..n`. Each element has a fixed *key*; the

@@ -2,7 +2,16 @@
 
 use std::cell::Cell;
 
-use crate::UnionFindPivot;
+use crate::{UfCounts, UnionFindPivot};
+
+/// `Cell`-based operation tallies (single-threaded, like the structure).
+#[derive(Debug, Default)]
+struct SeqStats {
+    finds: Cell<u64>,
+    find_hops: Cell<u64>,
+    unions: Cell<u64>,
+    pivot_merges: Cell<u64>,
+}
 
 /// Sequential union-find with path halving, union by rank, and per-root
 /// pivot (minimum-key member) maintenance.
@@ -27,6 +36,7 @@ pub struct PivotUnionFind {
     rank: Vec<Cell<u8>>,
     pivot: Vec<Cell<u32>>,
     key: Vec<u32>,
+    stats: Option<SeqStats>,
 }
 
 impl PivotUnionFind {
@@ -46,6 +56,28 @@ impl PivotUnionFind {
             rank: vec![Cell::new(0); n],
             pivot: (0..n as u32).map(Cell::new).collect(),
             key: keys,
+            stats: None,
+        }
+    }
+
+    /// Enables operation counting (builder form); see [`UfCounts`].
+    /// Disabled (the default), every operation pays only one branch.
+    pub fn with_stats(mut self) -> Self {
+        self.stats = Some(SeqStats::default());
+        self
+    }
+
+    /// The operation tallies so far; all-zero when stats are disabled.
+    pub fn counts(&self) -> UfCounts {
+        match &self.stats {
+            Some(s) => UfCounts {
+                finds: s.finds.get(),
+                find_hops: s.find_hops.get(),
+                unions: s.unions.get(),
+                cas_retries: 0,
+                pivot_merges: s.pivot_merges.get(),
+            },
+            None => UfCounts::default(),
         }
     }
 
@@ -111,15 +143,22 @@ impl UnionFindPivot for PivotUnionFind {
     }
 
     fn find(&self, mut x: u32) -> u32 {
-        loop {
+        let mut hops = 0u64;
+        let root = loop {
             let p = self.parent[x as usize].get();
             if p == x {
-                return x;
+                break x;
             }
+            hops += 1;
             let gp = self.parent[p as usize].get();
             self.parent[x as usize].set(gp);
             x = gp;
+        };
+        if let Some(s) = &self.stats {
+            s.finds.set(s.finds.get() + 1);
+            s.find_hops.set(s.find_hops.get() + hops);
         }
+        root
     }
 
     fn union(&self, x: u32, y: u32) -> bool {
@@ -142,8 +181,15 @@ impl UnionFindPivot for PivotUnionFind {
         self.parent[loser as usize].set(winner);
         let pw = self.pivot[winner as usize].get();
         let pl = self.pivot[loser as usize].get();
-        if self.key[pl as usize] < self.key[pw as usize] {
+        let pivot_updated = self.key[pl as usize] < self.key[pw as usize];
+        if pivot_updated {
             self.pivot[winner as usize].set(pl);
+        }
+        if let Some(s) = &self.stats {
+            s.unions.set(s.unions.get() + 1);
+            if pivot_updated {
+                s.pivot_merges.set(s.pivot_merges.get() + 1);
+            }
         }
         true
     }
@@ -223,6 +269,37 @@ mod tests {
         let uf = PivotUnionFind::new(vec![9, 3, 7]);
         assert_eq!(uf.key(0), 9);
         assert_eq!(uf.key(1), 3);
+    }
+
+    #[test]
+    fn stats_disabled_by_default_and_count_when_enabled() {
+        let quiet = PivotUnionFind::new_identity(10);
+        quiet.union(0, 1);
+        assert!(quiet.counts().is_zero());
+
+        let uf = PivotUnionFind::new_identity(100).with_stats();
+        for i in 0..99 {
+            uf.union(i, i + 1);
+        }
+        let c = uf.counts();
+        assert_eq!(c.unions, 99);
+        // Every union calls find twice.
+        assert_eq!(c.finds, 198);
+        assert_eq!(c.cas_retries, 0, "sequential variant never retries");
+        // Chain merges keep pivot 0 at the root without new minima after
+        // the first few unions; pivot_merges counts actual overwrites.
+        assert!(c.pivot_merges <= c.unions);
+        // Redundant unions count finds but no union.
+        let before = uf.counts();
+        assert!(!uf.union(0, 99));
+        let after = uf.counts();
+        assert_eq!(after.unions, before.unions);
+        assert_eq!(after.finds, before.finds + 2);
+        // find_hops shrink to zero as path halving compresses.
+        let _ = uf.find(0);
+        let settled = uf.counts();
+        uf.find(0);
+        assert_eq!(uf.counts().find_hops, settled.find_hops);
     }
 
     #[test]

@@ -1,16 +1,18 @@
 //! `hcd-cli` — command-line front end for the library.
 //!
 //! ```text
-//! hcd-cli stats  <graph> [-p P] [--metrics M.json]        # n, m, davg, kmax, |T|
-//! hcd-cli build  <graph> -o index.hcd [-p P] [--timeout-ms T] [--metrics M.json]
-//! hcd-cli search <graph> [-m METRIC] [-p P] [--timeout-ms T] [--metrics M.json]
+//! hcd-cli stats  <graph> [-p P] [--metrics M.json] [--trace T.json]
+//! hcd-cli build  <graph> -o index.hcd [-p P] [--timeout-ms T] [--metrics M.json] [--trace T.json]
+//! hcd-cli search <graph> [-m METRIC] [-p P] [--timeout-ms T] [--metrics M.json] [--trace T.json]
 //! hcd-cli core   <graph> -v VERTEX -k K                   # the k-core containing v
 //! hcd-cli dot    <graph> [-p P]                           # Graphviz DOT of the HCD
 //! hcd-cli gen    <model> <out> [--seed S]                 # generate a synthetic graph
+//! hcd-cli metrics-diff <old.json> <new.json> [--threshold X] [--abs-floor-ns N]
 //! ```
 //!
 //! Graphs are text edge lists (`u v` per line, `#` comments) or the
 //! compact binary format (`.bin`), auto-detected by extension.
+//! `--metrics -` / `--trace -` write the JSON document to stdout.
 //!
 //! ## Exit codes
 //!
@@ -19,6 +21,7 @@
 //! | 0    | success |
 //! | 1    | runtime failure (I/O error, worker panic, bad input graph) |
 //! | 2    | usage error (unknown command, bad flag, unknown metric) |
+//! | 3    | `metrics-diff` found a regression past the threshold |
 //! | 124  | deadline exceeded or cancelled (`--timeout-ms` fired) |
 
 use std::process::ExitCode;
@@ -31,6 +34,10 @@ use hcd::prelude::*;
 const EXIT_TIMEOUT: u8 = 124;
 /// Exit code for malformed invocations (usage text is printed).
 const EXIT_USAGE: u8 = 2;
+/// Exit code when `metrics-diff` detects a regression past the
+/// threshold — distinct from runtime failure (1) so CI can tell "the
+/// comparison ran and found a slowdown" from "the comparison broke".
+const EXIT_REGRESSION: u8 = 3;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -46,6 +53,7 @@ fn main() -> ExitCode {
             eprintln!("error: {msg}");
             ExitCode::FAILURE
         }
+        Err(CliError::Regression) => ExitCode::from(EXIT_REGRESSION),
         Err(CliError::Timeout(msg)) => {
             eprintln!("error: {msg}");
             ExitCode::from(EXIT_TIMEOUT)
@@ -54,12 +62,13 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  hcd-cli stats  <graph> [-p threads] [--metrics out.json]
-  hcd-cli build  <graph> -o <index.hcd> [-p threads] [--timeout-ms T] [--metrics out.json]
-  hcd-cli search <graph> [-m metric] [-p threads] [--timeout-ms T] [--metrics out.json]
+  hcd-cli stats  <graph> [-p threads] [--metrics out.json] [--trace out.json]
+  hcd-cli build  <graph> -o <index.hcd> [-p threads] [--timeout-ms T] [--metrics out.json] [--trace out.json]
+  hcd-cli search <graph> [-m metric] [-p threads] [--timeout-ms T] [--metrics out.json] [--trace out.json]
   hcd-cli core   <graph> -v <vertex> -k <k>
   hcd-cli dot    <graph> [-p threads]
   hcd-cli gen    <rmat|ba|er|ws|tree> <out.txt> [--seed S]
+  hcd-cli metrics-diff <old.json> <new.json> [--threshold X] [--abs-floor-ns N]
 
 metrics: average-degree internal-density cut-ratio conductance
          modularity clustering-coefficient (default: average-degree)
@@ -69,7 +78,17 @@ strides inside hot loops; on expiry the command exits with code 124.
 
 --metrics writes per-region runtime observability (schema
 hcd-metrics-v1) as JSON; the file is written even when the command
-fails, so aborted runs can be diagnosed.";
+fails, so aborted runs can be diagnosed.
+
+--trace writes a per-thread span timeline (schema hcd-trace-v1) in
+Chrome trace-event JSON, loadable in Perfetto / chrome://tracing; like
+--metrics, it is written even on failure. `-` as the path for either
+flag writes the document to stdout instead of a file.
+
+metrics-diff compares two hcd-metrics-v1 snapshots and exits 3 when
+any total, per-region time, imbalance, or counter regressed past the
+threshold (default 1.25x, ignoring deltas under --abs-floor-ns,
+default 100000).";
 
 /// Typed failure, mapped to a distinct process exit code in `main`.
 #[derive(Debug)]
@@ -78,6 +97,9 @@ enum CliError {
     Usage(String),
     /// The command itself failed: exit 1.
     Runtime(String),
+    /// `metrics-diff` found a regression: exit 3. The report has already
+    /// been printed, so no extra message is attached.
+    Regression,
     /// A `--timeout-ms` deadline fired (or the run was cancelled): exit 124.
     Timeout(String),
 }
@@ -127,6 +149,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
             args.get(2).ok_or_else(|| usage("missing output path"))?,
             flag_value(args, "--seed")?,
         ),
+        "metrics-diff" => metrics_diff(args),
         other => Err(usage(format!("unknown command {other:?}"))),
     }
 }
@@ -178,29 +201,82 @@ fn exec_options(args: &[String]) -> Result<Executor, CliError> {
     Ok(exec)
 }
 
-/// Runs a command with `--metrics <path>` support: when the flag is
-/// given, region metering is enabled on the executor before the command
-/// body runs, and the recorded [`RunMetrics`] snapshot is written as JSON
-/// afterwards — even when the command fails, so aborted runs (timeouts,
-/// contained panics) leave a diagnosable trace. A command failure takes
-/// precedence over a metrics-write failure in the exit code.
+/// Writes an observability document to `path`, or to stdout when the
+/// path is `-` (the conventional stdin/stdout placeholder).
+fn write_doc(what: &str, path: &str, json: &str) -> Result<(), CliError> {
+    if path == "-" {
+        println!("{json}");
+        return Ok(());
+    }
+    std::fs::write(path, json)
+        .map_err(|e| CliError::Runtime(format!("cannot write {what} to {path}: {e}")))
+}
+
+/// Runs a command with `--metrics <path>` and `--trace <path>` support:
+/// when either flag is given, the corresponding collection is enabled on
+/// the executor before the command body runs, and the recorded snapshot
+/// ([`RunMetrics`] JSON / Chrome trace-event JSON) is written afterwards
+/// — even when the command fails, so aborted runs (timeouts, contained
+/// panics) leave a diagnosable record. A command failure takes
+/// precedence over an observability-write failure in the exit code, and
+/// `-` as a path writes to stdout.
 fn with_metrics<F>(args: &[String], exec: Executor, f: F) -> Result<(), CliError>
 where
     F: FnOnce(&Executor) -> Result<(), CliError>,
 {
-    let path = flag_value(args, "--metrics")?;
-    if path.is_some() {
+    let metrics_path = flag_value(args, "--metrics")?;
+    let trace_path = flag_value(args, "--trace")?;
+    if metrics_path.is_some() {
         exec.set_metrics_enabled(true);
     }
-    let result = f(&exec);
-    if let Some(path) = path {
+    if trace_path.is_some() {
+        exec.arm_trace();
+    }
+    let mut result = f(&exec);
+    if let Some(path) = metrics_path {
         let json = exec.take_metrics().to_json();
-        if let Err(e) = std::fs::write(&path, json) {
-            let write_err = CliError::Runtime(format!("cannot write metrics to {path}: {e}"));
-            return result.and(Err(write_err));
-        }
+        result = result.and(write_doc("metrics", &path, &json));
+    }
+    if let Some(path) = trace_path {
+        let json = exec.take_trace().to_chrome_json();
+        result = result.and(write_doc("trace", &path, &json));
     }
     result
+}
+
+/// `metrics-diff old.json new.json` — compares two `hcd-metrics-v1`
+/// snapshots, prints the per-entry report, and exits 3 when any entry
+/// regressed past the threshold. Exit 1 means a snapshot could not be
+/// read or parsed; exit 0 means the comparison found no regression.
+fn metrics_diff(args: &[String]) -> Result<(), CliError> {
+    let old_path = args.get(1).ok_or_else(|| usage("missing old snapshot"))?;
+    let new_path = args.get(2).ok_or_else(|| usage("missing new snapshot"))?;
+    let mut opts = DiffOptions::default();
+    if let Some(t) = flag_value(args, "--threshold")? {
+        opts.threshold = t
+            .parse::<f64>()
+            .map_err(|e| usage(format!("bad --threshold: {e}")))?;
+        opts.counter_threshold = opts.counter_threshold.max(opts.threshold);
+    }
+    if let Some(f) = flag_value(args, "--abs-floor-ns")? {
+        opts.abs_floor_ns = f
+            .parse::<f64>()
+            .map_err(|e| usage(format!("bad --abs-floor-ns: {e}")))?;
+    }
+    let read_snapshot = |path: &str| -> Result<Snapshot, CliError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| CliError::Runtime(format!("cannot read {path}: {e}")))?;
+        Snapshot::parse(&text).map_err(|e| CliError::Runtime(format!("cannot parse {path}: {e}")))
+    };
+    let old = read_snapshot(old_path)?;
+    let new = read_snapshot(new_path)?;
+    let report = diff_metrics(&old, &new, &opts);
+    print!("{report}");
+    if report.regressed() {
+        Err(CliError::Regression)
+    } else {
+        Ok(())
+    }
 }
 
 fn pipeline(g: &CsrGraph, exec: &Executor) -> Result<(CoreDecomposition, Hcd), CliError> {

@@ -13,8 +13,9 @@ pub use hcd_core::query::{core_containing, cores_per_level, hierarchy_position};
 pub use hcd_core::{lcps, naive_hcd, phcd, try_phcd, Hcd, TreeNode, VertexRanks};
 
 pub use hcd_par::{
-    BuildError, CancelToken, Deadline, Executor, Fault, FaultPlan, ParError, RegionMetrics,
-    RunMetrics, CHECKPOINT_STRIDE, METRICS_SCHEMA,
+    diff_metrics, BuildError, CancelToken, CounterValue, Deadline, DiffEntry, DiffOptions,
+    DiffReport, EventKind, Executor, Fault, FaultPlan, ParError, RegionMetrics, RunMetrics,
+    Snapshot, Trace, TraceEvent, CHECKPOINT_STRIDE, METRICS_SCHEMA, TRACE_SCHEMA,
 };
 
 pub use hcd_search::bestk::{best_k, core_set_scores, try_best_k, try_core_set_scores};

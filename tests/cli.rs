@@ -210,8 +210,157 @@ fn missing_arguments_fail_cleanly() {
         vec!["search"],
         vec!["core", "x"],
         vec!["gen", "nosuch", "y"],
+        vec!["metrics-diff", "only-one.json"],
     ] {
         let out = cli().args(&args).output().unwrap();
         assert!(!out.status.success(), "{args:?} should fail");
     }
+}
+
+/// A minimal but schema-complete `hcd-metrics-v1` snapshot with one
+/// region at the given wall time and one counter at the given value.
+fn snapshot_json(wall_ns: u64, counter: u64) -> String {
+    format!(
+        r#"{{
+  "schema": "hcd-metrics-v1",
+  "total_wall_ns": {wall_ns},
+  "total_charged_ns": {wall_ns},
+  "regions": [
+    {{"name": "phcd.union", "invocations": 1, "chunks": 4, "wall_ns": {wall_ns}, "chunk_sum_ns": {wall_ns}, "chunk_max_ns": {wall_ns}, "chunk_min_ns": 1, "imbalance": 1.0, "checkpoints": 0, "cancelled": 0, "deadline_exceeded": 0, "panicked": 0, "faults_injected": 0}}
+  ],
+  "counters": [
+    {{"name": "phcd.uf.cas_retries", "value": {counter}, "kind": "sum"}}
+  ]
+}}
+"#
+    )
+}
+
+#[test]
+fn metrics_diff_exit_codes() {
+    let old = tmp("diff_old.json");
+    let new = tmp("diff_new.json");
+    std::fs::write(&old, snapshot_json(1_000_000, 100)).unwrap();
+
+    // Identical snapshots: exit 0.
+    let out = cli()
+        .args(["metrics-diff", old.to_str().unwrap(), old.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "identical: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    // 10x wall regression, well past threshold and floor: exit 3, and
+    // the report names the regressed entry.
+    std::fs::write(&new, snapshot_json(10_000_000, 100)).unwrap();
+    let out = cli()
+        .args(["metrics-diff", old.to_str().unwrap(), new.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "regression must exit 3");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("REGRESSED"), "{text}");
+    assert!(text.contains("phcd.union"), "{text}");
+
+    // The same pair under a generous threshold passes.
+    let out = cli()
+        .args([
+            "metrics-diff",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--threshold",
+            "100",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0), "threshold 100x must pass");
+
+    // Counter regressions are caught independently of timings.
+    std::fs::write(&new, snapshot_json(1_000_000, 10_000)).unwrap();
+    let out = cli()
+        .args(["metrics-diff", old.to_str().unwrap(), new.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "counter regression must exit 3");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("cas_retries"),
+        "counter named in report"
+    );
+
+    // Unreadable / unparsable snapshots are runtime errors (1), not
+    // usage errors or false regressions.
+    let out = cli()
+        .args([
+            "metrics-diff",
+            old.to_str().unwrap(),
+            tmp("diff_nosuch.json").to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "missing file");
+    std::fs::write(&new, "{\"schema\": \"wrong-v9\"}").unwrap();
+    let out = cli()
+        .args(["metrics-diff", old.to_str().unwrap(), new.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "wrong schema");
+
+    std::fs::remove_file(&old).ok();
+    std::fs::remove_file(&new).ok();
+}
+
+#[test]
+fn metrics_to_stdout_with_dash() {
+    let graph = tmp("stdout_metrics.txt");
+    assert!(cli()
+        .args(["gen", "tree", graph.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    let out = cli()
+        .args([
+            "stats",
+            graph.to_str().unwrap(),
+            "-p",
+            "2",
+            "--metrics",
+            "-",
+        ])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("\"schema\": \"hcd-metrics-v1\""),
+        "metrics JSON on stdout: {text}"
+    );
+    // The human-readable stats still precede it.
+    assert!(text.contains("kmax"), "{text}");
+    std::fs::remove_file(&graph).ok();
+}
+
+#[test]
+fn committed_baseline_self_diff_is_clean() {
+    // The baseline committed for CI must parse under the current schema
+    // and diff cleanly against itself — guards against schema drift
+    // landing without a regenerated baseline.
+    let baseline = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/bench/baselines/rmat-small.json"
+    );
+    let out = cli()
+        .args(["metrics-diff", baseline, baseline])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stale baseline: {}{}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
 }

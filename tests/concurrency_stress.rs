@@ -369,6 +369,115 @@ fn cancellation_and_deadline_abort_cleanly_in_all_modes() {
     }
 }
 
+// --- algorithm-counter coherence -------------------------------------
+//
+// The typed counters threaded through the executor must be *coherent*:
+// counters that reflect algorithmic structure (peeling rounds, shell
+// phases, successful merges) are deterministic and must agree across
+// executor modes and thread interleavings, while contention-dependent
+// counters (find hops, CAS retries) must still satisfy their structural
+// inequalities. Aborted runs must never report more of a deterministic
+// counter than a clean run — the fault cuts work short, it does not
+// invent any.
+
+/// Runs `f` with metrics enabled on `exec` and returns the snapshot.
+fn metered<F: FnOnce(&Executor)>(exec: &Executor, f: F) -> RunMetrics {
+    exec.set_metrics_enabled(true);
+    f(exec);
+    let m = exec.take_metrics();
+    exec.set_metrics_enabled(false);
+    m
+}
+
+fn counter(m: &RunMetrics, name: &str) -> u64 {
+    m.get_counter(name).map_or(0, |c| c.value)
+}
+
+#[test]
+fn deterministic_counters_agree_across_modes() {
+    let g = rmat(10, 10, None, 55);
+    let cores = core_decomposition(&g);
+    let reference = metered(&Executor::sequential(), |e| {
+        pkc_core_decomposition(&g, e);
+        phcd(&g, &cores, e);
+    });
+    for exec in [Executor::rayon(4), Executor::simulated(4)] {
+        let m = metered(&exec, |e| {
+            pkc_core_decomposition(&g, e);
+            phcd(&g, &cores, e);
+        });
+        // Structure-valued counters are mode-independent: peeling rounds
+        // and wave count come from the degree sequence, the frontier
+        // high-water mark from the wave partition, shell phases from the
+        // coreness histogram, and successful union count from the
+        // component structure (one link CAS wins per merge).
+        for name in [
+            "pkc.levels",
+            "pkc.waves",
+            "pkc.frontier",
+            "phcd.union_phases",
+            "phcd.uf.unions",
+        ] {
+            assert_eq!(
+                counter(&m, name),
+                counter(&reference, name),
+                "{name} in mode {}",
+                exec.mode_name()
+            );
+        }
+        // Contention-dependent counters obey structural bounds instead:
+        // every union attempt performs two finds, so finds >= 2 * the
+        // successful-union count, and hop/retry counts are only defined
+        // to be finite and recorded.
+        let unions = counter(&m, "phcd.uf.unions");
+        let finds = counter(&m, "phcd.uf.finds");
+        assert!(
+            finds >= 2 * unions,
+            "finds {finds} < 2 * unions {unions} in mode {}",
+            exec.mode_name()
+        );
+    }
+}
+
+#[test]
+fn counters_under_fault_matrix_never_exceed_clean_run() {
+    let g = rmat(10, 10, None, 56);
+    let cores = core_decomposition(&g);
+    let clean = metered(&Executor::sequential(), |e| {
+        phcd(&g, &cores, e);
+    });
+    for (mode, exec) in fault_modes() {
+        for chunk in chunk_positions(&exec) {
+            for region in [0usize, 3, 6] {
+                exec.set_metrics_enabled(true);
+                exec.set_fault_plan(FaultPlan::new().inject(region, chunk, Fault::Panic));
+                let result = try_phcd(&g, &cores, &exec);
+                exec.clear_fault_plan();
+                let aborted = exec.take_metrics();
+                exec.set_metrics_enabled(false);
+                // The aborted snapshot must still serialize and parse
+                // (the CLI writes it even on failure) ...
+                let parsed = Snapshot::parse(&aborted.to_json())
+                    .unwrap_or_else(|e| panic!("{mode}: aborted snapshot invalid: {e}"));
+                assert_eq!(parsed.regions.len(), aborted.regions.len());
+                // ... and deterministic counters are monotone in work
+                // done: a run cut short reports at most the clean value.
+                // (A late-region fault may still miss the fault site and
+                // succeed; equality is then required.)
+                for name in ["phcd.union_phases", "phcd.uf.unions"] {
+                    let a = counter(&aborted, name);
+                    let c = counter(&clean, name);
+                    if result.is_ok() {
+                        assert_eq!(a, c, "{mode} r{region} c{chunk}: {name}");
+                    } else {
+                        assert!(a <= c, "{mode} r{region} c{chunk}: {name} {a} > clean {c}");
+                    }
+                }
+            }
+        }
+    }
+}
+
 #[test]
 fn injected_cancel_fault_trips_shared_token() {
     // Fault::Cancel models an external cancellation landing mid-region:

@@ -4,9 +4,11 @@
 //! JSON reader, and check every structural and arithmetic invariant the
 //! schema promises. CI runs the same validation on an RMAT graph.
 
-use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::Command;
+
+mod common;
+use common::Json;
 
 fn cli() -> Command {
     Command::new(env!("CARGO_BIN_EXE_hcd-cli"))
@@ -16,166 +18,6 @@ fn tmp(name: &str) -> PathBuf {
     let mut p = std::env::temp_dir();
     p.push(format!("hcd_metrics_test_{}_{name}", std::process::id()));
     p
-}
-
-// --- minimal JSON reader (the workspace is serde-free by design) -----
-
-#[derive(Debug, Clone, PartialEq)]
-enum Json {
-    Null,
-    Bool(bool),
-    Num(f64),
-    Str(String),
-    Arr(Vec<Json>),
-    Obj(BTreeMap<String, Json>),
-}
-
-impl Json {
-    fn parse(text: &str) -> Result<Json, String> {
-        let bytes = text.as_bytes();
-        let mut pos = 0usize;
-        let v = parse_value(bytes, &mut pos)?;
-        skip_ws(bytes, &mut pos);
-        if pos != bytes.len() {
-            return Err(format!("trailing garbage at byte {pos}"));
-        }
-        Ok(v)
-    }
-
-    fn get(&self, key: &str) -> Option<&Json> {
-        match self {
-            Json::Obj(m) => m.get(key),
-            _ => None,
-        }
-    }
-
-    fn num(&self) -> Option<f64> {
-        match self {
-            Json::Num(x) => Some(*x),
-            _ => None,
-        }
-    }
-
-    fn str(&self) -> Option<&str> {
-        match self {
-            Json::Str(s) => Some(s),
-            _ => None,
-        }
-    }
-
-    fn arr(&self) -> Option<&[Json]> {
-        match self {
-            Json::Arr(v) => Some(v),
-            _ => None,
-        }
-    }
-}
-
-fn skip_ws(b: &[u8], pos: &mut usize) {
-    while *pos < b.len() && b[*pos].is_ascii_whitespace() {
-        *pos += 1;
-    }
-}
-
-fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
-    skip_ws(b, pos);
-    match b.get(*pos) {
-        None => Err("unexpected end of input".into()),
-        Some(b'{') => {
-            *pos += 1;
-            let mut map = BTreeMap::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b'}') {
-                *pos += 1;
-                return Ok(Json::Obj(map));
-            }
-            loop {
-                skip_ws(b, pos);
-                let key = match parse_value(b, pos)? {
-                    Json::Str(s) => s,
-                    other => return Err(format!("non-string key {other:?}")),
-                };
-                skip_ws(b, pos);
-                if b.get(*pos) != Some(&b':') {
-                    return Err(format!("expected ':' at byte {pos}", pos = *pos));
-                }
-                *pos += 1;
-                map.insert(key, parse_value(b, pos)?);
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b'}') => {
-                        *pos += 1;
-                        return Ok(Json::Obj(map));
-                    }
-                    other => return Err(format!("expected ',' or '}}', got {other:?}")),
-                }
-            }
-        }
-        Some(b'[') => {
-            *pos += 1;
-            let mut out = Vec::new();
-            skip_ws(b, pos);
-            if b.get(*pos) == Some(&b']') {
-                *pos += 1;
-                return Ok(Json::Arr(out));
-            }
-            loop {
-                out.push(parse_value(b, pos)?);
-                skip_ws(b, pos);
-                match b.get(*pos) {
-                    Some(b',') => *pos += 1,
-                    Some(b']') => {
-                        *pos += 1;
-                        return Ok(Json::Arr(out));
-                    }
-                    other => return Err(format!("expected ',' or ']', got {other:?}")),
-                }
-            }
-        }
-        Some(b'"') => {
-            *pos += 1;
-            let start = *pos;
-            while *pos < b.len() && b[*pos] != b'"' {
-                if b[*pos] == b'\\' {
-                    return Err("escapes not used by the emitter".into());
-                }
-                *pos += 1;
-            }
-            if *pos >= b.len() {
-                return Err("unterminated string".into());
-            }
-            let s = std::str::from_utf8(&b[start..*pos])
-                .map_err(|e| e.to_string())?
-                .to_string();
-            *pos += 1;
-            Ok(Json::Str(s))
-        }
-        Some(b't') if b[*pos..].starts_with(b"true") => {
-            *pos += 4;
-            Ok(Json::Bool(true))
-        }
-        Some(b'f') if b[*pos..].starts_with(b"false") => {
-            *pos += 5;
-            Ok(Json::Bool(false))
-        }
-        Some(b'n') if b[*pos..].starts_with(b"null") => {
-            *pos += 4;
-            Ok(Json::Null)
-        }
-        Some(_) => {
-            let start = *pos;
-            while *pos < b.len()
-                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
-            {
-                *pos += 1;
-            }
-            let s = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
-            s.parse::<f64>()
-                .map(Json::Num)
-                .map_err(|e| format!("bad number {s:?}: {e}"))
-        }
-    }
 }
 
 // --- schema validation ------------------------------------------------
@@ -252,6 +94,20 @@ fn validate_schema(doc: &Json) -> Vec<String> {
         sum_charged, total_charged,
         "total_charged_ns is the sum of chunk maxima"
     );
+
+    // Algorithm counters (added in v1 as an always-present array): each
+    // entry carries a name, a non-negative value, and a fold kind.
+    let counters = doc.get("counters").and_then(Json::arr).expect("counters[]");
+    for c in counters {
+        let name = c.get("name").and_then(Json::str).expect("counter name");
+        let value = c
+            .get("value")
+            .and_then(Json::num)
+            .unwrap_or_else(|| panic!("{name}: missing value"));
+        assert!(value >= 0.0, "{name} = {value}");
+        let kind = c.get("kind").and_then(Json::str).unwrap();
+        assert!(kind == "sum" || kind == "max", "{name}: kind {kind:?}");
+    }
     names
 }
 
@@ -305,6 +161,25 @@ fn build_metrics_cover_every_phcd_region() {
         assert!(
             names.iter().any(|n| n == region),
             "missing {region}: {names:?}"
+        );
+    }
+    // The build pipeline flushes its typed algorithm counters.
+    let counters: Vec<&str> = doc
+        .get("counters")
+        .and_then(Json::arr)
+        .unwrap()
+        .iter()
+        .map(|c| c.get("name").and_then(Json::str).unwrap())
+        .collect();
+    for counter in [
+        "pkc.levels",
+        "pkc.frontier",
+        "phcd.union_phases",
+        "phcd.uf.unions",
+    ] {
+        assert!(
+            counters.contains(&counter),
+            "missing counter {counter}: {counters:?}"
         );
     }
     std::fs::remove_file(&graph).ok();
