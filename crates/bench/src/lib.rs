@@ -183,7 +183,7 @@ pub fn datasets(wanted: &[&str]) -> Vec<&'static Dataset> {
             let in_wanted = wanted.is_empty() || wanted.contains(&d.abbrev);
             let in_env = filter
                 .as_deref()
-                .is_none_or(|f| f.split(',').any(|a| a.trim() == d.abbrev));
+                .map_or(true, |f| f.split(',').any(|a| a.trim() == d.abbrev));
             in_wanted && in_env
         })
         .collect()

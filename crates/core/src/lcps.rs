@@ -91,7 +91,7 @@ pub fn lcps(g: &CsrGraph, cores: &CoreDecomposition) -> Hcd {
         let target = match stack.last() {
             Some(&(id, k)) if k == c => id,
             _ => {
-                debug_assert!(stack.last().is_none_or(|&(_, k)| k < c));
+                debug_assert!(stack.last().map_or(true, |&(_, k)| k < c));
                 let id = nodes.len() as u32;
                 nodes.push(TreeNode {
                     k: c,

@@ -9,7 +9,7 @@ use rand_chacha::ChaCha8Rng;
 /// probability `beta`. High clustering coefficient at low `beta` — the
 /// workload that stresses type-B (triangle-based) metrics.
 pub fn watts_strogatz(n: usize, k: usize, beta: f64, seed: u64) -> CsrGraph {
-    assert!(k.is_multiple_of(2), "k must be even");
+    assert!(k % 2 == 0, "k must be even");
     assert!((0.0..=1.0).contains(&beta));
     let mut rng = ChaCha8Rng::seed_from_u64(seed);
     let mut builder = GraphBuilder::new().min_vertices(n);

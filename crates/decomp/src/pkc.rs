@@ -14,9 +14,29 @@ use crate::CoreDecomposition;
 /// neighbors' degrees with a CAS loop that never drops a degree below the
 /// current level, and the thread whose decrement lands a neighbor exactly
 /// on the level claims it for the next frontier (so every vertex is
-/// peeled exactly once). Work is `O(n·kmax + m)`; the `n·kmax` term comes
-/// from the per-level scans, mitigated — as in PKC — by compacting the
-/// scan list to the still-alive vertices after every level.
+/// peeled exactly once).
+///
+/// ## Bucket-major frontier layout
+///
+/// Instead of rescanning a compacted alive list at every level (the
+/// original PKC strategy, `O(n·kmax)` scan work), vertices are kept in
+/// *degree buckets*: the initial fill places `v` in `bucket[deg(v)]`, and
+/// every decrement that lands above the current level re-files the vertex
+/// lazily by appending a `(new_degree, v)` entry. Level `k` then drains
+/// only `bucket[k]`, so same-level vertices are scanned contiguously and
+/// total scan work is `O(n + m)` — each vertex contributes one entry per
+/// degree value it passes through. Entries whose recorded degree no
+/// longer matches (the vertex was decremented further before its bucket
+/// came up) are stale and skipped; at most one entry per `(degree,
+/// vertex)` pair exists, so no vertex is ever peeled twice.
+///
+/// Re-filed entries are appended serially in chunk order after each
+/// wave. Entry *order* inside a bucket still depends on how the wave was
+/// chunked (worker count varies by mode), but the *sets* do not: CAS
+/// decrements serialize, so each intermediate degree value is observed by
+/// exactly one decrement regardless of interleaving. Wave membership,
+/// wave counts, coreness output, and all `pkc.*` counters are therefore
+/// identical across executor modes.
 pub fn pkc_core_decomposition(g: &CsrGraph, exec: &Executor) -> CoreDecomposition {
     match try_pkc_core_decomposition(g, exec) {
         Ok(cores) => cores,
@@ -41,39 +61,47 @@ pub fn try_pkc_core_decomposition(
         .map(|v| AtomicU32::new(g.degree(v) as u32))
         .collect();
 
+    // Degree buckets: bucket[d] holds candidates whose degree was last
+    // seen as d. Initial fill in id order keeps the drain deterministic.
+    let mut buckets: Vec<Vec<VertexId>> = vec![Vec::new(); g.max_degree() + 1];
+    for v in 0..n as VertexId {
+        buckets[g.degree(v)].push(v);
+    }
+
     let mut processed = 0usize;
     let mut level: u32 = 0;
-    // Alive vertices, compacted after each level (the PKC optimization).
-    let mut alive: Vec<VertexId> = (0..n as VertexId).collect();
-    // Observability: peeling rounds and per-wave frontier sizes.
+    // Observability: peeling rounds, per-wave frontier sizes, and the
+    // bucket queue's lazy re-file traffic.
     let mut levels_run = 0u64;
     let mut waves_run = 0u64;
+    let mut bucket_pushes = 0u64;
+    let mut bucket_skips = 0u64;
 
     while processed < n {
         levels_run += 1;
-        // Scan the alive list: vertices at the current level seed the
-        // frontier; the rest survive into the next alive list.
+        // Drain this level's bucket: entries still at the level seed the
+        // frontier; stale entries (vertex decremented past this bucket
+        // before it came up) are dropped.
+        let bucket = std::mem::take(&mut buckets[level as usize]);
         let parts = exec
             .region("pkc.scan")
-            .try_map_chunks(alive.len(), |_, range| {
+            .try_map_chunks(bucket.len(), |_, range| {
                 let mut frontier = Vec::new();
-                let mut keep = Vec::new();
-                for &v in &alive[range] {
+                let mut skipped = 0u64;
+                for &v in &bucket[range] {
                     if deg[v as usize].load(Ordering::Relaxed) == level {
                         frontier.push(v);
                     } else {
-                        keep.push(v);
+                        skipped += 1;
                     }
                 }
-                Ok((frontier, keep))
+                Ok((frontier, skipped))
             })?;
         let mut frontier: Vec<VertexId> = Vec::new();
-        let mut next_alive: Vec<VertexId> = Vec::with_capacity(alive.len());
-        for (f, k) in parts {
+        for (f, skipped) in parts {
             frontier.extend(f);
-            next_alive.extend(k);
+            bucket_skips += skipped;
         }
-        alive = next_alive;
 
         // Peel the frontier in waves until it drains. Wave work is
         // proportional to frontier degrees, so chunk by degree weight.
@@ -97,6 +125,7 @@ pub fn try_pkc_core_decomposition(
                 exec.region("pkc.wave")
                     .try_map_chunks_weighted(&wave_prefix, |_, range| {
                         let mut next = Vec::new();
+                        let mut refile: Vec<(u32, VertexId)> = Vec::new();
                         let mut since = 0usize;
                         for &v in &frontier[range] {
                             since += g.degree(v);
@@ -107,7 +136,8 @@ pub fn try_pkc_core_decomposition(
                             for &u in g.neighbors(v) {
                                 // Decrement u unless it is already at (or below)
                                 // the level; the decrement that lands exactly on
-                                // `level` claims u for the next wave.
+                                // `level` claims u for the next wave, any other
+                                // landing re-files u under its new degree.
                                 let mut d = deg[u as usize].load(Ordering::Relaxed);
                                 while d > level {
                                     match deg[u as usize].compare_exchange_weak(
@@ -119,6 +149,8 @@ pub fn try_pkc_core_decomposition(
                                         Ok(_) => {
                                             if d - 1 == level {
                                                 next.push(u);
+                                            } else {
+                                                refile.push((d - 1, u));
                                             }
                                             break;
                                         }
@@ -127,20 +159,25 @@ pub fn try_pkc_core_decomposition(
                                 }
                             }
                         }
-                        Ok(next)
+                        Ok((next, refile))
                     })?;
-            frontier = waves.into_iter().flatten().collect();
+            let mut next_frontier: Vec<VertexId> = Vec::new();
+            for (next, refile) in waves {
+                next_frontier.extend(next);
+                bucket_pushes += refile.len() as u64;
+                for (d, u) in refile {
+                    buckets[d as usize].push(u);
+                }
+            }
+            frontier = next_frontier;
         }
-        // Vertices claimed mid-level were removed from neither `alive`
-        // nor double-counted: their degree now equals `level`, so the
-        // next level's scan would re-seed them — filter them out by
-        // degree < next level check. They were already processed, so
-        // drop them from `alive` now.
-        alive.retain(|&v| deg[v as usize].load(Ordering::Relaxed) > level);
         level += 1;
     }
+    debug_assert_eq!(processed, n, "every vertex peeled exactly once");
     exec.add_counter("pkc.levels", levels_run);
     exec.add_counter("pkc.waves", waves_run);
+    exec.add_counter("pkc.bucket_pushes", bucket_pushes);
+    exec.add_counter("pkc.bucket_skips", bucket_skips);
 
     let coreness: Vec<u32> = deg.into_iter().map(AtomicU32::into_inner).collect();
     Ok(CoreDecomposition::from_coreness(coreness))
@@ -208,5 +245,50 @@ mod tests {
             b = b.edge(0, i);
         }
         check_matches_bz(&b.build());
+    }
+
+    #[test]
+    fn bucket_counters_are_coherent() {
+        // K5 on {0..4} plus vertex 5 with three clique edges and two
+        // pendant leaves: peeling the leaves at level 1 re-files vertex 5
+        // through buckets 4 and 3, and the bucket-4 entry goes stale by
+        // the time level 4 drains it — so both counters are exercised.
+        let mut b = GraphBuilder::new();
+        for i in 0..5u32 {
+            for j in (i + 1)..5 {
+                b = b.edge(i, j);
+            }
+        }
+        let g = b.edges([(5, 0), (5, 1), (5, 2), (5, 6), (5, 7)]).build();
+        let mut seen: Option<(u64, u64)> = None;
+        for exec in [
+            Executor::sequential().with_metrics(),
+            Executor::rayon(4).with_metrics(),
+            Executor::simulated(3).with_metrics(),
+        ] {
+            let cd = pkc_core_decomposition(&g, &exec);
+            assert_eq!(cd.kmax(), 4);
+            let m = exec.take_metrics();
+            let by_name = |name: &str| {
+                m.counters
+                    .iter()
+                    .find(|c| c.name == name)
+                    .unwrap_or_else(|| panic!("counter {name} missing"))
+                    .value
+            };
+            let pushes = by_name("pkc.bucket_pushes");
+            let skips = by_name("pkc.bucket_skips");
+            assert!(pushes > 0, "re-filing happened");
+            assert!(skips > 0, "a stale entry was drained");
+            match seen {
+                None => seen = Some((pushes, skips)),
+                Some(prev) => assert_eq!(
+                    prev,
+                    (pushes, skips),
+                    "bucket counters deterministic across modes ({})",
+                    exec.mode_name()
+                ),
+            }
+        }
     }
 }

@@ -51,7 +51,7 @@ pub fn stoer_wagner(g: &CsrGraph) -> Option<(u64, Vec<VertexId>)> {
         let s = order[order.len() - 2];
         let cut_of_phase = weight_to_a[t];
         let candidate = (cut_of_phase, members[t].clone());
-        if best.as_ref().is_none_or(|(b, _)| candidate.0 < *b) {
+        if best.as_ref().map_or(true, |(b, _)| candidate.0 < *b) {
             best = Some(candidate);
         }
         // Merge t into s.

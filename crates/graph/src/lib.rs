@@ -9,6 +9,9 @@
 //! * [`io`] — text edge-list and compact binary readers/writers,
 //! * [`traversal`] — BFS and connected components,
 //! * [`subgraph`] — induced subgraphs with id remapping,
+//! * [`permute`] — vertex relabeling ([`Permutation`], [`CsrGraph::relabel`])
+//!   for locality-ordered construction, with inverse maps back to
+//!   original ids,
 //! * [`hash`] — a fast integer-keyed hash map (FxHash-style), used across
 //!   the workspace instead of SipHash-based `std` maps.
 //!
@@ -21,6 +24,7 @@ pub mod csr;
 pub mod error;
 pub mod hash;
 pub mod io;
+pub mod permute;
 pub mod stats;
 pub mod subgraph;
 pub mod traversal;
@@ -29,6 +33,7 @@ pub use builder::GraphBuilder;
 pub use csr::{CsrGraph, VertexId};
 pub use error::GraphError;
 pub use hash::{FxHashMap, FxHashSet};
+pub use permute::Permutation;
 pub use subgraph::InducedSubgraph;
 
 #[cfg(test)]

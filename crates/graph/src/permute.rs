@@ -1,0 +1,255 @@
+//! Vertex relabeling for locality-ordered algorithms.
+//!
+//! Construction-time hot loops (union phases, peeling waves) stream the
+//! CSR adjacency of one vertex after another; when vertex ids are
+//! assigned arbitrarily, consecutive high-degree vertices live far apart
+//! and every scan is a cache miss. A [`Permutation`] relabels vertices —
+//! typically by descending degree, so hubs become small, densely packed
+//! ids — and [`CsrGraph::relabel`] rebuilds the CSR under the new ids.
+//! Algorithms run on the relabeled graph and map results back through
+//! the inverse side of the permutation, so callers never observe the
+//! internal ordering.
+
+use crate::csr::{CsrGraph, VertexId};
+
+/// A bijection on the vertex ids `0..n`, stored in both directions.
+///
+/// * the *forward* map sends an **old** (original) id to its **new**
+///   (relabeled) id,
+/// * the *inverse* map sends a new id back to the old one.
+///
+/// # Examples
+///
+/// ```
+/// use hcd_graph::{GraphBuilder, Permutation};
+///
+/// // A star: vertex 3 has the highest degree.
+/// let g = GraphBuilder::new().edges([(3, 0), (3, 1), (3, 2)]).build();
+/// let p = Permutation::degree_order(&g);
+/// assert_eq!(p.to_new(3), 0); // hub gets the smallest new id
+/// assert_eq!(p.to_old(0), 3);
+/// let r = g.relabel(&p);
+/// assert_eq!(r.degree(0), 3);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Permutation {
+    /// `new_of_old[old] = new`.
+    new_of_old: Vec<VertexId>,
+    /// `old_of_new[new] = old`.
+    old_of_new: Vec<VertexId>,
+}
+
+impl Permutation {
+    /// The identity permutation on `n` vertices.
+    pub fn identity(n: usize) -> Self {
+        let ids: Vec<VertexId> = (0..n as VertexId).collect();
+        Permutation {
+            new_of_old: ids.clone(),
+            old_of_new: ids,
+        }
+    }
+
+    /// Builds a permutation from its inverse side: `old_of_new[new]` is
+    /// the old id placed at position `new`. Returns `Err` when the input
+    /// is not a permutation of `0..n`.
+    pub fn from_order(old_of_new: Vec<VertexId>) -> Result<Self, String> {
+        let n = old_of_new.len();
+        let mut new_of_old = vec![VertexId::MAX; n];
+        for (new, &old) in old_of_new.iter().enumerate() {
+            if old as usize >= n {
+                return Err(format!("id {old} out of range for {n} vertices"));
+            }
+            if new_of_old[old as usize] != VertexId::MAX {
+                return Err(format!("id {old} appears twice"));
+            }
+            new_of_old[old as usize] = new as VertexId;
+        }
+        Ok(Permutation {
+            new_of_old,
+            old_of_new,
+        })
+    }
+
+    /// Orders vertices by descending key, ties broken by ascending old
+    /// id (so the result is deterministic). `keys[v]` is the sort key of
+    /// old vertex `v`; degree and coreness orderings are both instances.
+    pub fn by_key_desc(keys: &[u32]) -> Self {
+        let mut old_of_new: Vec<VertexId> = (0..keys.len() as VertexId).collect();
+        old_of_new.sort_by_key(|&v| (std::cmp::Reverse(keys[v as usize]), v));
+        Self::from_order(old_of_new).expect("sorted ids form a permutation")
+    }
+
+    /// Degree ordering: hubs first. High-degree vertices end up with
+    /// small, contiguous ids, which concentrates the union-find traffic
+    /// of dense shells into a compact id range.
+    pub fn degree_order(g: &CsrGraph) -> Self {
+        let degrees: Vec<u32> = (0..g.num_vertices() as VertexId)
+            .map(|v| g.degree(v) as u32)
+            .collect();
+        Self::by_key_desc(&degrees)
+    }
+
+    /// Number of vertices covered.
+    pub fn len(&self) -> usize {
+        self.new_of_old.len()
+    }
+
+    /// Whether the permutation covers zero vertices.
+    pub fn is_empty(&self) -> bool {
+        self.new_of_old.is_empty()
+    }
+
+    /// Whether this is the identity (relabeling would be a no-op).
+    pub fn is_identity(&self) -> bool {
+        self.old_of_new
+            .iter()
+            .enumerate()
+            .all(|(new, &old)| new as VertexId == old)
+    }
+
+    /// The new id of old vertex `old`.
+    #[inline]
+    pub fn to_new(&self, old: VertexId) -> VertexId {
+        self.new_of_old[old as usize]
+    }
+
+    /// The old id of new vertex `new`.
+    #[inline]
+    pub fn to_old(&self, new: VertexId) -> VertexId {
+        self.old_of_new[new as usize]
+    }
+
+    /// The forward map as a slice: `forward()[old] = new`.
+    pub fn forward(&self) -> &[VertexId] {
+        &self.new_of_old
+    }
+
+    /// The inverse map as a slice: `inverse()[new] = old`.
+    pub fn inverse(&self) -> &[VertexId] {
+        &self.old_of_new
+    }
+
+    /// Re-indexes a per-vertex value array from new-id indexing back to
+    /// old-id indexing: `result[old] = by_new[to_new(old)]`. This is how
+    /// coreness (or any other per-vertex output) computed on a relabeled
+    /// graph is reported in original ids.
+    pub fn unmap_values<T: Copy>(&self, by_new: &[T]) -> Vec<T> {
+        assert_eq!(by_new.len(), self.len(), "value array length mismatch");
+        self.new_of_old
+            .iter()
+            .map(|&new| by_new[new as usize])
+            .collect()
+    }
+}
+
+impl CsrGraph {
+    /// Rebuilds the graph under the relabeling `p`: new vertex
+    /// `p.to_new(v)` has the adjacency of old vertex `v`, with every
+    /// neighbor mapped and the slice re-sorted (CSR invariant). The
+    /// result is isomorphic to `self`; `p.len()` must equal the vertex
+    /// count.
+    pub fn relabel(&self, p: &Permutation) -> CsrGraph {
+        let n = self.num_vertices();
+        assert_eq!(p.len(), n, "permutation covers {} of {n} vertices", p.len());
+        let mut offsets = Vec::with_capacity(n + 1);
+        offsets.push(0usize);
+        for new in 0..n as VertexId {
+            offsets.push(offsets[new as usize] + self.degree(p.to_old(new)));
+        }
+        let mut neighbors = Vec::with_capacity(self.num_arcs());
+        for new in 0..n as VertexId {
+            let start = neighbors.len();
+            neighbors.extend(self.neighbors(p.to_old(new)).iter().map(|&u| p.to_new(u)));
+            neighbors[start..].sort_unstable();
+        }
+        CsrGraph::from_csr(offsets, neighbors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GraphBuilder;
+
+    fn path_graph() -> CsrGraph {
+        GraphBuilder::new().edges([(0, 1), (1, 2), (2, 3)]).build()
+    }
+
+    #[test]
+    fn identity_roundtrips() {
+        let p = Permutation::identity(4);
+        assert!(p.is_identity());
+        assert_eq!(p.len(), 4);
+        let g = path_graph();
+        assert_eq!(g.relabel(&p), g);
+    }
+
+    #[test]
+    fn from_order_validates() {
+        assert!(Permutation::from_order(vec![2, 0, 1]).is_ok());
+        assert!(Permutation::from_order(vec![0, 0, 1]).is_err());
+        assert!(Permutation::from_order(vec![0, 3]).is_err());
+        assert!(Permutation::from_order(Vec::new()).unwrap().is_empty());
+    }
+
+    #[test]
+    fn forward_and_inverse_agree() {
+        let p = Permutation::from_order(vec![2, 0, 3, 1]).unwrap();
+        for old in 0..4 {
+            assert_eq!(p.to_old(p.to_new(old)), old);
+        }
+        for new in 0..4 {
+            assert_eq!(p.to_new(p.to_old(new)), new);
+        }
+        assert_eq!(p.forward().len(), p.inverse().len());
+    }
+
+    #[test]
+    fn degree_order_puts_hubs_first_with_stable_ties() {
+        // Degrees: 0 -> 1, 1 -> 3, 2 -> 2, 3 -> 2.
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (1, 3), (2, 3)])
+            .build();
+        let p = Permutation::degree_order(&g);
+        assert_eq!(p.inverse(), &[1, 2, 3, 0]); // ties 2,3 in id order
+        assert!(!p.is_identity());
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+            .min_vertices(5)
+            .build();
+        let p = Permutation::degree_order(&g);
+        let r = g.relabel(&p);
+        r.check_invariants().unwrap();
+        assert_eq!(r.num_vertices(), g.num_vertices());
+        assert_eq!(r.num_edges(), g.num_edges());
+        for (u, v) in g.edges() {
+            assert!(r.has_edge(p.to_new(u), p.to_new(v)));
+        }
+        for v in g.vertices() {
+            assert_eq!(r.degree(p.to_new(v)), g.degree(v));
+        }
+        // Relabeling back by the inverse permutation restores the graph.
+        let inv = Permutation::from_order(p.forward().to_vec()).unwrap();
+        assert_eq!(r.relabel(&inv), g);
+    }
+
+    #[test]
+    fn unmap_values_reindexes_to_old_ids() {
+        let p = Permutation::from_order(vec![2, 0, 1]).unwrap();
+        // Values indexed by new id: new 0 (old 2) -> 'c', etc.
+        let by_new = ['c', 'a', 'b'];
+        assert_eq!(p.unmap_values(&by_new), vec!['a', 'b', 'c']);
+    }
+
+    #[test]
+    fn empty_graph_relabel() {
+        let g = CsrGraph::empty(0);
+        let p = Permutation::degree_order(&g);
+        assert!(p.is_empty() && p.is_identity());
+        assert_eq!(g.relabel(&p).num_vertices(), 0);
+    }
+}

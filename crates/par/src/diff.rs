@@ -301,6 +301,11 @@ pub struct DiffOptions {
     /// Relative threshold for *counter* regressions (work counters such
     /// as CAS retries are deterministic-ish, but still allowed slack).
     pub counter_threshold: f64,
+    /// Gate on counters only: timing and imbalance rows are still
+    /// reported (advisory), but never count as regressed. This is what
+    /// CI uses — wall time on shared runners is noise, algorithm
+    /// counters are reproducible.
+    pub counters_only: bool,
 }
 
 impl Default for DiffOptions {
@@ -309,6 +314,7 @@ impl Default for DiffOptions {
             threshold: 1.25,
             abs_floor_ns: 100_000.0, // 0.1 ms
             counter_threshold: 1.5,
+            counters_only: false,
         }
     }
 }
@@ -393,7 +399,7 @@ impl fmt::Display for DiffReport {
 /// Compares two snapshots; see [`DiffOptions`] for the gate.
 pub fn diff_metrics(old: &Snapshot, new: &Snapshot, opts: &DiffOptions) -> DiffReport {
     let timing_regressed = |old_v: f64, new_v: f64| {
-        new_v > old_v * opts.threshold && (new_v - old_v) > opts.abs_floor_ns
+        !opts.counters_only && new_v > old_v * opts.threshold && (new_v - old_v) > opts.abs_floor_ns
     };
     let mut report = DiffReport::default();
     report.entries.push(DiffEntry {
@@ -424,7 +430,7 @@ pub fn diff_metrics(old: &Snapshot, new: &Snapshot, opts: &DiffOptions) -> DiffR
                 // Imbalance is a ratio (>= 1); gate it on the relative
                 // threshold alone, anchored at 1.0 so a 1.01 -> 1.30
                 // drift counts the same as 1.01x -> 1.30x wall.
-                new_v > 1.0 && new_v > old_v * opts.threshold
+                !opts.counters_only && new_v > 1.0 && new_v > old_v * opts.threshold
             };
             report.entries.push(DiffEntry {
                 what: format!("region:{}:{}", o.name, field),
@@ -568,6 +574,34 @@ mod tests {
             ..DiffOptions::default()
         };
         assert!(!diff_metrics(&old, &new, &relaxed).regressed());
+    }
+
+    #[test]
+    fn counters_only_ignores_timing_but_keeps_counter_gate() {
+        // 2x wall blowup AND 2x counter blowup.
+        let old = Snapshot::parse(&sample_metrics(2_000_000)).unwrap();
+        let new = Snapshot::parse(&sample_metrics(4_000_000)).unwrap();
+        let opts = DiffOptions {
+            counters_only: true,
+            ..DiffOptions::default()
+        };
+        let report = diff_metrics(&old, &new, &opts);
+        // The only regression is the counter; every timing row is
+        // advisory but still present in the report.
+        assert!(report.regressed());
+        for e in report.regressions() {
+            assert_eq!(e.what, "counter:uf.cas_retries");
+        }
+        assert!(report
+            .entries
+            .iter()
+            .any(|e| e.what == "region:phcd.union:wall_ns" && !e.regressed));
+
+        // With the counter also unchanged, nothing regresses no matter
+        // how much slower the timings are.
+        let mut same_ctr = new.clone();
+        same_ctr.counters.insert("uf.cas_retries".into(), 2_000.0);
+        assert!(!diff_metrics(&old, &same_ctr, &opts).regressed());
     }
 
     #[test]

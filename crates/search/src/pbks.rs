@@ -47,10 +47,7 @@ impl Contrib {
 
     pub(crate) fn into_primary(self) -> PrimaryValues {
         debug_assert!(self.b >= 0, "accumulated boundary count negative");
-        debug_assert!(
-            self.m2.is_multiple_of(2),
-            "accumulated doubled edge count odd"
-        );
+        debug_assert!(self.m2 % 2 == 0, "accumulated doubled edge count odd");
         PrimaryValues {
             n: self.n,
             m2: self.m2,

@@ -1,0 +1,371 @@
+//! Thread-local union batching for the concurrent union-find.
+//!
+//! In PHCD's union phase every worker streams the edges of its chunk
+//! straight into [`ConcurrentPivotUnionFind::union`](crate::ConcurrentPivotUnionFind),
+//! and most of those calls are redundant: inside a dense shell the same
+//! components are re-merged over and over, each redundant call paying two
+//! concurrent finds and contending on the shared parent words and pivot
+//! slots. A [`UnionBatch`] filters that stream locally first — a small
+//! private union-find over only the elements the chunk has touched — and
+//! forwards just the *spanning* edges (those that connect two locally
+//! distinct components) to the shared structure on
+//! [`flush`](UnionBatch::flush).
+//!
+//! Correctness: an edge the local filter drops connects two elements
+//! already joined by edges this batch *did* forward (union is
+//! transitive), so the shared partition after a flush is identical to
+//! the unbatched one. Pivots are maintained by the shared structure's
+//! own min-merge protocol on every forwarded union and therefore still
+//! converge at quiescence. The filter only ever *removes* redundant
+//! calls; it never reorders surviving edges.
+//!
+//! The batch is bounded: once it has staged [`capacity`](UnionBatch::capacity)
+//! spanning edges (or touched twice that many distinct elements) it
+//! flushes itself, so memory stays O(capacity) regardless of chunk size.
+
+use crate::UnionFindPivot;
+
+/// Default spanning-edge capacity before a batch self-flushes.
+const DEFAULT_CAPACITY: usize = 2048;
+
+/// Sentinel marking a free slot in the open-addressed element table.
+const EMPTY: u32 = u32::MAX;
+
+/// Cumulative effectiveness counters of a [`UnionBatch`].
+///
+/// `flushed <= staged` always; the gap is exactly the number of
+/// redundant concurrent `union` calls (and their CAS traffic) the batch
+/// absorbed.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct BatchStats {
+    /// Edges offered via [`UnionBatch::stage`].
+    pub staged: u64,
+    /// Unions actually forwarded to the shared structure.
+    pub flushed: u64,
+}
+
+/// A thread-local edge coalescer in front of a shared
+/// [`UnionFindPivot`].
+///
+/// # Examples
+///
+/// ```
+/// use hcd_unionfind::{ConcurrentPivotUnionFind, UnionBatch, UnionFindPivot};
+///
+/// let uf = ConcurrentPivotUnionFind::new_identity(4);
+/// let mut batch = UnionBatch::new();
+/// batch.stage(&uf, 0, 1);
+/// batch.stage(&uf, 1, 0); // locally redundant: dropped
+/// batch.stage(&uf, 2, 3);
+/// batch.flush(&uf);
+/// assert!(uf.same_set(0, 1) && uf.same_set(2, 3));
+/// let s = batch.stats();
+/// assert_eq!((s.staged, s.flushed), (3, 2));
+/// ```
+pub struct UnionBatch {
+    /// Open-addressed hash table mapping element id -> local slot;
+    /// power-of-two length, `EMPTY` marks free entries.
+    table: Vec<(u32, u32)>,
+    /// Local union-find parent over slots (path halving, no ranks — the
+    /// batch is tiny and short-lived).
+    parent: Vec<u32>,
+    /// Table index of each slot, for O(distinct) clearing on flush.
+    table_pos: Vec<u32>,
+    /// Spanning edges awaiting a flush, in original element ids and
+    /// arrival order.
+    pending: Vec<(u32, u32)>,
+    capacity: usize,
+    staged: u64,
+    flushed: u64,
+}
+
+impl Default for UnionBatch {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl UnionBatch {
+    /// A batch with the default capacity.
+    pub fn new() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+
+    /// A batch that self-flushes after `capacity` spanning edges (or
+    /// `2 * capacity` distinct elements). `capacity` must be non-zero.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "capacity must be non-zero");
+        // Table sized for 2*capacity elements at 50% max load.
+        let table_len = (4 * capacity).next_power_of_two();
+        UnionBatch {
+            table: vec![(EMPTY, 0); table_len],
+            parent: Vec::with_capacity(2 * capacity),
+            table_pos: Vec::with_capacity(2 * capacity),
+            pending: Vec::with_capacity(capacity),
+            capacity,
+            staged: 0,
+            flushed: 0,
+        }
+    }
+
+    /// The self-flush threshold in spanning edges.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of spanning edges currently awaiting a flush.
+    pub fn pending_len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// Cumulative counters (not reset by flushes).
+    pub fn stats(&self) -> BatchStats {
+        BatchStats {
+            staged: self.staged,
+            flushed: self.flushed,
+        }
+    }
+
+    /// Offers the edge `{x, y}` to the shared structure `uf`. Locally
+    /// redundant edges are dropped immediately; spanning edges are
+    /// queued and forwarded on the next [`flush`](UnionBatch::flush)
+    /// (which this call performs itself at capacity).
+    pub fn stage<U: UnionFindPivot + ?Sized>(&mut self, uf: &U, x: u32, y: u32) {
+        self.staged += 1;
+        let sx = self.slot_of(x);
+        let sy = self.slot_of(y);
+        let rx = self.find_local(sx);
+        let ry = self.find_local(sy);
+        if rx != ry {
+            self.parent[rx as usize] = ry;
+            self.pending.push((x, y));
+        }
+        if self.pending.len() >= self.capacity || self.parent.len() >= 2 * self.capacity {
+            self.flush(uf);
+        }
+    }
+
+    /// Forwards every pending spanning edge to `uf` and resets the local
+    /// filter. Must be called before the shared structure is read (PHCD
+    /// flushes at every chunk end, before the region barrier).
+    pub fn flush<U: UnionFindPivot + ?Sized>(&mut self, uf: &U) {
+        for &(x, y) in &self.pending {
+            uf.union(x, y);
+        }
+        self.flushed += self.pending.len() as u64;
+        self.pending.clear();
+        for &pos in &self.table_pos {
+            self.table[pos as usize].0 = EMPTY;
+        }
+        self.table_pos.clear();
+        self.parent.clear();
+    }
+
+    /// The local slot of element `x`, inserting a fresh singleton on
+    /// first sight.
+    fn slot_of(&mut self, x: u32) -> u32 {
+        debug_assert_ne!(x, EMPTY, "element id u32::MAX is reserved");
+        let mask = self.table.len() - 1;
+        // Fibonacci hashing; ids are dense, so any odd multiplier mixes
+        // well enough for a 50%-max-load table.
+        let mut i = (x as usize).wrapping_mul(0x9E37_79B9) & mask;
+        loop {
+            let (elem, slot) = self.table[i];
+            if elem == x {
+                return slot;
+            }
+            if elem == EMPTY {
+                let slot = self.parent.len() as u32;
+                self.table[i] = (x, slot);
+                self.parent.push(slot);
+                self.table_pos.push(i as u32);
+                return slot;
+            }
+            i = (i + 1) & mask;
+        }
+    }
+
+    /// Local find with path halving.
+    fn find_local(&mut self, mut s: u32) -> u32 {
+        loop {
+            let p = self.parent[s as usize];
+            if p == s {
+                return s;
+            }
+            let gp = self.parent[p as usize];
+            self.parent[s as usize] = gp;
+            s = gp;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ConcurrentPivotUnionFind, PivotUnionFind};
+
+    #[test]
+    fn redundant_edges_are_coalesced() {
+        let uf = ConcurrentPivotUnionFind::new_identity(8).with_stats();
+        let mut batch = UnionBatch::new();
+        // A dense clique-like stream over {0..4}: 10 edges, 3 spanning.
+        for x in 0..4u32 {
+            for y in (x + 1)..4 {
+                batch.stage(&uf, x, y);
+            }
+        }
+        batch.flush(&uf);
+        let s = batch.stats();
+        assert_eq!(s.staged, 6);
+        assert_eq!(s.flushed, 3);
+        assert_eq!(uf.counts().unions, 3, "shared side saw only spanning edges");
+        for v in 1..4 {
+            assert!(uf.same_set(0, v));
+        }
+    }
+
+    #[test]
+    fn partition_matches_unbatched_reference() {
+        use rand::{Rng, SeedableRng};
+        let n = 500usize;
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(11);
+        let edges: Vec<(u32, u32)> = (0..4 * n)
+            .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
+            .collect();
+
+        let plain = PivotUnionFind::new_identity(n);
+        for &(a, b) in &edges {
+            if a != b {
+                plain.union(a, b);
+            }
+        }
+
+        let batched = ConcurrentPivotUnionFind::new_identity(n);
+        let mut batch = UnionBatch::with_capacity(64); // force mid-stream flushes
+        for &(a, b) in &edges {
+            if a != b {
+                batch.stage(&batched, a, b);
+            }
+        }
+        batch.flush(&batched);
+
+        for v in 0..n as u32 {
+            assert!(
+                batched.same_set(v, plain.find(v)),
+                "partition mismatch at {v}"
+            );
+            assert_eq!(batched.get_pivot(v), plain.get_pivot(v), "pivot at {v}");
+        }
+        let s = batch.stats();
+        assert!(s.flushed < s.staged, "batching must coalesce: {s:?}");
+        batched.validate().unwrap();
+    }
+
+    #[test]
+    fn self_flush_bounds_memory() {
+        let uf = ConcurrentPivotUnionFind::new_identity(10_000);
+        let mut batch = UnionBatch::with_capacity(8);
+        for i in 0..5_000u32 {
+            batch.stage(&uf, 2 * i, 2 * i + 1);
+            assert!(batch.pending_len() < 8);
+            assert!(batch.parent.len() <= 16);
+        }
+        batch.flush(&uf);
+        assert_eq!(batch.pending_len(), 0);
+        assert_eq!(batch.stats().flushed, 5_000);
+        assert_eq!(uf.num_components(), 5_000);
+    }
+
+    #[test]
+    fn reuse_after_flush_starts_clean() {
+        let uf = ConcurrentPivotUnionFind::new_identity(6);
+        let mut batch = UnionBatch::new();
+        batch.stage(&uf, 0, 1);
+        batch.flush(&uf);
+        // After a flush the local filter forgets 0-1; the edge is staged
+        // again but the shared union is a no-op merge.
+        batch.stage(&uf, 0, 1);
+        batch.stage(&uf, 1, 0);
+        batch.flush(&uf);
+        assert_eq!(batch.stats().staged, 3);
+        assert_eq!(batch.stats().flushed, 2);
+        assert_eq!(uf.num_components(), 5);
+    }
+
+    #[test]
+    fn works_with_sequential_variant_too() {
+        let uf = PivotUnionFind::new_identity(4);
+        let mut batch = UnionBatch::new();
+        batch.stage(&uf, 3, 2);
+        batch.stage(&uf, 2, 3);
+        batch.flush(&uf);
+        assert!(uf.same_set(2, 3));
+        assert_eq!(uf.get_pivot(3), 2);
+    }
+
+    #[test]
+    fn concurrent_workers_with_private_batches_agree_with_sequential() {
+        use rand::{Rng, SeedableRng};
+        use std::sync::Arc;
+        let n = if cfg!(miri) { 200 } else { 4_000usize };
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(23);
+        // Each edge appears from both endpoints, the way a symmetric CSR
+        // scan stages it; the mirror lands in the same batch window and
+        // must be coalesced locally.
+        let mut ops: Vec<(u32, u32)> = Vec::with_capacity(4 * n);
+        for _ in 0..2 * n {
+            let a = rng.gen_range(0..n as u32);
+            let b = rng.gen_range(0..n as u32);
+            ops.push((a, b));
+            ops.push((b, a));
+        }
+
+        let seq = PivotUnionFind::new_identity(n);
+        for &(a, b) in &ops {
+            if a != b {
+                seq.union(a, b);
+            }
+        }
+
+        let conc = Arc::new(ConcurrentPivotUnionFind::new_identity(n).with_stats());
+        let threads = 4;
+        let chunk = ops.len().div_ceil(threads);
+        let ops = Arc::new(ops);
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let conc = Arc::clone(&conc);
+                let ops = Arc::clone(&ops);
+                std::thread::spawn(move || {
+                    let mut batch = UnionBatch::with_capacity(128);
+                    let start = t * chunk;
+                    let end = ((t + 1) * chunk).min(ops.len());
+                    for &(a, b) in &ops[start..end] {
+                        if a != b {
+                            batch.stage(&*conc, a, b);
+                        }
+                    }
+                    batch.flush(&*conc);
+                    batch.stats()
+                })
+            })
+            .collect();
+        let mut total = BatchStats::default();
+        for h in handles {
+            let s = h.join().unwrap();
+            total.staged += s.staged;
+            total.flushed += s.flushed;
+        }
+        assert!(
+            total.flushed < total.staged,
+            "coalescing happened: {total:?}"
+        );
+        // Forwarded calls upper-bound the shared structure's successful
+        // unions; the partition itself must be exactly the sequential one.
+        assert!(conc.counts().unions <= total.flushed);
+        for v in 0..n as u32 {
+            assert!(conc.same_set(v, seq.find(v)), "partition mismatch at {v}");
+            assert_eq!(conc.get_pivot(v), seq.get_pivot(v), "pivot at {v}");
+        }
+        conc.validate().unwrap();
+    }
+}

@@ -360,10 +360,21 @@ mod tests {
         assert_eq!(uf.get_pivot(0), 1);
     }
 
+    /// Stress sizes shrink under Miri, whose interpreter is ~3 orders of
+    /// magnitude slower; the interleavings it explores don't need large
+    /// `n` to expose UB in the CAS protocols.
+    fn sized(full: usize) -> usize {
+        if cfg!(miri) {
+            (full / 50).max(64)
+        } else {
+            full
+        }
+    }
+
     #[test]
     fn concurrent_chain_stress() {
         // Many threads build one long chain; pivot must be the global min.
-        let n = 20_000;
+        let n = sized(20_000);
         let uf = Arc::new(ConcurrentPivotUnionFind::new_identity(n));
         let threads = 8;
         let handles: Vec<_> = (0..threads)
@@ -386,7 +397,7 @@ mod tests {
     #[test]
     fn concurrent_random_unions_match_sequential() {
         use rand::{Rng, SeedableRng};
-        let n = 5_000usize;
+        let n = sized(5_000);
         let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(7);
         let ops: Vec<(u32, u32)> = (0..4 * n)
             .map(|_| (rng.gen_range(0..n as u32), rng.gen_range(0..n as u32)))
@@ -427,7 +438,7 @@ mod tests {
 
     #[test]
     fn validate_accepts_concurrent_result() {
-        let n = 10_000;
+        let n = sized(10_000);
         let uf = Arc::new(ConcurrentPivotUnionFind::new_identity(n));
         let handles: Vec<_> = (0..8)
             .map(|t| {
@@ -450,7 +461,7 @@ mod tests {
         // Workers union random pairs; some panic partway through. The
         // structure must stay merge-consistent: whatever unions landed
         // are fully applied, pivots included.
-        let n = 4_000;
+        let n = sized(4_000);
         let uf = Arc::new(ConcurrentPivotUnionFind::new_identity(n));
         let handles: Vec<_> = (0..8)
             .map(|t| {
@@ -505,7 +516,7 @@ mod tests {
         // 8 threads race on a dense merge pattern; totals must reflect
         // every successful union exactly once even though retries vary
         // run to run.
-        let n = 10_000;
+        let n = sized(10_000);
         let uf = Arc::new(ConcurrentPivotUnionFind::new_identity(n).with_stats());
         let handles: Vec<_> = (0..8)
             .map(|t| {

@@ -1,13 +1,14 @@
 //! `hcd-cli` — command-line front end for the library.
 //!
 //! ```text
-//! hcd-cli stats  <graph> [-p P] [--metrics M.json] [--trace T.json]
-//! hcd-cli build  <graph> -o index.hcd [-p P] [--timeout-ms T] [--metrics M.json] [--trace T.json]
-//! hcd-cli search <graph> [-m METRIC] [-p P] [--timeout-ms T] [--metrics M.json] [--trace T.json]
+//! hcd-cli stats  <graph> [-p P] [--order O] [--metrics M.json] [--trace T.json]
+//! hcd-cli build  <graph> -o index.hcd [-p P] [--order O] [--timeout-ms T] [--metrics M.json] [--trace T.json]
+//! hcd-cli search <graph> [-m METRIC] [-p P] [--order O] [--timeout-ms T] [--metrics M.json] [--trace T.json]
 //! hcd-cli core   <graph> -v VERTEX -k K                   # the k-core containing v
-//! hcd-cli dot    <graph> [-p P]                           # Graphviz DOT of the HCD
+//! hcd-cli dot    <graph> [-p P] [--order O]               # Graphviz DOT of the HCD
 //! hcd-cli gen    <model> <out> [--seed S]                 # generate a synthetic graph
-//! hcd-cli metrics-diff <old.json> <new.json> [--threshold X] [--abs-floor-ns N]
+//! hcd-cli metrics-diff <old.json> <new.json> [--threshold X] [--abs-floor-ns N] [--counters-only]
+//! hcd-cli help                                            # usage and exit codes
 //! ```
 //!
 //! Graphs are text edge lists (`u v` per line, `#` comments) or the
@@ -62,16 +63,21 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  hcd-cli stats  <graph> [-p threads] [--metrics out.json] [--trace out.json]
-  hcd-cli build  <graph> -o <index.hcd> [-p threads] [--timeout-ms T] [--metrics out.json] [--trace out.json]
-  hcd-cli search <graph> [-m metric] [-p threads] [--timeout-ms T] [--metrics out.json] [--trace out.json]
+  hcd-cli stats  <graph> [-p threads] [--order none|degree] [--metrics out.json] [--trace out.json]
+  hcd-cli build  <graph> -o <index.hcd> [-p threads] [--order none|degree] [--timeout-ms T] [--metrics out.json] [--trace out.json]
+  hcd-cli search <graph> [-m metric] [-p threads] [--order none|degree] [--timeout-ms T] [--metrics out.json] [--trace out.json]
   hcd-cli core   <graph> -v <vertex> -k <k>
-  hcd-cli dot    <graph> [-p threads]
+  hcd-cli dot    <graph> [-p threads] [--order none|degree]
   hcd-cli gen    <rmat|ba|er|ws|tree> <out.txt> [--seed S]
-  hcd-cli metrics-diff <old.json> <new.json> [--threshold X] [--abs-floor-ns N]
+  hcd-cli metrics-diff <old.json> <new.json> [--threshold X] [--abs-floor-ns N] [--counters-only]
+  hcd-cli help
 
 metrics: average-degree internal-density cut-ratio conductance
          modularity clustering-coefficient (default: average-degree)
+
+--order degree relabels vertices hubs-first before construction for
+cache locality and union-find batching, then maps every output back to
+original ids; results are bit-identical to --order none (the default).
 
 --timeout-ms arms a deadline checked at chunk boundaries and at coarse
 strides inside hot loops; on expiry the command exits with code 124.
@@ -88,7 +94,15 @@ flag writes the document to stdout instead of a file.
 metrics-diff compares two hcd-metrics-v1 snapshots and exits 3 when
 any total, per-region time, imbalance, or counter regressed past the
 threshold (default 1.25x, ignoring deltas under --abs-floor-ns,
-default 100000).";
+default 100000). With --counters-only, timing and imbalance rows are
+reported but only counter regressions gate (for CI on noisy runners).
+
+exit codes:
+  0    success
+  1    runtime failure (I/O error, worker panic, bad input graph)
+  2    usage error (unknown command, bad flag, unknown metric)
+  3    metrics-diff found a regression past the threshold
+  124  deadline exceeded or cancelled (--timeout-ms fired)";
 
 /// Typed failure, mapped to a distinct process exit code in `main`.
 #[derive(Debug)]
@@ -123,17 +137,24 @@ fn run(args: &[String]) -> Result<(), CliError> {
     match cmd.as_str() {
         "stats" => {
             let path = args.get(1).ok_or_else(|| usage("missing graph path"))?;
-            with_metrics(args, exec_options(args)?, |exec| stats(path, exec))
+            let order = order_option(args)?;
+            with_metrics(args, exec_options(args)?, |exec| stats(path, order, exec))
         }
         "build" => {
             let path = args.get(1).ok_or_else(|| usage("missing graph path"))?;
             let out = flag_value(args, "-o")?.ok_or_else(|| usage("missing -o <index.hcd>"))?;
-            with_metrics(args, exec_options(args)?, |exec| build(path, &out, exec))
+            let order = order_option(args)?;
+            with_metrics(args, exec_options(args)?, |exec| {
+                build(path, &out, order, exec)
+            })
         }
         "search" => {
             let path = args.get(1).ok_or_else(|| usage("missing graph path"))?;
             let metric = flag_value(args, "-m")?;
-            with_metrics(args, exec_options(args)?, |exec| search(path, metric, exec))
+            let order = order_option(args)?;
+            with_metrics(args, exec_options(args)?, |exec| {
+                search(path, metric, order, exec)
+            })
         }
         "core" => core_query(
             args.get(1).ok_or_else(|| usage("missing graph path"))?,
@@ -142,6 +163,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
         ),
         "dot" => dot(
             args.get(1).ok_or_else(|| usage("missing graph path"))?,
+            order_option(args)?,
             exec_options(args)?,
         ),
         "gen" => gen(
@@ -150,6 +172,10 @@ fn run(args: &[String]) -> Result<(), CliError> {
             flag_value(args, "--seed")?,
         ),
         "metrics-diff" => metrics_diff(args),
+        "help" | "--help" | "-h" => {
+            println!("{USAGE}");
+            Ok(())
+        }
         other => Err(usage(format!("unknown command {other:?}"))),
     }
 }
@@ -162,6 +188,21 @@ fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, CliError> {
             .cloned()
             .map(Some)
             .ok_or_else(|| usage(format!("{flag} requires a value"))),
+    }
+}
+
+/// Whether a valueless boolean flag is present.
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Parses `--order none|degree` (default `none`).
+fn order_option(args: &[String]) -> Result<VertexOrder, CliError> {
+    match flag_value(args, "--order")? {
+        None => Ok(VertexOrder::None),
+        Some(s) => {
+            VertexOrder::parse(&s).ok_or_else(|| usage(format!("bad --order {s:?} (none|degree)")))
+        }
     }
 }
 
@@ -263,6 +304,7 @@ fn metrics_diff(args: &[String]) -> Result<(), CliError> {
             .parse::<f64>()
             .map_err(|e| usage(format!("bad --abs-floor-ns: {e}")))?;
     }
+    opts.counters_only = has_flag(args, "--counters-only");
     let read_snapshot = |path: &str| -> Result<Snapshot, CliError> {
         let text = std::fs::read_to_string(path)
             .map_err(|e| CliError::Runtime(format!("cannot read {path}: {e}")))?;
@@ -279,15 +321,17 @@ fn metrics_diff(args: &[String]) -> Result<(), CliError> {
     }
 }
 
-fn pipeline(g: &CsrGraph, exec: &Executor) -> Result<(CoreDecomposition, Hcd), CliError> {
-    let cores = try_pkc_core_decomposition(g, exec).map_err(par_err)?;
-    let hcd = try_phcd(g, &cores, exec).map_err(par_err)?;
-    Ok((cores, hcd))
+fn pipeline(
+    g: &CsrGraph,
+    order: VertexOrder,
+    exec: &Executor,
+) -> Result<(CoreDecomposition, Hcd), CliError> {
+    try_build_with_order(g, order, exec).map_err(par_err)
 }
 
-fn stats(path: &str, exec: &Executor) -> Result<(), CliError> {
+fn stats(path: &str, order: VertexOrder, exec: &Executor) -> Result<(), CliError> {
     let g = load(path)?;
-    let (cores, hcd) = pipeline(&g, exec)?;
+    let (cores, hcd) = pipeline(&g, order, exec)?;
     println!("n     = {}", g.num_vertices());
     println!("m     = {}", g.num_edges());
     println!("davg  = {:.2}", g.avg_degree());
@@ -298,9 +342,9 @@ fn stats(path: &str, exec: &Executor) -> Result<(), CliError> {
     Ok(())
 }
 
-fn build(path: &str, out: &str, exec: &Executor) -> Result<(), CliError> {
+fn build(path: &str, out: &str, order: VertexOrder, exec: &Executor) -> Result<(), CliError> {
     let g = load(path)?;
-    let (_, hcd) = pipeline(&g, exec)?;
+    let (_, hcd) = pipeline(&g, order, exec)?;
     let file = std::fs::File::create(out)
         .map_err(|e| CliError::Runtime(format!("cannot create {out}: {e}")))?;
     hcd::core::io::write_hcd(&hcd, file)
@@ -317,10 +361,15 @@ fn parse_metric(m: Option<String>) -> Result<Metric, CliError> {
         .ok_or_else(|| usage(format!("unknown metric {name:?}")))
 }
 
-fn search(path: &str, metric: Option<String>, exec: &Executor) -> Result<(), CliError> {
+fn search(
+    path: &str,
+    metric: Option<String>,
+    order: VertexOrder,
+    exec: &Executor,
+) -> Result<(), CliError> {
     let g = load(path)?;
     let metric = parse_metric(metric)?;
-    let (cores, hcd) = pipeline(&g, exec)?;
+    let (cores, hcd) = pipeline(&g, order, exec)?;
     let ctx = SearchContext::try_with_executor(&g, &cores, &hcd, exec).map_err(par_err)?;
     match try_pbks(&ctx, &metric, exec).map_err(par_err)? {
         None => println!("graph is empty"),
@@ -343,7 +392,7 @@ fn core_query(path: &str, v: &str, k: &str) -> Result<(), CliError> {
     if v as usize >= g.num_vertices() {
         return Err(CliError::Runtime(format!("vertex {v} out of range")));
     }
-    let (cores, hcd) = pipeline(&g, &Executor::sequential())?;
+    let (cores, hcd) = pipeline(&g, VertexOrder::None, &Executor::sequential())?;
     match core_containing(&hcd, &cores, v, k) {
         None => println!(
             "vertex {v} has coreness {} < {k}: no such core",
@@ -367,9 +416,9 @@ fn core_query(path: &str, v: &str, k: &str) -> Result<(), CliError> {
     Ok(())
 }
 
-fn dot(path: &str, exec: Executor) -> Result<(), CliError> {
+fn dot(path: &str, order: VertexOrder, exec: Executor) -> Result<(), CliError> {
     let g = load(path)?;
-    let (_, hcd) = pipeline(&g, &exec)?;
+    let (_, hcd) = pipeline(&g, order, &exec)?;
     print!("{}", hcd.to_dot());
     Ok(())
 }

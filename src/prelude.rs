@@ -1,7 +1,11 @@
 //! One-stop imports for the common workflow:
 //! build graph → core decomposition → HCD → subgraph search.
 
-pub use hcd_graph::{CsrGraph, GraphBuilder, InducedSubgraph, VertexId};
+pub use hcd_graph::{CsrGraph, GraphBuilder, InducedSubgraph, Permutation, VertexId};
+
+pub use hcd_unionfind::{
+    BatchStats, ConcurrentPivotUnionFind, PivotUnionFind, UfCounts, UnionBatch, UnionFindPivot,
+};
 
 pub use hcd_decomp::{
     core_decomposition, hindex_core_decomposition, pkc_core_decomposition,
@@ -10,7 +14,10 @@ pub use hcd_decomp::{
 
 pub use hcd_core::phcd::{phcd_with_ranks, try_phcd_with_ranks};
 pub use hcd_core::query::{core_containing, cores_per_level, hierarchy_position};
-pub use hcd_core::{lcps, naive_hcd, phcd, try_phcd, Hcd, TreeNode, VertexRanks};
+pub use hcd_core::{
+    build_with_order, lcps, naive_hcd, phcd, try_build_with_order, try_phcd, Hcd, TreeNode,
+    VertexOrder, VertexRanks,
+};
 
 pub use hcd_par::{
     diff_metrics, BuildError, CancelToken, CounterValue, Deadline, DiffEntry, DiffOptions,

@@ -364,3 +364,134 @@ fn committed_baseline_self_diff_is_clean() {
         String::from_utf8_lossy(&out.stderr)
     );
 }
+
+#[test]
+fn help_documents_every_exit_code() {
+    for cmd in ["help", "--help", "-h"] {
+        let out = cli().args([cmd]).output().unwrap();
+        assert_eq!(out.status.code(), Some(0), "{cmd} must exit 0");
+        let text = String::from_utf8_lossy(&out.stdout);
+        assert!(text.contains("usage"), "{cmd}: {text}");
+        assert!(text.contains("exit codes"), "{cmd}: {text}");
+        // Every code in the taxonomy is documented, including the
+        // metrics-diff regression code (3) and the timeout code (124).
+        for needle in [
+            "0    success",
+            "1    runtime failure",
+            "2    usage error",
+            "3    metrics-diff found a regression",
+            "124  deadline exceeded",
+        ] {
+            assert!(text.contains(needle), "{cmd} help missing {needle:?}");
+        }
+    }
+}
+
+#[test]
+fn counters_only_ignores_wall_time_but_gates_counters() {
+    let old = tmp("co_old.json");
+    let new = tmp("co_new.json");
+    std::fs::write(&old, snapshot_json(1_000_000, 100)).unwrap();
+
+    // 10x wall regression: exit 3 normally, exit 0 with --counters-only.
+    std::fs::write(&new, snapshot_json(10_000_000, 100)).unwrap();
+    let out = cli()
+        .args(["metrics-diff", old.to_str().unwrap(), new.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "wall regression without flag");
+    let out = cli()
+        .args([
+            "metrics-diff",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--counters-only",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "wall regression is advisory under --counters-only: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // A doctored counter regression still fails under --counters-only.
+    std::fs::write(&new, snapshot_json(1_000_000, 10_000)).unwrap();
+    let out = cli()
+        .args([
+            "metrics-diff",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--counters-only",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "counter regression must gate");
+    assert!(
+        String::from_utf8_lossy(&out.stdout).contains("cas_retries"),
+        "counter named in report"
+    );
+
+    std::fs::remove_file(&old).ok();
+    std::fs::remove_file(&new).ok();
+}
+
+#[test]
+fn build_with_degree_order_writes_identical_index() {
+    let graph = tmp("order.txt");
+    let plain = tmp("order_plain.hcd");
+    let ordered = tmp("order_degree.hcd");
+    assert!(cli()
+        .args(["gen", "ba", graph.to_str().unwrap(), "--seed", "9"])
+        .status()
+        .unwrap()
+        .success());
+    assert!(cli()
+        .args([
+            "build",
+            graph.to_str().unwrap(),
+            "-o",
+            plain.to_str().unwrap(),
+        ])
+        .status()
+        .unwrap()
+        .success());
+    assert!(cli()
+        .args([
+            "build",
+            graph.to_str().unwrap(),
+            "-o",
+            ordered.to_str().unwrap(),
+            "--order",
+            "degree",
+            "-p",
+            "2",
+        ])
+        .status()
+        .unwrap()
+        .success());
+    // The relabeled build maps back to the exact same serialized index.
+    let a = std::fs::read(&plain).unwrap();
+    let b = std::fs::read(&ordered).unwrap();
+    assert!(!a.is_empty());
+    assert_eq!(a, b, "--order degree must not change the written index");
+
+    // An unknown order is a usage error.
+    let out = cli()
+        .args([
+            "build",
+            graph.to_str().unwrap(),
+            "-o",
+            plain.to_str().unwrap(),
+            "--order",
+            "random",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_file(&plain).ok();
+    std::fs::remove_file(&ordered).ok();
+}

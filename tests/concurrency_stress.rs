@@ -410,13 +410,21 @@ fn deterministic_counters_agree_across_modes() {
         // and wave count come from the degree sequence, the frontier
         // high-water mark from the wave partition, shell phases from the
         // coreness histogram, and successful union count from the
-        // component structure (one link CAS wins per merge).
+        // component structure (one link CAS wins per merge). The bucket
+        // counters are structural too: CAS decrements serialize, so each
+        // intermediate degree value is observed by exactly one decrement
+        // regardless of interleaving, fixing the push/skip multiset. And
+        // batch_staged counts edge scans, which the shell structure
+        // determines.
         for name in [
             "pkc.levels",
             "pkc.waves",
             "pkc.frontier",
+            "pkc.bucket_pushes",
+            "pkc.bucket_skips",
             "phcd.union_phases",
             "phcd.uf.unions",
+            "phcd.uf.batch_staged",
         ] {
             assert_eq!(
                 counter(&m, name),
@@ -434,6 +442,17 @@ fn deterministic_counters_agree_across_modes() {
         assert!(
             finds >= 2 * unions,
             "finds {finds} < 2 * unions {unions} in mode {}",
+            exec.mode_name()
+        );
+        // batch_flushed depends on how the shell scan is chunked (one
+        // worker coalesces across the whole shell, four coalesce per
+        // quarter), so it is only bounded: every forwarded edge was
+        // staged, and every successful global merge came through a flush.
+        let staged = counter(&m, "phcd.uf.batch_staged");
+        let flushed = counter(&m, "phcd.uf.batch_flushed");
+        assert!(
+            unions <= flushed && flushed <= staged,
+            "expected unions {unions} <= flushed {flushed} <= staged {staged} in mode {}",
             exec.mode_name()
         );
     }
