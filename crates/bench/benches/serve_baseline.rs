@@ -1,0 +1,67 @@
+//! Produces the committed metrics baseline for the serving layer.
+//!
+//! Drives the seeded mixed read/update workload from `hcd-serve`
+//! against a deterministic BA graph with region metering enabled and
+//! writes one `hcd-metrics-v1` snapshot. CI regenerates the snapshot
+//! and diffs it against the committed copy with
+//! `hcd-cli metrics-diff --counters-only`.
+//!
+//! * `HCD_BENCH_BASELINE_OUT` — output path
+//!   (default `bench/baselines/serve-small.json`).
+//!
+//! The executor is **sequential**: the workload's operation stream is a
+//! pure function of the seed, so every counter — `serve.queries`,
+//! `serve.batches`, `serve.swaps`, plus the `pkc.*`/`phcd.*` traffic of
+//! the rebuilds — is bit-reproducible across machines. Only the
+//! nanosecond timings vary, which `--counters-only` ignores.
+
+use hcd_bench::banner;
+use hcd_datasets::barabasi_albert;
+use hcd_par::Executor;
+use hcd_serve::{run_workload, HcdService, WorkloadConfig};
+
+fn main() {
+    banner("serve baseline: BA-small mixed read/update workload metrics");
+    let out = std::env::var("HCD_BENCH_BASELINE_OUT")
+        .ok()
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| {
+            format!(
+                "{}/../../bench/baselines/serve-small.json",
+                env!("CARGO_MANIFEST_DIR")
+            )
+        });
+
+    let g = barabasi_albert(2_000, 4, 42);
+    let exec = Executor::sequential().with_metrics();
+    let service = HcdService::try_new(&g, &exec).expect("initial build");
+    let cfg = WorkloadConfig {
+        seed: 42,
+        ops: 48,
+        batch_size: 24,
+        read_ratio: 0.75,
+        universe: g.num_vertices() as u32 + 64,
+    };
+    let summary = run_workload(&service, &cfg, &exec).expect("workload");
+
+    let m = exec.take_metrics();
+    if let Some(dir) = std::path::Path::new(&out).parent() {
+        std::fs::create_dir_all(dir).expect("create baseline dir");
+    }
+    std::fs::write(&out, m.to_json()).expect("write baseline");
+
+    println!(
+        "n={} m={} queries={} swaps={} applied={} final_gen={}",
+        g.num_vertices(),
+        g.num_edges(),
+        summary.queries,
+        summary.update_batches,
+        summary.updates_applied,
+        summary.final_generation,
+    );
+    println!(
+        "wrote {out}: {} regions, {} counters",
+        m.regions.len(),
+        m.counters.len()
+    );
+}

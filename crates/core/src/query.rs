@@ -5,6 +5,45 @@ use hcd_graph::VertexId;
 
 use crate::index::{Hcd, NO_NODE};
 
+/// The tree node whose subtree is the k-core containing `v`: the highest
+/// ancestor of `tid(v)` whose level is still `>= k`. Returns `None` when
+/// `k > c(v)`. `O(depth)` time, no allocation — the snapshot-friendly
+/// entry point the serving layer uses to answer membership and identity
+/// queries without materializing vertex sets.
+pub fn core_node_at(hcd: &Hcd, cores: &CoreDecomposition, v: VertexId, k: u32) -> Option<u32> {
+    if k > cores.coreness(v) {
+        return None;
+    }
+    let mut node = hcd.tid(v);
+    loop {
+        let parent = hcd.node(node).parent;
+        if parent == NO_NODE || hcd.node(parent).k < k {
+            break;
+        }
+        node = parent;
+    }
+    Some(node)
+}
+
+/// Whether `v` belongs to some k-core, answered in `O(1)` from the
+/// decomposition alone.
+pub fn in_k_core(cores: &CoreDecomposition, v: VertexId, k: u32) -> bool {
+    k <= cores.coreness(v)
+}
+
+/// Whether `u` and `v` lie in the *same* k-core, answered from the index
+/// in `O(depth)` without materializing either core: two vertices share a
+/// k-core exactly when their level-`k` ancestors coincide.
+pub fn same_k_core(hcd: &Hcd, cores: &CoreDecomposition, u: VertexId, v: VertexId, k: u32) -> bool {
+    match (
+        core_node_at(hcd, cores, u, k),
+        core_node_at(hcd, cores, v, k),
+    ) {
+        (Some(a), Some(b)) => a == b,
+        _ => false,
+    }
+}
+
 /// The vertex set of the k-core containing `v`, answered from the index
 /// alone in time linear in the output.
 ///
@@ -19,18 +58,7 @@ pub fn core_containing(
     v: VertexId,
     k: u32,
 ) -> Option<Vec<VertexId>> {
-    if k > cores.coreness(v) {
-        return None;
-    }
-    let mut node = hcd.tid(v);
-    loop {
-        let parent = hcd.node(node).parent;
-        if parent == NO_NODE || hcd.node(parent).k < k {
-            break;
-        }
-        node = parent;
-    }
-    Some(hcd.subtree_vertices(node))
+    core_node_at(hcd, cores, v, k).map(|node| hcd.subtree_vertices(node))
 }
 
 /// The *hierarchy position* of `v`: (depth of its tree node, subtree size
@@ -96,6 +124,29 @@ mod tests {
         let (d0, s0) = hierarchy_position(&hcd, 0); // 4-core
         assert!(d15 < d6 && d6 < d0);
         assert_eq!(s0, 6); // T4 is a leaf holding S4's six vertices
+    }
+
+    #[test]
+    fn membership_and_identity_agree_with_materialized_cores() {
+        let (g, cores, hcd) = setup();
+        for v in g.vertices() {
+            for k in 0..=cores.kmax() + 1 {
+                assert_eq!(in_k_core(&cores, v, k), k <= cores.coreness(v));
+                match core_containing(&hcd, &cores, v, k) {
+                    None => assert!(core_node_at(&hcd, &cores, v, k).is_none()),
+                    Some(members) => {
+                        for u in g.vertices() {
+                            let expect = members.contains(&u) && k <= cores.coreness(u);
+                            assert_eq!(
+                                same_k_core(&hcd, &cores, u, v, k),
+                                expect,
+                                "u={u} v={v} k={k}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
     }
 
     #[test]

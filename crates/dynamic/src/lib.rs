@@ -12,6 +12,16 @@
 //!   TKDE 2014): an edge update changes coreness by at most one, and only
 //!   inside the *subcore* reachable from the update through vertices of
 //!   the same coreness — typically a tiny region;
+//! * **batched updates** — [`DynamicCore::apply_batch`] applies a whole
+//!   [`EdgeUpdate`] batch and reports the exact changed region
+//!   ([`BatchReport`]), which is what the serving layer amortizes its
+//!   per-publication costs (coreness diff, HCD rebuild, epoch swap)
+//!   over. The batch is currently applied update-by-update; sharing
+//!   traversal work *within* a batch — as in Liu et al., *Parallel
+//!   Batch-Dynamic Algorithms for k-Core Decomposition and Related
+//!   Graph Problems* (SPAA 2022, see PAPERS.md), whose h-index-style
+//!   batch peeling processes all affected subcores at once — is the
+//!   natural next step and left as future work;
 //! * on-demand HCD refresh: the hierarchy is rebuilt with PHCD only when
 //!   queried after updates (true incremental hierarchy maintenance is
 //!   the subject of \[15\] and left as future work, as in the paper).
@@ -22,4 +32,4 @@ pub mod graph;
 pub mod maintain;
 
 pub use graph::DynamicGraph;
-pub use maintain::DynamicCore;
+pub use maintain::{BatchReport, DynamicCore, EdgeUpdate};

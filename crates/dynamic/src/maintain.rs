@@ -7,6 +7,39 @@ use hcd_par::Executor;
 
 use crate::graph::DynamicGraph;
 
+/// One edge update of a batch, applied by [`DynamicCore::apply_batch`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EdgeUpdate {
+    /// Insert the edge `{u, v}` (no-op for duplicates and self-loops).
+    Insert(VertexId, VertexId),
+    /// Remove the edge `{u, v}` (no-op if absent).
+    Remove(VertexId, VertexId),
+}
+
+/// What a batch of updates did: how many edges actually changed, and
+/// which vertices' coreness moved — the *changed region* a rebuild (or a
+/// future truly-incremental hierarchy repair, see the crate docs on
+/// batch-dynamic algorithms) needs to look at.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BatchReport {
+    /// Updates that changed the edge set.
+    pub applied: usize,
+    /// Updates that were no-ops (duplicate inserts, self-loops, removals
+    /// of absent edges).
+    pub skipped: usize,
+    /// Vertices whose coreness differs from before the batch, in
+    /// ascending order. Empty for a batch that only touched edges
+    /// between vertices whose coreness was unaffected.
+    pub changed: Vec<VertexId>,
+}
+
+impl BatchReport {
+    /// Whether the batch left every coreness value untouched.
+    pub fn coreness_unchanged(&self) -> bool {
+        self.changed.is_empty()
+    }
+}
+
 /// A dynamic graph with incrementally maintained coreness and an
 /// on-demand HCD.
 ///
@@ -198,6 +231,48 @@ impl DynamicCore {
         true
     }
 
+    /// Applies a whole batch of edge updates in order and reports the
+    /// changed region.
+    ///
+    /// Each update runs the same subcore-local repair as
+    /// [`DynamicCore::insert_edge`] / [`DynamicCore::remove_edge`], so
+    /// the batch result is identical to applying the updates one by one
+    /// — batching buys the *caller* something: one coreness diff, one
+    /// HCD rebuild, and one snapshot publication per batch instead of
+    /// per edge (the serving layer's epoch swap). Truly batch-internal
+    /// sharing of traversal work is the subject of parallel
+    /// batch-dynamic k-core algorithms (Liu et al.; see the crate docs)
+    /// and is deliberately left as future work.
+    ///
+    /// The report's `changed` set is computed as a before/after diff of
+    /// the coreness array, so it is exact: a vertex appears iff its
+    /// coreness after the batch differs from its coreness before
+    /// (intermediate flips that cancel out within the batch do not
+    /// appear).
+    pub fn apply_batch(&mut self, updates: &[EdgeUpdate]) -> BatchReport {
+        let before = self.coreness.clone();
+        let mut report = BatchReport::default();
+        for &u in updates {
+            let applied = match u {
+                EdgeUpdate::Insert(a, b) => self.insert_edge(a, b),
+                EdgeUpdate::Remove(a, b) => self.remove_edge(a, b),
+            };
+            if applied {
+                report.applied += 1;
+            } else {
+                report.skipped += 1;
+            }
+        }
+        // Vertices added by the batch start from implicit coreness 0.
+        for v in 0..self.coreness.len() {
+            let old = before.get(v).copied().unwrap_or(0);
+            if self.coreness[v] != old {
+                report.changed.push(v as VertexId);
+            }
+        }
+        report
+    }
+
     /// Number of `w`'s neighbors with coreness `>= c`.
     fn support(&self, w: VertexId, c: u32) -> u32 {
         self.g
@@ -332,6 +407,91 @@ mod tests {
         assert_eq!(dc.coreness(0), 0);
         assert_matches_recompute(&dc);
     }
+
+    #[test]
+    fn batch_equals_singles_and_reports_exact_changed_region() {
+        // Triangle {0,1,2} + path 2-3-4. The batch completes K4 on
+        // {0,1,2,3} (promoting all four to coreness 3) and strips the
+        // pendant edge (demoting 4 to 0).
+        let g = hcd_graph::GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+            .build();
+        let mut batch = DynamicCore::from_csr(&g);
+        let mut singles = DynamicCore::from_csr(&g);
+        let updates = [
+            EdgeUpdate::Insert(1, 3),
+            EdgeUpdate::Insert(0, 3),
+            EdgeUpdate::Remove(3, 4),
+        ];
+        let before = batch.coreness_slice().to_vec();
+        let report = batch.apply_batch(&updates);
+        singles.insert_edge(1, 3);
+        singles.insert_edge(0, 3);
+        singles.remove_edge(3, 4);
+        assert_eq!(batch.coreness_slice(), singles.coreness_slice());
+        assert_eq!(report.applied, 3);
+        assert_eq!(report.skipped, 0);
+        // 0,1,2: 2→3; 3: 1→3; 4: 1→0 — every vertex moved.
+        assert_eq!(batch.coreness_slice(), &[3, 3, 3, 3, 0]);
+        assert_ne!(batch.coreness_slice(), before.as_slice());
+        assert_eq!(report.changed, vec![0, 1, 2, 3, 4]);
+        assert_matches_recompute(&batch);
+    }
+
+    #[test]
+    fn batch_counts_duplicate_inserts_and_missing_removals_as_skipped() {
+        let mut dc = DynamicCore::new(3);
+        dc.insert_edge(0, 1);
+        let report = dc.apply_batch(&[
+            EdgeUpdate::Insert(0, 1), // duplicate
+            EdgeUpdate::Insert(1, 1), // self-loop
+            EdgeUpdate::Remove(0, 2), // absent
+            EdgeUpdate::Insert(1, 2), // real
+        ]);
+        assert_eq!(report.applied, 1);
+        assert_eq!(report.skipped, 3);
+        assert_eq!(report.changed, vec![2]); // 2 went 0 -> 1
+        assert_matches_recompute(&dc);
+    }
+
+    #[test]
+    fn batch_with_cancelling_updates_reports_no_change() {
+        let mut dc = DynamicCore::new(4);
+        dc.insert_edge(0, 1);
+        dc.insert_edge(1, 2);
+        let report = dc.apply_batch(&[
+            EdgeUpdate::Insert(2, 3),
+            EdgeUpdate::Remove(2, 3), // cancels within the batch
+        ]);
+        assert_eq!(report.applied, 2);
+        assert!(report.coreness_unchanged(), "{report:?}");
+        assert_matches_recompute(&dc);
+    }
+
+    #[test]
+    fn empty_batch_is_a_noop() {
+        let mut dc = DynamicCore::new(2);
+        dc.insert_edge(0, 1);
+        let report = dc.apply_batch(&[]);
+        assert_eq!(report, BatchReport::default());
+    }
+
+    #[test]
+    fn batch_splitting_a_component_demotes_both_halves() {
+        // Two triangles joined by a bridge; removing the bridge splits
+        // the component but coreness (2 in each triangle) is unaffected,
+        // while dismantling one triangle demotes only that half.
+        let g = hcd_graph::GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 5), (5, 3)])
+            .build();
+        let mut dc = DynamicCore::from_csr(&g);
+        let split = dc.apply_batch(&[EdgeUpdate::Remove(2, 3)]);
+        assert!(split.coreness_unchanged(), "{split:?}");
+        assert_matches_recompute(&dc);
+        let dismantle = dc.apply_batch(&[EdgeUpdate::Remove(3, 4)]);
+        assert_eq!(dismantle.changed, vec![3, 4, 5]);
+        assert_matches_recompute(&dc);
+    }
 }
 
 #[cfg(test)]
@@ -391,6 +551,128 @@ mod proptests {
                 dc.remove_edge(a, b);
             }
             prop_assert_eq!(dc.coreness_slice(), before.as_slice());
+        }
+
+        #[test]
+        fn duplicate_insert_in_a_batch_changes_nothing(edges in prop::collection::vec((0..12u32, 0..12u32), 1..40)) {
+            // Re-inserting every existing edge (and removing every absent
+            // pair) must be a pure no-op with an all-skipped report.
+            let mut dc = DynamicCore::new(12);
+            for &(a, b) in &edges {
+                dc.insert_edge(a, b);
+            }
+            let before = dc.coreness_slice().to_vec();
+            let mut noops = Vec::new();
+            for u in 0..12u32 {
+                for v in u..12u32 {
+                    if dc.graph().has_edge(u, v) {
+                        noops.push(EdgeUpdate::Insert(u, v));
+                    } else {
+                        noops.push(EdgeUpdate::Remove(u, v));
+                    }
+                }
+            }
+            let report = dc.apply_batch(&noops);
+            prop_assert_eq!(report.applied, 0);
+            prop_assert_eq!(report.skipped, noops.len());
+            prop_assert!(report.coreness_unchanged());
+            prop_assert_eq!(dc.coreness_slice(), before.as_slice());
+        }
+
+        #[test]
+        fn batch_matches_recomputation_and_single_edge_application(
+            edges in prop::collection::vec((0..14u32, 0..14u32), 1..50),
+            ops in arb_ops(14, 60),
+        ) {
+            let mut batched = DynamicCore::new(14);
+            for &(a, b) in &edges {
+                batched.insert_edge(a, b);
+            }
+            let mut singles = batched.graph().clone();
+            let before = batched.coreness_slice().to_vec();
+            let updates: Vec<EdgeUpdate> = ops
+                .iter()
+                .map(|op| match *op {
+                    Op::Insert(a, b) => EdgeUpdate::Insert(a, b),
+                    Op::Remove(a, b) => EdgeUpdate::Remove(a, b),
+                })
+                .collect();
+            let report = batched.apply_batch(&updates);
+            // Edge-set agreement with plain graph updates.
+            for u in &updates {
+                match *u {
+                    EdgeUpdate::Insert(a, b) => { singles.insert_edge(a, b); }
+                    EdgeUpdate::Remove(a, b) => { singles.remove_edge(a, b); }
+                }
+            }
+            prop_assert_eq!(batched.graph().to_csr(), singles.to_csr());
+            // Coreness agreement with from-scratch decomposition.
+            let expect = core_decomposition(&batched.graph().to_csr());
+            prop_assert_eq!(batched.coreness_slice(), expect.as_slice());
+            // The changed-region report is the exact before/after diff.
+            let diff: Vec<VertexId> = (0..batched.coreness_slice().len())
+                .filter(|&v| batched.coreness_slice()[v] != before.get(v).copied().unwrap_or(0))
+                .map(|v| v as VertexId)
+                .collect();
+            prop_assert_eq!(report.changed, diff);
+        }
+
+        #[test]
+        fn component_splits_and_merges_match_recomputation(
+            bridge in (0..6u32, 6..12u32),
+            left in prop::collection::vec((0..6u32, 0..6u32), 4..16),
+            right in prop::collection::vec((6..12u32, 6..12u32), 4..16),
+        ) {
+            // Two islands joined by one bridge; removing and re-adding the
+            // bridge splits and merges the connected component.
+            let mut dc = DynamicCore::new(12);
+            for &(a, b) in left.iter().chain(right.iter()) {
+                dc.insert_edge(a, b);
+            }
+            let (u, v) = bridge;
+            dc.insert_edge(u, v);
+            let joined = dc.coreness_slice().to_vec();
+            dc.apply_batch(&[EdgeUpdate::Remove(u, v)]);
+            let expect_split = core_decomposition(&dc.graph().to_csr());
+            prop_assert_eq!(dc.coreness_slice(), expect_split.as_slice());
+            let merge = dc.apply_batch(&[EdgeUpdate::Insert(u, v)]);
+            prop_assert_eq!(dc.coreness_slice(), joined.as_slice());
+            let expect_merged = core_decomposition(&dc.graph().to_csr());
+            prop_assert_eq!(dc.coreness_slice(), expect_merged.as_slice());
+            // Split + merge round-trips the report too: the merge must
+            // undo exactly what the split changed.
+            prop_assert!(merge.applied == 1);
+        }
+
+        #[test]
+        fn insert_remove_insert_converges_to_scratch(
+            edges in prop::collection::vec((0..12u32, 0..12u32), 1..40),
+            churn in prop::collection::vec((0..12u32, 0..12u32), 1..12),
+        ) {
+            let mut dc = DynamicCore::new(12);
+            for &(a, b) in &edges {
+                dc.insert_edge(a, b);
+            }
+            // insert → remove → insert each churn pair: the edge ends up
+            // present, and coreness must equal a fresh decomposition.
+            let updates: Vec<EdgeUpdate> = churn
+                .iter()
+                .flat_map(|&(a, b)| {
+                    [
+                        EdgeUpdate::Insert(a, b),
+                        EdgeUpdate::Remove(a, b),
+                        EdgeUpdate::Insert(a, b),
+                    ]
+                })
+                .collect();
+            dc.apply_batch(&updates);
+            for &(a, b) in &churn {
+                if a != b {
+                    prop_assert!(dc.graph().has_edge(a, b));
+                }
+            }
+            let expect = core_decomposition(&dc.graph().to_csr());
+            prop_assert_eq!(dc.coreness_slice(), expect.as_slice());
         }
     }
 }

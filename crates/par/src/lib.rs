@@ -73,6 +73,7 @@ use parking_lot::Mutex;
 
 pub mod chunks;
 pub mod diff;
+pub mod epoch;
 pub mod error;
 pub mod fault;
 pub mod metrics;
@@ -80,6 +81,7 @@ pub mod trace;
 
 pub use chunks::{split_even, split_weighted};
 pub use diff::{diff_metrics, DiffEntry, DiffOptions, DiffReport, Snapshot};
+pub use epoch::{EpochCell, EpochCounter};
 pub use error::{BuildError, ParError};
 pub use fault::{CancelToken, Deadline, Fault, FaultPlan};
 pub use metrics::{CounterValue, RegionMetrics, RunMetrics, METRICS_SCHEMA};

@@ -39,7 +39,7 @@ pub use bks::bks;
 pub use clique::max_clique;
 pub use influence::InfluenceIndex;
 pub use metrics::{score_cmp, Metric, MetricKind, PrimaryValues};
-pub use pbks::{pbks, pbks_scores, try_pbks, try_pbks_scores, BestCore};
+pub use pbks::{pbks, pbks_scores, try_pbks, try_pbks_on, try_pbks_scores, BestCore};
 pub use preprocess::SearchContext;
 
 #[cfg(test)]

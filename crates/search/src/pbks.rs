@@ -293,6 +293,29 @@ pub fn pbks(ctx: &SearchContext<'_>, metric: &Metric, exec: &Executor) -> Option
     }
 }
 
+/// PBKS against a *shared snapshot*: builds the [`SearchContext`] from
+/// borrowed index parts and runs the search in one call.
+///
+/// This is the entry point the serving layer uses — a snapshot bundles
+/// `(graph, cores, hcd)` behind an `Arc`, and each best-community query
+/// borrows them for the duration of the call; nothing in the context
+/// outlives the borrow, so concurrent queries on the same snapshot are
+/// safe and queries on different snapshots never observe each other.
+/// The `O(m)` preprocessing runs under `exec` (region
+/// `search.preprocess`) on every call; callers answering many searches
+/// against one snapshot should build a [`SearchContext`] once and call
+/// [`try_pbks`] directly.
+pub fn try_pbks_on(
+    g: &hcd_graph::CsrGraph,
+    cores: &hcd_decomp::CoreDecomposition,
+    hcd: &hcd_core::Hcd,
+    metric: &Metric,
+    exec: &Executor,
+) -> Result<Option<BestCore>, ParError> {
+    let ctx = SearchContext::try_with_executor(g, cores, hcd, exec)?;
+    try_pbks(&ctx, metric, exec)
+}
+
 /// Fallible version of [`pbks`]: `Ok(None)` only for an empty graph,
 /// `Err` if the search failed (panic, cancellation, or deadline).
 pub fn try_pbks(

@@ -1,0 +1,39 @@
+//! Snapshot-isolated HCD query serving (the paper's §VII use case,
+//! productionized).
+//!
+//! The HCD is positioned as a *reusable index* for repeated core and
+//! community queries; this crate is the first step from "reproduce the
+//! construction" to "serve the index":
+//!
+//! * [`Snapshot`] — one immutable, internally consistent index state
+//!   (`CsrGraph` + `CoreDecomposition` + `Hcd`), stamped with the
+//!   generation it was published at;
+//! * [`HcdService`] — concurrent readers answer [`Query`]s against the
+//!   current snapshot (loaded with one `Arc` clone from an
+//!   `hcd_par::EpochCell`) while a single writer applies **batched**
+//!   edge updates through `hcd_dynamic::DynamicCore`, rebuilds the
+//!   hierarchy, and publishes the next snapshot with an atomic epoch
+//!   swap. Readers never wait on a rebuild and never observe a torn
+//!   index; every response carries the generation it was answered from;
+//! * [`QueryBatch`]-style execution — [`HcdService::try_query_batch`]
+//!   answers many independent queries in one parallel region
+//!   (`serve.query.batch`), all from the *same* snapshot;
+//! * [`workload`] — the seeded mixed read/update workload behind
+//!   `hcd-cli serve-bench`.
+//!
+//! Every query and rebuild runs through the shared `Executor`, so the
+//! full observability and failure machinery (metrics regions
+//! `serve.query.*` / `serve.rebuild`, counters `serve.queries`,
+//! `serve.batches`, `serve.swaps`, `serve.stale_reads`, deadlines,
+//! cancellation, fault injection) applies to the service for free. A
+//! failed rebuild (panic, cancellation, deadline) never unpublishes
+//! anything: the service keeps serving the previous snapshot, and the
+//! pending graph state is picked up by the next successful publication.
+
+pub mod service;
+pub mod snapshot;
+pub mod workload;
+
+pub use service::{BatchAnswers, HcdService, Query, QueryAnswer, Response};
+pub use snapshot::Snapshot;
+pub use workload::{run_workload, WorkloadConfig, WorkloadSummary};

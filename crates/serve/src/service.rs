@@ -1,0 +1,508 @@
+//! The snapshot-isolated query service.
+
+use std::sync::Arc;
+
+use hcd_core::query::{core_containing, hierarchy_position, in_k_core, same_k_core};
+use hcd_dynamic::{BatchReport, DynamicCore, EdgeUpdate};
+use hcd_graph::{CsrGraph, VertexId};
+use hcd_par::{EpochCell, Executor, ParError, CHECKPOINT_STRIDE};
+use hcd_search::{try_pbks_on, BestCore, Metric};
+use parking_lot::Mutex;
+
+use crate::snapshot::Snapshot;
+
+/// A query against one snapshot. All variants are answered from the
+/// index alone (no graph traversal beyond the HCD structures), so a
+/// batch of them parallelizes embarrassingly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Query {
+    /// The vertex set of the k-core containing `v` (`None` when `v` is
+    /// unknown to the snapshot or its coreness is below `k`).
+    CoreContaining(VertexId, u32),
+    /// `(depth, subtree size)` of `v`'s tree node.
+    HierarchyPosition(VertexId),
+    /// Whether `v` belongs to some k-core.
+    InKCore(VertexId, u32),
+    /// Whether `u` and `v` share a k-core.
+    SameKCore(VertexId, VertexId, u32),
+}
+
+/// The answer to one [`Query`], same variant order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum QueryAnswer {
+    /// Sorted member list, or `None` (unknown vertex / `k` too large).
+    CoreContaining(Option<Vec<VertexId>>),
+    /// `None` for a vertex the snapshot does not know.
+    HierarchyPosition(Option<(usize, usize)>),
+    /// Unknown vertices are in no k-core for `k >= 1` (and in the 0-core
+    /// of nothing — membership is simply `false`).
+    InKCore(bool),
+    /// `false` unless both vertices are known and share the core.
+    SameKCore(bool),
+}
+
+/// A service response: the value plus the generation of the snapshot it
+/// was answered from. Consumers correlate responses with published
+/// epochs (and validators check no response ever names an unpublished
+/// generation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Response<T> {
+    /// Generation of the snapshot that produced `value`.
+    pub generation: u64,
+    /// The answer.
+    pub value: T,
+}
+
+/// Answers for a whole query batch, all from one snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchAnswers {
+    /// Generation of the snapshot every answer was computed from.
+    pub generation: u64,
+    /// One answer per query, in input order.
+    pub answers: Vec<QueryAnswer>,
+}
+
+/// Answers `q` from `snap`. Total: out-of-range vertex ids (e.g. ids
+/// that only exist in a newer snapshot) answer negatively instead of
+/// panicking, so readers holding an old snapshot are always safe.
+fn answer(snap: &Snapshot, q: &Query) -> QueryAnswer {
+    let n = snap.graph.num_vertices();
+    let known = |v: VertexId| (v as usize) < n;
+    match *q {
+        Query::CoreContaining(v, k) => QueryAnswer::CoreContaining(if known(v) {
+            core_containing(&snap.hcd, &snap.cores, v, k).map(|mut members| {
+                members.sort_unstable();
+                members
+            })
+        } else {
+            None
+        }),
+        Query::HierarchyPosition(v) => {
+            QueryAnswer::HierarchyPosition(known(v).then(|| hierarchy_position(&snap.hcd, v)))
+        }
+        Query::InKCore(v, k) => QueryAnswer::InKCore(known(v) && in_k_core(&snap.cores, v, k)),
+        Query::SameKCore(u, v, k) => QueryAnswer::SameKCore(
+            known(u) && known(v) && same_k_core(&snap.hcd, &snap.cores, u, v, k),
+        ),
+    }
+}
+
+/// A snapshot-isolated HCD query service (see the crate docs).
+///
+/// Reads and writes are fully decoupled:
+///
+/// * **readers** load the current [`Snapshot`] with one `Arc` clone and
+///   answer from it — a publication happening mid-query is invisible;
+///   the response's `generation` says exactly which state it saw;
+/// * the **writer** (serialized by an internal lock; any thread may
+///   call it) applies an [`EdgeUpdate`] batch to the maintained
+///   [`DynamicCore`], snapshots the graph, reruns PHCD, and publishes
+///   the result with an atomic epoch swap.
+///
+/// A rebuild failure (contained panic, cancellation, expired deadline —
+/// including injected faults in the `serve.rebuild` region) publishes
+/// nothing: the service keeps serving the previous snapshot, the
+/// coreness maintenance already done is kept, and the next successful
+/// [`HcdService::try_apply_batch`] publishes the cumulative state.
+pub struct HcdService {
+    cell: EpochCell<Snapshot>,
+    writer: Mutex<DynamicCore>,
+    /// Cumulative count of reads answered from a superseded snapshot.
+    stale_reads: std::sync::atomic::AtomicU64,
+}
+
+impl HcdService {
+    /// Builds the generation-0 snapshot from `g` and starts serving it.
+    pub fn try_new(g: &CsrGraph, exec: &Executor) -> Result<Self, ParError> {
+        let snapshot = Snapshot::try_build(g, 0, exec)?;
+        let writer = DynamicCore::from_csr(g);
+        Ok(HcdService {
+            cell: EpochCell::new(snapshot),
+            writer: Mutex::new(writer),
+            stale_reads: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    /// Infallible [`HcdService::try_new`] (panics on construction
+    /// failure).
+    pub fn new(g: &CsrGraph, exec: &Executor) -> Self {
+        match Self::try_new(g, exec) {
+            Ok(s) => s,
+            Err(e) => e.raise(),
+        }
+    }
+
+    /// The currently served snapshot. The returned `Arc` stays valid and
+    /// immutable across later publications — hold it for as long as a
+    /// consistent view is needed.
+    pub fn snapshot(&self) -> Arc<Snapshot> {
+        self.cell.load()
+    }
+
+    /// The generation of the newest published snapshot.
+    pub fn generation(&self) -> u64 {
+        self.cell.generation()
+    }
+
+    /// Runs one closure-shaped query in a named `serve.query.*` region:
+    /// the snapshot is loaded once, the closure runs under the
+    /// executor's deadline/cancellation/fault plan, and the stale-read
+    /// counter ticks when a publication raced the query.
+    fn try_query_one<T, F>(
+        &self,
+        region: &'static str,
+        exec: &Executor,
+        f: F,
+    ) -> Result<Response<T>, ParError>
+    where
+        T: Send,
+        F: Fn(&Snapshot) -> T + Sync,
+    {
+        let snap = self.cell.load();
+        let slot: Mutex<Option<T>> = Mutex::new(None);
+        exec.region(region).try_for_each_chunk(
+            1,
+            || (),
+            |_, _, _| {
+                exec.checkpoint()?;
+                *slot.lock() = Some(f(&snap));
+                Ok(())
+            },
+        )?;
+        self.note_reads(exec, 1, snap.generation);
+        let value = slot.into_inner().expect("query region ran its one chunk");
+        Ok(Response {
+            generation: snap.generation,
+            value,
+        })
+    }
+
+    /// Counter bookkeeping shared by all read paths. Stale reads —
+    /// answers from a snapshot superseded while the query ran — are
+    /// still internally consistent (snapshot isolation), just not the
+    /// newest; counting them helps size batch cadence. The cumulative
+    /// total goes out as a gauge so a zero is still visible in metrics
+    /// (`add_counter` elides zero deltas).
+    fn note_reads(&self, exec: &Executor, queries: u64, served_gen: u64) {
+        use std::sync::atomic::Ordering;
+        exec.add_counter("serve.queries", queries);
+        if served_gen < self.cell.generation() {
+            self.stale_reads.fetch_add(queries, Ordering::Relaxed);
+        }
+        exec.gauge(
+            "serve.stale_reads",
+            self.stale_reads.load(Ordering::Relaxed),
+        );
+    }
+
+    /// Total reads (so far) answered from a snapshot that had already
+    /// been superseded when they completed.
+    pub fn stale_reads(&self) -> u64 {
+        self.stale_reads.load(std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// The k-core containing `v` (region `serve.query.core`).
+    pub fn try_core_containing(
+        &self,
+        v: VertexId,
+        k: u32,
+        exec: &Executor,
+    ) -> Result<Response<Option<Vec<VertexId>>>, ParError> {
+        self.try_query_one("serve.query.core", exec, |snap| {
+            match answer(snap, &Query::CoreContaining(v, k)) {
+                QueryAnswer::CoreContaining(m) => m,
+                _ => unreachable!("answer() preserves the variant"),
+            }
+        })
+    }
+
+    /// `(depth, subtree size)` of `v`'s tree node (region
+    /// `serve.query.position`).
+    pub fn try_hierarchy_position(
+        &self,
+        v: VertexId,
+        exec: &Executor,
+    ) -> Result<Response<Option<(usize, usize)>>, ParError> {
+        self.try_query_one("serve.query.position", exec, |snap| {
+            match answer(snap, &Query::HierarchyPosition(v)) {
+                QueryAnswer::HierarchyPosition(p) => p,
+                _ => unreachable!("answer() preserves the variant"),
+            }
+        })
+    }
+
+    /// k-core membership of `v` (region `serve.query.member`).
+    pub fn try_in_k_core(
+        &self,
+        v: VertexId,
+        k: u32,
+        exec: &Executor,
+    ) -> Result<Response<bool>, ParError> {
+        self.try_query_one("serve.query.member", exec, |snap| {
+            matches!(
+                answer(snap, &Query::InKCore(v, k)),
+                QueryAnswer::InKCore(true)
+            )
+        })
+    }
+
+    /// PBKS best-community search on the current snapshot under
+    /// `metric`. The heavy regions are PBKS's own (`search.preprocess`,
+    /// `pbks.*`); the service accounts it as one read.
+    pub fn try_best_community(
+        &self,
+        metric: &Metric,
+        exec: &Executor,
+    ) -> Result<Response<Option<BestCore>>, ParError> {
+        let snap = self.cell.load();
+        let best = try_pbks_on(&snap.graph, &snap.cores, &snap.hcd, metric, exec)?;
+        self.note_reads(exec, 1, snap.generation);
+        Ok(Response {
+            generation: snap.generation,
+            value: best,
+        })
+    }
+
+    /// Answers many independent queries in **one parallel region**
+    /// (`serve.query.batch`), all from the same snapshot — the batched
+    /// read path. Answers come back in input order.
+    pub fn try_query_batch(
+        &self,
+        queries: &[Query],
+        exec: &Executor,
+    ) -> Result<BatchAnswers, ParError> {
+        let snap = self.cell.load();
+        let slots: Vec<Mutex<Option<QueryAnswer>>> =
+            queries.iter().map(|_| Mutex::new(None)).collect();
+        exec.region("serve.query.batch").try_for_each_chunk(
+            queries.len(),
+            || (),
+            |_, _, range| {
+                for (done, i) in range.enumerate() {
+                    if done % CHECKPOINT_STRIDE == 0 {
+                        exec.checkpoint()?;
+                    }
+                    *slots[i].lock() = Some(answer(&snap, &queries[i]));
+                }
+                Ok(())
+            },
+        )?;
+        self.note_reads(exec, queries.len() as u64, snap.generation);
+        let answers = slots
+            .into_iter()
+            .map(|s| s.into_inner().expect("every query index was answered"))
+            .collect();
+        Ok(BatchAnswers {
+            generation: snap.generation,
+            answers,
+        })
+    }
+
+    /// Applies an update batch and publishes the next snapshot.
+    ///
+    /// Pipeline (all under the writer lock, never blocking readers):
+    /// incremental coreness maintenance for every update
+    /// ([`DynamicCore::apply_batch`]), CSR + decomposition snapshotting
+    /// in the fault-injectable `serve.rebuild` region, PHCD
+    /// reconstruction (regions `phcd.*`), then one atomic epoch swap.
+    /// On `Err`, nothing was published and the previous snapshot keeps
+    /// serving; the applied coreness maintenance is retained and rides
+    /// along with the next successful publication.
+    pub fn try_apply_batch(
+        &self,
+        updates: &[EdgeUpdate],
+        exec: &Executor,
+    ) -> Result<Response<BatchReport>, ParError> {
+        let mut writer = self.writer.lock();
+        let report = writer.apply_batch(updates);
+        exec.add_counter("serve.batches", 1);
+
+        // Snapshot the writer state inside the named rebuild region so
+        // deadlines, cancellation, and the fault matrix govern it.
+        let parts: Mutex<Option<(CsrGraph, _)>> = Mutex::new(None);
+        let writer_ref = &*writer;
+        exec.region("serve.rebuild").try_for_each_chunk(
+            1,
+            || (),
+            |_, _, _| {
+                exec.checkpoint()?;
+                *parts.lock() = Some((writer_ref.graph().to_csr(), writer_ref.decomposition()));
+                Ok(())
+            },
+        )?;
+        let (csr, cores) = parts.into_inner().expect("rebuild region ran");
+        let hcd = hcd_core::try_phcd(&csr, &cores, exec)?;
+
+        let generation = self.cell.generation() + 1;
+        let snapshot = Snapshot::from_parts(csr, cores, hcd, generation);
+        let published = self.cell.publish(Arc::new(snapshot));
+        // The writer lock serializes publications, so the generation we
+        // stamped is the one the cell advanced to.
+        debug_assert_eq!(published, generation);
+        exec.add_counter("serve.swaps", 1);
+        Ok(Response {
+            generation: published,
+            value: report,
+        })
+    }
+}
+
+impl std::fmt::Debug for HcdService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "HcdService(generation={})", self.generation())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcd_graph::GraphBuilder;
+
+    fn triangle_plus_tail() -> CsrGraph {
+        GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+            .build()
+    }
+
+    #[test]
+    fn initial_snapshot_serves_generation_zero() {
+        let exec = Executor::sequential();
+        let svc = HcdService::new(&triangle_plus_tail(), &exec);
+        assert_eq!(svc.generation(), 0);
+        let r = svc.try_in_k_core(0, 2, &exec).unwrap();
+        assert_eq!(r.generation, 0);
+        assert!(r.value);
+        let r = svc.try_core_containing(0, 2, &exec).unwrap();
+        assert_eq!(r.value, Some(vec![0, 1, 2]));
+        let r = svc.try_hierarchy_position(4, &exec).unwrap();
+        assert!(r.value.is_some());
+    }
+
+    #[test]
+    fn publication_advances_generation_and_answers() {
+        let exec = Executor::sequential();
+        let svc = HcdService::new(&triangle_plus_tail(), &exec);
+        let before = svc.snapshot();
+        let resp = svc
+            .try_apply_batch(&[EdgeUpdate::Insert(1, 3), EdgeUpdate::Insert(0, 3)], &exec)
+            .unwrap();
+        assert_eq!(resp.generation, 1);
+        assert_eq!(svc.generation(), 1);
+        // K4 now: vertex 3 reaches coreness 3.
+        let r = svc.try_core_containing(3, 3, &exec).unwrap();
+        assert_eq!(r.generation, 1);
+        assert_eq!(r.value, Some(vec![0, 1, 2, 3]));
+        // The held pre-publication snapshot still answers the old state.
+        assert_eq!(before.generation, 0);
+        assert_eq!(before.cores.coreness(3), 1);
+        svc.snapshot().validate().unwrap();
+    }
+
+    #[test]
+    fn out_of_range_vertices_answer_negatively() {
+        let exec = Executor::sequential();
+        let svc = HcdService::new(&triangle_plus_tail(), &exec);
+        assert_eq!(svc.try_core_containing(99, 1, &exec).unwrap().value, None);
+        assert_eq!(svc.try_hierarchy_position(99, &exec).unwrap().value, None);
+        assert!(!svc.try_in_k_core(99, 0, &exec).unwrap().value);
+        let batch = svc
+            .try_query_batch(&[Query::SameKCore(0, 99, 1)], &exec)
+            .unwrap();
+        assert_eq!(batch.answers, vec![QueryAnswer::SameKCore(false)]);
+    }
+
+    #[test]
+    fn query_batch_answers_in_order_from_one_snapshot() {
+        for exec in [
+            Executor::sequential(),
+            Executor::rayon(4),
+            Executor::simulated(4),
+        ] {
+            let svc = HcdService::new(&triangle_plus_tail(), &exec);
+            let queries = vec![
+                Query::InKCore(0, 2),
+                Query::InKCore(4, 2),
+                Query::SameKCore(0, 1, 2),
+                Query::SameKCore(0, 4, 1),
+                Query::HierarchyPosition(2),
+                Query::CoreContaining(4, 1),
+            ];
+            let batch = svc.try_query_batch(&queries, &exec).unwrap();
+            assert_eq!(batch.generation, 0, "{}", exec.mode_name());
+            let pos2 = hierarchy_position(&svc.snapshot().hcd, 2);
+            assert_eq!(
+                batch.answers,
+                vec![
+                    QueryAnswer::InKCore(true),
+                    QueryAnswer::InKCore(false),
+                    QueryAnswer::SameKCore(true),
+                    QueryAnswer::SameKCore(true), // whole graph is one 1-core
+                    QueryAnswer::HierarchyPosition(Some(pos2)),
+                    QueryAnswer::CoreContaining(Some(vec![0, 1, 2, 3, 4])),
+                ],
+                "{}",
+                exec.mode_name()
+            );
+        }
+    }
+
+    #[test]
+    fn best_community_runs_on_the_snapshot() {
+        let exec = Executor::sequential();
+        let svc = HcdService::new(&triangle_plus_tail(), &exec);
+        let r = svc
+            .try_best_community(&Metric::AverageDegree, &exec)
+            .unwrap();
+        let best = r.value.expect("non-empty graph");
+        assert!(best.k >= 1);
+    }
+
+    #[test]
+    fn failed_rebuild_keeps_serving_the_old_snapshot() {
+        use hcd_par::{Fault, FaultPlan};
+        let exec = Executor::sequential();
+        let svc = HcdService::new(&triangle_plus_tail(), &exec);
+        // Inject a panic into the first region of the *next* run — that
+        // is serve.rebuild (apply_batch opens it first).
+        exec.set_fault_plan(FaultPlan::new().inject(0, 0, Fault::Panic));
+        let err = svc
+            .try_apply_batch(&[EdgeUpdate::Insert(1, 3)], &exec)
+            .unwrap_err();
+        assert!(matches!(err, ParError::Panicked { .. }));
+        exec.clear_fault_plan();
+        // Nothing was published.
+        assert_eq!(svc.generation(), 0);
+        let r = svc.try_core_containing(3, 1, &exec).unwrap();
+        assert_eq!(r.generation, 0);
+        // The maintained update is retained: the next successful batch
+        // publishes the cumulative state.
+        let resp = svc.try_apply_batch(&[], &exec).unwrap();
+        assert_eq!(resp.generation, 1);
+        assert!(svc.snapshot().graph.num_edges() == 6); // 5 seed + inserted {1,3}
+        svc.snapshot().validate().unwrap();
+    }
+
+    #[test]
+    fn counters_tick_when_metrics_enabled() {
+        let exec = Executor::sequential().with_metrics();
+        let svc = HcdService::new(&triangle_plus_tail(), &exec);
+        svc.try_in_k_core(0, 1, &exec).unwrap();
+        svc.try_query_batch(&[Query::InKCore(1, 1), Query::InKCore(2, 1)], &exec)
+            .unwrap();
+        svc.try_apply_batch(&[EdgeUpdate::Insert(3, 0)], &exec)
+            .unwrap();
+        let m = exec.take_metrics();
+        assert_eq!(m.get_counter("serve.queries").unwrap().value, 3);
+        assert_eq!(m.get_counter("serve.batches").unwrap().value, 1);
+        assert_eq!(m.get_counter("serve.swaps").unwrap().value, 1);
+        // Recorded as a gauge precisely so a zero still shows up.
+        let stale = m.get_counter("serve.stale_reads").unwrap();
+        assert_eq!(stale.kind, "max");
+        assert_eq!(stale.value, 0);
+        assert_eq!(svc.stale_reads(), 0);
+        let names: Vec<_> = m.regions.iter().map(|r| r.name).collect();
+        assert!(names.contains(&"serve.query.member"), "{names:?}");
+        assert!(names.contains(&"serve.query.batch"), "{names:?}");
+        assert!(names.contains(&"serve.rebuild"), "{names:?}");
+    }
+}

@@ -1,0 +1,85 @@
+//! One immutable, generation-stamped index state.
+
+use hcd_core::Hcd;
+use hcd_decomp::CoreDecomposition;
+use hcd_graph::CsrGraph;
+use hcd_par::{Executor, ParError};
+
+/// An immutable bundle of everything queries need, published atomically
+/// as one unit so no reader can ever pair a graph with the wrong
+/// decomposition or hierarchy.
+///
+/// Snapshots are never mutated after construction; the service replaces
+/// the whole `Arc<Snapshot>` on every batch publication. The
+/// `generation` field records which epoch swap produced this state
+/// (0 for the initial build), and is echoed in every
+/// [`Response`](crate::Response).
+#[derive(Debug, Clone)]
+pub struct Snapshot {
+    /// The graph this snapshot serves.
+    pub graph: CsrGraph,
+    /// Its core decomposition.
+    pub cores: CoreDecomposition,
+    /// Its hierarchical core decomposition.
+    pub hcd: Hcd,
+    /// The epoch this snapshot was published at.
+    pub generation: u64,
+}
+
+impl Snapshot {
+    /// Builds generation-`generation` state from a graph: PKC core
+    /// decomposition + PHCD, both under `exec` (regions `pkc.*`,
+    /// `phcd.*` — the same pipeline as a from-scratch construction).
+    pub fn try_build(g: &CsrGraph, generation: u64, exec: &Executor) -> Result<Self, ParError> {
+        let (cores, hcd) = hcd_core::try_build_with_order(g, hcd_core::VertexOrder::None, exec)?;
+        Ok(Snapshot {
+            graph: g.clone(),
+            cores,
+            hcd,
+            generation,
+        })
+    }
+
+    /// Assembles a snapshot from already-computed parts (the rebuild
+    /// path: the writer maintains coreness incrementally and only
+    /// reruns PHCD).
+    pub fn from_parts(
+        graph: CsrGraph,
+        cores: CoreDecomposition,
+        hcd: Hcd,
+        generation: u64,
+    ) -> Self {
+        Snapshot {
+            graph,
+            cores,
+            hcd,
+            generation,
+        }
+    }
+
+    /// Full internal-consistency check: the decomposition is feasible
+    /// for the graph and the hierarchy validates against both. Intended
+    /// for tests and debugging, not the serving path.
+    pub fn validate(&self) -> Result<(), String> {
+        self.cores.check_feasible(&self.graph)?;
+        self.hcd.validate(&self.graph, &self.cores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcd_graph::GraphBuilder;
+
+    #[test]
+    fn build_and_validate() {
+        let g = GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+            .build();
+        let snap = Snapshot::try_build(&g, 0, &Executor::sequential()).unwrap();
+        assert_eq!(snap.generation, 0);
+        snap.validate().unwrap();
+        let naive = hcd_core::naive_hcd(&g, &snap.cores);
+        assert_eq!(snap.hcd.canonicalize(), naive.canonicalize());
+    }
+}

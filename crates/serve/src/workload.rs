@@ -1,0 +1,194 @@
+//! Seeded mixed read/update workload — the engine behind
+//! `hcd-cli serve-bench`.
+//!
+//! The driver issues a reproducible interleaving of query batches and
+//! edge-update batches against an [`HcdService`], controlled by a
+//! [`WorkloadConfig`]: same seed + same config ⇒ the same operation
+//! sequence on every run and in every executor mode, which is what lets
+//! CI gate the `serve.*` counters against a committed baseline.
+
+use hcd_dynamic::EdgeUpdate;
+use hcd_graph::VertexId;
+use hcd_par::{Executor, ParError};
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+use crate::service::{HcdService, Query, QueryAnswer};
+
+/// Knobs for [`run_workload`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WorkloadConfig {
+    /// RNG seed; the whole operation stream is a pure function of it
+    /// (plus the other knobs).
+    pub seed: u64,
+    /// Number of operations. Each op is either one query batch or one
+    /// update batch.
+    pub ops: usize,
+    /// Queries per read op / edge updates per write op.
+    pub batch_size: usize,
+    /// Probability in `[0, 1]` that an op is a read.
+    pub read_ratio: f64,
+    /// Vertex ids are drawn from `0..universe`. May exceed the graph's
+    /// current vertex count: inserts grow the graph, and queries on
+    /// not-yet-existing ids exercise the stale-id paths.
+    pub universe: VertexId,
+}
+
+impl Default for WorkloadConfig {
+    fn default() -> Self {
+        WorkloadConfig {
+            seed: 42,
+            ops: 64,
+            batch_size: 32,
+            read_ratio: 0.9,
+            universe: 256,
+        }
+    }
+}
+
+/// What a workload run did, for reporting and assertions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct WorkloadSummary {
+    /// Individual queries answered.
+    pub queries: u64,
+    /// Query batches issued.
+    pub query_batches: u64,
+    /// Update batches applied (each one publishes a snapshot).
+    pub update_batches: u64,
+    /// Edge updates the dynamic maintainer actually applied.
+    pub updates_applied: u64,
+    /// Edge updates skipped as no-ops (duplicate insert / missing
+    /// remove).
+    pub updates_skipped: u64,
+    /// Queries that answered `Some` / `true` (a cheap cross-mode
+    /// fingerprint of the answer stream).
+    pub positive_answers: u64,
+    /// Generation of the last published snapshot.
+    pub final_generation: u64,
+}
+
+fn random_query(rng: &mut ChaCha8Rng, universe: VertexId) -> Query {
+    let v = rng.gen_range(0..universe);
+    let k = rng.gen_range(0..6u32);
+    match rng.gen_range(0..4u32) {
+        0 => Query::CoreContaining(v, k),
+        1 => Query::HierarchyPosition(v),
+        2 => Query::InKCore(v, k),
+        _ => Query::SameKCore(v, rng.gen_range(0..universe), k),
+    }
+}
+
+fn random_update(rng: &mut ChaCha8Rng, universe: VertexId) -> EdgeUpdate {
+    let u = rng.gen_range(0..universe);
+    let mut v = rng.gen_range(0..universe);
+    if v == u {
+        v = (v + 1) % universe;
+    }
+    // Bias toward inserts so the graph densifies over the run and the
+    // hierarchy actually deepens.
+    if rng.gen_bool(0.7) {
+        EdgeUpdate::Insert(u, v)
+    } else {
+        EdgeUpdate::Remove(u, v)
+    }
+}
+
+fn is_positive(a: &QueryAnswer) -> bool {
+    match a {
+        QueryAnswer::CoreContaining(m) => m.is_some(),
+        QueryAnswer::HierarchyPosition(p) => p.is_some(),
+        QueryAnswer::InKCore(b) | QueryAnswer::SameKCore(b) => *b,
+    }
+}
+
+/// Drives `cfg.ops` operations against `service` under `exec` and
+/// reports what happened. Deterministic given `cfg` (the operation
+/// stream never depends on answers or timing).
+pub fn run_workload(
+    service: &HcdService,
+    cfg: &WorkloadConfig,
+    exec: &Executor,
+) -> Result<WorkloadSummary, ParError> {
+    assert!(cfg.universe > 0, "vertex universe must be non-empty");
+    assert!(cfg.batch_size > 0, "batch size must be positive");
+    let mut rng = <ChaCha8Rng as rand::SeedableRng>::seed_from_u64(cfg.seed);
+    let mut summary = WorkloadSummary::default();
+    for _ in 0..cfg.ops {
+        if rng.gen_bool(cfg.read_ratio.clamp(0.0, 1.0)) {
+            let queries: Vec<Query> = (0..cfg.batch_size)
+                .map(|_| random_query(&mut rng, cfg.universe))
+                .collect();
+            let batch = service.try_query_batch(&queries, exec)?;
+            summary.queries += batch.answers.len() as u64;
+            summary.query_batches += 1;
+            summary.positive_answers +=
+                batch.answers.iter().filter(|a| is_positive(a)).count() as u64;
+        } else {
+            let updates: Vec<EdgeUpdate> = (0..cfg.batch_size)
+                .map(|_| random_update(&mut rng, cfg.universe))
+                .collect();
+            let resp = service.try_apply_batch(&updates, exec)?;
+            summary.update_batches += 1;
+            summary.updates_applied += resp.value.applied as u64;
+            summary.updates_skipped += resp.value.skipped as u64;
+        }
+    }
+    summary.final_generation = service.generation();
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hcd_graph::GraphBuilder;
+
+    fn seed_graph() -> hcd_graph::CsrGraph {
+        GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+            .build()
+    }
+
+    #[test]
+    fn workload_is_deterministic_across_modes() {
+        let cfg = WorkloadConfig {
+            ops: 24,
+            batch_size: 8,
+            universe: 32,
+            read_ratio: 0.6,
+            ..WorkloadConfig::default()
+        };
+        let mut summaries = Vec::new();
+        for exec in [
+            Executor::sequential(),
+            Executor::rayon(4),
+            Executor::simulated(4),
+        ] {
+            let svc = HcdService::new(&seed_graph(), &exec);
+            summaries.push((exec.mode_name(), run_workload(&svc, &cfg, &exec).unwrap()));
+        }
+        let (_, first) = summaries[0];
+        for (mode, s) in &summaries {
+            assert_eq!(*s, first, "mode {mode} diverged");
+        }
+        assert!(first.update_batches > 0, "workload never wrote: {first:?}");
+        assert_eq!(first.final_generation, first.update_batches);
+        assert_eq!(first.queries, first.query_batches * cfg.batch_size as u64);
+    }
+
+    #[test]
+    fn read_only_workload_never_publishes() {
+        let exec = Executor::sequential();
+        let svc = HcdService::new(&seed_graph(), &exec);
+        let cfg = WorkloadConfig {
+            read_ratio: 1.0,
+            ops: 10,
+            batch_size: 4,
+            universe: 16,
+            ..WorkloadConfig::default()
+        };
+        let s = run_workload(&svc, &cfg, &exec).unwrap();
+        assert_eq!(s.update_batches, 0);
+        assert_eq!(s.final_generation, 0);
+        assert_eq!(s.queries, 40);
+    }
+}

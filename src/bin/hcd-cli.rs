@@ -7,6 +7,7 @@
 //! hcd-cli core   <graph> -v VERTEX -k K                   # the k-core containing v
 //! hcd-cli dot    <graph> [-p P] [--order O]               # Graphviz DOT of the HCD
 //! hcd-cli gen    <model> <out> [--seed S]                 # generate a synthetic graph
+//! hcd-cli serve-bench <graph> [--seed S] [--ops N] [--batch B] [--read-ratio R] [-p P] [--timeout-ms T] [--metrics M.json] [--trace T.json]
 //! hcd-cli metrics-diff <old.json> <new.json> [--threshold X] [--abs-floor-ns N] [--counters-only]
 //! hcd-cli help                                            # usage and exit codes
 //! ```
@@ -69,6 +70,7 @@ const USAGE: &str = "usage:
   hcd-cli core   <graph> -v <vertex> -k <k>
   hcd-cli dot    <graph> [-p threads] [--order none|degree]
   hcd-cli gen    <rmat|ba|er|ws|tree> <out.txt> [--seed S]
+  hcd-cli serve-bench <graph> [--seed S] [--ops N] [--batch B] [--read-ratio R] [-p threads] [--timeout-ms T] [--metrics out.json] [--trace out.json]
   hcd-cli metrics-diff <old.json> <new.json> [--threshold X] [--abs-floor-ns N] [--counters-only]
   hcd-cli help
 
@@ -81,6 +83,14 @@ original ids; results are bit-identical to --order none (the default).
 
 --timeout-ms arms a deadline checked at chunk boundaries and at coarse
 strides inside hot loops; on expiry the command exits with code 124.
+
+serve-bench stands up the snapshot-isolated query service on the input
+graph and drives a seeded mixed read/update workload against it
+(--ops operations of --batch queries or edge updates each, reads with
+probability --read-ratio, default 0.9). The operation stream is a pure
+function of --seed, so counters are reproducible run-to-run with -p 1;
+combine with --metrics + metrics-diff --counters-only to gate the
+serve.* counters in CI.
 
 --metrics writes per-region runtime observability (schema
 hcd-metrics-v1) as JSON; the file is written even when the command
@@ -171,6 +181,12 @@ fn run(args: &[String]) -> Result<(), CliError> {
             args.get(2).ok_or_else(|| usage("missing output path"))?,
             flag_value(args, "--seed")?,
         ),
+        "serve-bench" => {
+            let path = args.get(1).ok_or_else(|| usage("missing graph path"))?;
+            with_metrics(args, exec_options(args)?, |exec| {
+                serve_bench(path, args, exec)
+            })
+        }
         "metrics-diff" => metrics_diff(args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -420,6 +436,57 @@ fn dot(path: &str, order: VertexOrder, exec: Executor) -> Result<(), CliError> {
     let g = load(path)?;
     let (_, hcd) = pipeline(&g, order, &exec)?;
     print!("{}", hcd.to_dot());
+    Ok(())
+}
+
+/// Parses an optional numeric flag, falling back to `default`.
+fn num_flag<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> Result<T, CliError>
+where
+    T::Err: std::fmt::Display,
+{
+    match flag_value(args, flag)? {
+        None => Ok(default),
+        Some(s) => s.parse().map_err(|e| usage(format!("bad {flag}: {e}"))),
+    }
+}
+
+/// `serve-bench <graph>` — builds the generation-0 snapshot, then drives
+/// the seeded mixed read/update workload from `hcd_serve::run_workload`
+/// through the shared executor, printing the summary. All `serve.*`
+/// regions and counters land in `--metrics` output.
+fn serve_bench(path: &str, args: &[String], exec: &Executor) -> Result<(), CliError> {
+    let g = load(path)?;
+    let cfg = WorkloadConfig {
+        seed: num_flag(args, "--seed", 42u64)?,
+        ops: num_flag(args, "--ops", 64usize)?,
+        batch_size: num_flag(args, "--batch", 32usize)?,
+        read_ratio: num_flag(args, "--read-ratio", 0.9f64)?,
+        // Leave headroom above the current vertex count so inserts can
+        // grow the graph and queries exercise unknown-id paths.
+        universe: (g.num_vertices() as VertexId).max(2).saturating_mul(2),
+    };
+    if !(0.0..=1.0).contains(&cfg.read_ratio) {
+        return Err(usage(format!(
+            "bad --read-ratio {} (0..=1)",
+            cfg.read_ratio
+        )));
+    }
+    let service = HcdService::try_new(&g, exec).map_err(par_err)?;
+    let start = std::time::Instant::now();
+    let summary = run_workload(&service, &cfg, exec).map_err(par_err)?;
+    let elapsed = start.elapsed();
+    println!("graph            = {path}");
+    println!("ops              = {}", cfg.ops);
+    println!("batch size       = {}", cfg.batch_size);
+    println!("read ratio       = {}", cfg.read_ratio);
+    println!("queries          = {}", summary.queries);
+    println!("query batches    = {}", summary.query_batches);
+    println!("update batches   = {}", summary.update_batches);
+    println!("updates applied  = {}", summary.updates_applied);
+    println!("updates skipped  = {}", summary.updates_skipped);
+    println!("positive answers = {}", summary.positive_answers);
+    println!("final generation = {}", summary.final_generation);
+    println!("elapsed          = {:.3}s", elapsed.as_secs_f64());
     Ok(())
 }
 

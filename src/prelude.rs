@@ -13,7 +13,9 @@ pub use hcd_decomp::{
 };
 
 pub use hcd_core::phcd::{phcd_with_ranks, try_phcd_with_ranks};
-pub use hcd_core::query::{core_containing, cores_per_level, hierarchy_position};
+pub use hcd_core::query::{
+    core_containing, core_node_at, cores_per_level, hierarchy_position, in_k_core, same_k_core,
+};
 pub use hcd_core::{
     build_with_order, lcps, naive_hcd, phcd, try_build_with_order, try_phcd, Hcd, TreeNode,
     VertexOrder, VertexRanks,
@@ -31,12 +33,20 @@ pub use hcd_search::densest::{coreapp, opt_d, pbks_d};
 pub use hcd_search::influence::{InfluenceIndex, InfluentialCommunity};
 pub use hcd_search::pbks::pbks_scores;
 pub use hcd_search::{
-    bks, max_clique, pbks, try_pbks, try_pbks_scores, BestCore, Metric, MetricKind, SearchContext,
+    bks, max_clique, pbks, try_pbks, try_pbks_on, try_pbks_scores, BestCore, Metric, MetricKind,
+    SearchContext,
 };
 
 pub use hcd_flow::{densest_subgraph, ecc_connectivity, k_edge_connected_components, stoer_wagner};
 
-pub use hcd_dynamic::{DynamicCore, DynamicGraph};
+pub use hcd_dynamic::{BatchReport, DynamicCore, DynamicGraph, EdgeUpdate};
+
+// `hcd_serve::Snapshot` is aliased to avoid colliding with the metrics
+// snapshot exported from `hcd_par`.
+pub use hcd_serve::{
+    run_workload, BatchAnswers, HcdService, Query, QueryAnswer, Response,
+    Snapshot as ServeSnapshot, WorkloadConfig, WorkloadSummary,
+};
 
 pub use hcd_truss::{
     naive_htd, phtd, truss_decomposition, try_phtd, EdgeIndex, Htd, TrussDecomposition,

@@ -229,6 +229,75 @@ fn search_metrics_cover_the_pbks_pipeline() {
 }
 
 #[test]
+fn serve_bench_metrics_cover_the_serving_layer() {
+    let graph = gen_graph("serve.txt", "ba");
+    let metrics = tmp("serve.json");
+    let out = cli()
+        .args([
+            "serve-bench",
+            graph.to_str().unwrap(),
+            "-p",
+            "2",
+            "--ops",
+            "24",
+            "--batch",
+            "8",
+            "--read-ratio",
+            "0.7",
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run serve-bench");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&metrics).expect("metrics file written");
+    let doc = Json::parse(&text).expect("valid JSON");
+    let names = validate_schema(&doc);
+    // The workload mixes batched reads with rebuild/publish cycles; both
+    // serving regions must appear, alongside the construction regions the
+    // rebuilds trigger.
+    for region in ["serve.query.batch", "serve.rebuild", "phcd.kpc"] {
+        assert!(
+            names.iter().any(|n| n == region),
+            "missing {region}: {names:?}"
+        );
+    }
+    let counters: Vec<(&str, &str, f64)> = doc
+        .get("counters")
+        .and_then(Json::arr)
+        .unwrap()
+        .iter()
+        .map(|c| {
+            (
+                c.get("name").and_then(Json::str).unwrap(),
+                c.get("kind").and_then(Json::str).unwrap(),
+                c.get("value").and_then(Json::num).unwrap(),
+            )
+        })
+        .collect();
+    for counter in ["serve.queries", "serve.batches", "serve.swaps"] {
+        let (_, kind, value) = counters
+            .iter()
+            .find(|(n, _, _)| *n == counter)
+            .unwrap_or_else(|| panic!("missing counter {counter}: {counters:?}"));
+        assert_eq!(*kind, "sum", "{counter}");
+        assert!(*value >= 1.0, "{counter} never ticked");
+    }
+    // Emitted as a gauge so a zero-stale run still reports the counter.
+    let (_, kind, _) = counters
+        .iter()
+        .find(|(n, _, _)| *n == "serve.stale_reads")
+        .unwrap_or_else(|| panic!("missing counter serve.stale_reads: {counters:?}"));
+    assert_eq!(*kind, "max", "serve.stale_reads");
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_file(&metrics).ok();
+}
+
+#[test]
 fn metrics_file_is_written_even_when_the_deadline_fires() {
     let graph = gen_graph("timeout.txt", "ba");
     let metrics = tmp("timeout.json");

@@ -1,0 +1,276 @@
+//! Soak and fault-injection tests for the serving layer: concurrent
+//! readers query while a writer publishes update batches, and injected
+//! failures (panic / cancel / deadline) in `serve.*` regions must leave
+//! the service serving the previous snapshot.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use hcd::prelude::*;
+use rand::Rng;
+use rand_chacha::ChaCha8Rng;
+
+const READERS: usize = 5;
+const SWAPS: u64 = 12;
+const MIN_READS: usize = 25;
+
+/// A compact fingerprint of one snapshot. Torn publication (a graph
+/// paired with the wrong decomposition/hierarchy, or a half-updated
+/// state) shows up as two observers fingerprinting the same generation
+/// differently.
+type Fingerprint = (usize, usize, u32, usize);
+
+fn fingerprint(snap: &ServeSnapshot) -> Fingerprint {
+    (
+        snap.graph.num_vertices(),
+        snap.graph.num_edges(),
+        snap.cores.kmax(),
+        snap.hcd.num_nodes(),
+    )
+}
+
+fn random_updates(rng: &mut ChaCha8Rng, count: usize, universe: VertexId) -> Vec<EdgeUpdate> {
+    (0..count)
+        .map(|_| {
+            let u = rng.gen_range(0..universe);
+            let v = rng.gen_range(0..universe);
+            if rng.gen_bool(0.7) {
+                EdgeUpdate::Insert(u, v)
+            } else {
+                EdgeUpdate::Remove(u, v)
+            }
+        })
+        .collect()
+}
+
+/// ≥ 4 reader threads hammer the service while a writer publishes
+/// `SWAPS` epochs (interleaved with deliberately failing, fault-injected
+/// publish attempts). Every response must name a really-published
+/// generation whose fingerprint matches the writer's record — zero torn
+/// or unknown-generation reads — and per-reader generations must be
+/// monotone.
+#[test]
+fn concurrent_readers_never_see_torn_or_unpublished_snapshots() {
+    let g0 = barabasi_albert(64, 3, 0x50A4);
+    let universe = g0.num_vertices() as VertexId + 8;
+    let build_exec = Executor::sequential();
+    let service = HcdService::try_new(&g0, &build_exec).unwrap();
+
+    // generation -> fingerprint, recorded by the single writer at each
+    // publish (generation 0 is the initial build).
+    let published: Mutex<HashMap<u64, Fingerprint>> = Mutex::new(HashMap::new());
+    published
+        .lock()
+        .unwrap()
+        .insert(0, fingerprint(&service.snapshot()));
+    // Highest generation the writer may have published so far; readers
+    // must never observe anything above it.
+    let announced = AtomicU64::new(0);
+    let done = AtomicBool::new(false);
+
+    let reader_observations: Vec<Mutex<Vec<(u64, Fingerprint)>>> =
+        (0..READERS).map(|_| Mutex::new(Vec::new())).collect();
+
+    std::thread::scope(|scope| {
+        for (id, observations) in reader_observations.iter().enumerate() {
+            let service = &service;
+            let announced = &announced;
+            let done = &done;
+            scope.spawn(move || {
+                let exec = Executor::sequential();
+                let mut rng = <ChaCha8Rng as rand::SeedableRng>::seed_from_u64(id as u64);
+                let mut last_gen = 0u64;
+                let mut reads = 0usize;
+                while !done.load(Ordering::Acquire) || reads < MIN_READS {
+                    let snap = service.snapshot();
+                    observations
+                        .lock()
+                        .unwrap()
+                        .push((snap.generation, fingerprint(&snap)));
+                    assert!(
+                        snap.generation <= announced.load(Ordering::Acquire),
+                        "reader {id} saw unannounced generation {}",
+                        snap.generation
+                    );
+
+                    // One coherence probe through the batched read path:
+                    // the three answers hit different index structures
+                    // (coreness array, HCD tree) and must agree — a torn
+                    // graph/decomposition/hierarchy pairing breaks this.
+                    let v = rng.gen_range(0..universe);
+                    let k = rng.gen_range(0..5u32);
+                    let batch = service
+                        .try_query_batch(
+                            &[
+                                Query::InKCore(v, k),
+                                Query::CoreContaining(v, k),
+                                Query::SameKCore(v, v, k),
+                            ],
+                            &exec,
+                        )
+                        .unwrap();
+                    assert!(
+                        batch.generation <= announced.load(Ordering::Acquire),
+                        "reader {id} answered from unannounced generation {}",
+                        batch.generation
+                    );
+                    assert!(
+                        batch.generation >= last_gen,
+                        "reader {id} went back in time: {} < {last_gen}",
+                        batch.generation
+                    );
+                    last_gen = batch.generation;
+                    let (in_k, members, same) =
+                        match (&batch.answers[0], &batch.answers[1], &batch.answers[2]) {
+                            (
+                                QueryAnswer::InKCore(b),
+                                QueryAnswer::CoreContaining(m),
+                                QueryAnswer::SameKCore(s),
+                            ) => (*b, m.clone(), *s),
+                            other => panic!("variant mismatch: {other:?}"),
+                        };
+                    assert_eq!(in_k, members.is_some(), "reader {id}: torn membership");
+                    assert_eq!(in_k, same, "reader {id}: torn identity");
+                    if let Some(m) = members {
+                        assert!(m.contains(&v), "reader {id}: core missing its own vertex");
+                    }
+                    reads += 1;
+                }
+                assert!(reads >= MIN_READS);
+            });
+        }
+
+        // The single writer: SWAPS successful publishes, with a
+        // fault-injected failing attempt before every third one — the
+        // failures must be invisible to readers.
+        let writer_exec = Executor::sequential();
+        let faulty_exec = Executor::sequential();
+        let mut rng = <ChaCha8Rng as rand::SeedableRng>::seed_from_u64(0xFEED);
+        for i in 0..SWAPS {
+            if i % 3 == 0 {
+                let updates = random_updates(&mut rng, 6, universe);
+                faulty_exec.set_fault_plan(FaultPlan::new().inject(0, 0, Fault::Panic));
+                let err = service.try_apply_batch(&updates, &faulty_exec).unwrap_err();
+                assert!(matches!(err, ParError::Panicked { .. }));
+                assert_eq!(service.generation(), i, "failed publish must not swap");
+            }
+            let updates = random_updates(&mut rng, 6, universe);
+            announced.store(i + 1, Ordering::Release);
+            let resp = service.try_apply_batch(&updates, &writer_exec).unwrap();
+            assert_eq!(resp.generation, i + 1);
+            published
+                .lock()
+                .unwrap()
+                .insert(resp.generation, fingerprint(&service.snapshot()));
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        done.store(true, Ordering::Release);
+    });
+
+    assert_eq!(service.generation(), SWAPS);
+    let published = published.into_inner().unwrap();
+    assert_eq!(published.len() as u64, SWAPS + 1);
+    let mut distinct_gens: std::collections::BTreeSet<u64> = std::collections::BTreeSet::new();
+    for (id, observations) in reader_observations.iter().enumerate() {
+        let observations = observations.lock().unwrap();
+        assert!(observations.len() >= MIN_READS, "reader {id} barely read");
+        for &(gen, fp) in observations.iter() {
+            let expected = published
+                .get(&gen)
+                .unwrap_or_else(|| panic!("reader {id} observed unpublished generation {gen}"));
+            assert_eq!(
+                fp, *expected,
+                "reader {id}: torn snapshot at generation {gen}"
+            );
+            distinct_gens.insert(gen);
+        }
+    }
+    // The soak actually exercised snapshot turnover under the readers.
+    assert!(
+        distinct_gens.len() >= 2,
+        "readers only ever saw generations {distinct_gens:?}"
+    );
+    service.snapshot().validate().unwrap();
+}
+
+/// Panic, cancellation, and deadline failures injected into `serve.*`
+/// (and downstream `phcd.*`) regions abort the operation but leave the
+/// service serving the previous snapshot, which remains fully
+/// queryable; a later clean batch publishes the cumulative state.
+#[test]
+fn injected_faults_leave_the_previous_snapshot_serving() {
+    let g0 = gnp(40, 0.1, 0xFA17);
+    let clean = Executor::sequential();
+    let service = HcdService::try_new(&g0, &clean).unwrap();
+    service
+        .try_apply_batch(
+            &[EdgeUpdate::Insert(0, 1), EdgeUpdate::Insert(1, 2)],
+            &clean,
+        )
+        .unwrap();
+    assert_eq!(service.generation(), 1);
+    let baseline = service
+        .try_query_batch(
+            &[Query::CoreContaining(0, 1), Query::HierarchyPosition(5)],
+            &clean,
+        )
+        .unwrap();
+    let updates = [EdgeUpdate::Insert(2, 3), EdgeUpdate::Remove(0, 1)];
+
+    // Panic inside serve.rebuild itself (region 0 after the plan reset).
+    let exec = Executor::sequential();
+    exec.set_fault_plan(FaultPlan::new().inject(0, 0, Fault::Panic));
+    let err = service.try_apply_batch(&updates, &exec).unwrap_err();
+    assert!(matches!(err, ParError::Panicked { .. }), "{err:?}");
+
+    // Cancellation tripped in the first downstream phcd region.
+    let exec = Executor::sequential();
+    exec.set_fault_plan(FaultPlan::new().inject(1, 0, Fault::Cancel));
+    let err = service
+        .try_apply_batch(&[EdgeUpdate::Insert(4, 5)], &exec)
+        .unwrap_err();
+    assert_eq!(err, ParError::Cancelled);
+
+    // An already-expired deadline.
+    let exec = Executor::sequential();
+    exec.set_deadline(Deadline::from_now(Duration::ZERO));
+    let err = service
+        .try_apply_batch(&[EdgeUpdate::Insert(6, 7)], &exec)
+        .unwrap_err();
+    assert_eq!(err, ParError::DeadlineExceeded);
+
+    // Panic injected into a read region fails that query only.
+    let exec = Executor::sequential();
+    exec.set_fault_plan(FaultPlan::new().inject(0, 0, Fault::Panic));
+    let err = service
+        .try_query_batch(&[Query::InKCore(0, 1)], &exec)
+        .unwrap_err();
+    assert!(matches!(err, ParError::Panicked { .. }), "{err:?}");
+
+    // Through all of it: nothing was published, answers are unchanged,
+    // and the snapshot is still internally consistent.
+    assert_eq!(service.generation(), 1);
+    let after = service
+        .try_query_batch(
+            &[Query::CoreContaining(0, 1), Query::HierarchyPosition(5)],
+            &clean,
+        )
+        .unwrap();
+    assert_eq!(after, baseline, "failed operations changed served state");
+    service.snapshot().validate().unwrap();
+
+    // The maintained (but unpublished) updates ride along with the next
+    // clean publication. Note the batches that failed in serve.rebuild /
+    // phcd still *applied* their coreness maintenance, by design.
+    let resp = service.try_apply_batch(&[], &clean).unwrap();
+    assert_eq!(resp.generation, 2);
+    let snap = service.snapshot();
+    snap.validate().unwrap();
+    let edges: std::collections::BTreeSet<_> = snap.graph.edges().collect();
+    assert!(edges.contains(&(2, 3)), "pending insert lost");
+    assert!(edges.contains(&(4, 5)), "pending insert lost");
+    assert!(edges.contains(&(6, 7)), "pending insert lost");
+    assert!(!edges.contains(&(0, 1)), "pending removal lost");
+}

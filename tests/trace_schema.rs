@@ -222,6 +222,55 @@ fn search_trace_and_metrics_combine() {
 }
 
 #[test]
+fn serve_bench_trace_shows_query_and_rebuild_spans() {
+    let graph = gen_graph("serve.txt", "ba");
+    let trace = tmp("serve_trace.json");
+    let out = cli()
+        .args([
+            "serve-bench",
+            graph.to_str().unwrap(),
+            "-p",
+            "2",
+            "--ops",
+            "16",
+            "--batch",
+            "8",
+            "--read-ratio",
+            "0.6",
+            "--trace",
+            trace.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run serve-bench");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let doc = Json::parse(&std::fs::read_to_string(&trace).unwrap()).expect("trace JSON");
+    validate_trace(&doc);
+    // The region track interleaves serving spans with the construction
+    // spans each rebuild triggers.
+    let events = doc.get("traceEvents").and_then(Json::arr).unwrap();
+    let region_names: Vec<&str> = events
+        .iter()
+        .filter(|e| {
+            e.get("ph").and_then(Json::str) == Some("B")
+                && e.get("tid").and_then(Json::num) == Some(0.0)
+        })
+        .map(|e| e.get("name").and_then(Json::str).unwrap())
+        .collect();
+    for region in ["serve.query.batch", "serve.rebuild", "phcd.union"] {
+        assert!(
+            region_names.contains(&region),
+            "missing region span {region}: {region_names:?}"
+        );
+    }
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_file(&trace).ok();
+}
+
+#[test]
 fn trace_is_written_even_when_the_deadline_fires() {
     let graph = gen_graph("timeout.txt", "ba");
     let trace = tmp("timeout_trace.json");
