@@ -14,11 +14,17 @@
 //! `serve.batches`, `serve.swaps`, plus the `pkc.*`/`phcd.*` traffic of
 //! the rebuilds — is bit-reproducible across machines. Only the
 //! nanosecond timings vary, which `--counters-only` ignores.
+//!
+//! The service runs **durable** (WAL + checkpoints in a scratch
+//! directory) so the `serve.wal_appends` / `serve.wal_bytes` /
+//! `serve.checkpoints` counters are covered by the same gate: the WAL
+//! byte traffic is a pure function of the update stream, so it is as
+//! reproducible as the rest.
 
 use hcd_bench::banner;
 use hcd_datasets::barabasi_albert;
 use hcd_par::Executor;
-use hcd_serve::{run_workload, HcdService, WorkloadConfig};
+use hcd_serve::{run_workload, DurabilityConfig, HcdService, WorkloadConfig};
 
 fn main() {
     banner("serve baseline: BA-small mixed read/update workload metrics");
@@ -34,7 +40,10 @@ fn main() {
 
     let g = barabasi_albert(2_000, 4, 42);
     let exec = Executor::sequential().with_metrics();
-    let service = HcdService::try_new(&g, &exec).expect("initial build");
+    let scratch = std::env::temp_dir().join(format!("hcd-serve-baseline-{}", std::process::id()));
+    std::fs::remove_dir_all(&scratch).ok();
+    let service = HcdService::try_new_durable(&g, &scratch, DurabilityConfig::default(), &exec)
+        .expect("initial build");
     let cfg = WorkloadConfig {
         seed: 42,
         ops: 48,
@@ -43,6 +52,8 @@ fn main() {
         universe: g.num_vertices() as u32 + 64,
     };
     let summary = run_workload(&service, &cfg, &exec).expect("workload");
+    drop(service);
+    std::fs::remove_dir_all(&scratch).ok();
 
     let m = exec.take_metrics();
     if let Some(dir) = std::path::Path::new(&out).parent() {

@@ -22,6 +22,12 @@ pub enum EdgeUpdate {
 /// batch-dynamic algorithms) needs to look at.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BatchReport {
+    /// Stable 1-based sequence number of this batch: the Nth batch ever
+    /// applied to this [`DynamicCore`] reports `seq == N`. Durability
+    /// layers persist it with each write-ahead-log record so replay and
+    /// differential oracles can cross-check exactly which batches were
+    /// acknowledged before a crash.
+    pub seq: u64,
     /// Updates that changed the edge set.
     pub applied: usize,
     /// Updates that were no-ops (duplicate inserts, self-loops, removals
@@ -67,6 +73,8 @@ pub struct DynamicCore {
     g: DynamicGraph,
     coreness: Vec<u32>,
     cache: Option<(CsrGraph, Hcd)>,
+    /// Batches applied so far; stamps [`BatchReport::seq`].
+    seq: u64,
 }
 
 impl DynamicCore {
@@ -76,6 +84,7 @@ impl DynamicCore {
             g: DynamicGraph::new(n),
             coreness: vec![0; n],
             cache: None,
+            seq: 0,
         }
     }
 
@@ -86,7 +95,21 @@ impl DynamicCore {
             g: DynamicGraph::from_csr(g),
             coreness: cores.as_slice().to_vec(),
             cache: None,
+            seq: 0,
         }
+    }
+
+    /// The sequence number of the last applied batch (0 before any).
+    pub fn seq(&self) -> u64 {
+        self.seq
+    }
+
+    /// Overrides the batch sequence counter. Used by recovery: after
+    /// reloading a checkpoint taken at batch `seq`, replayed WAL batches
+    /// must continue the original numbering so cross-checks against
+    /// pre-crash acknowledgements line up.
+    pub fn set_seq(&mut self, seq: u64) {
+        self.seq = seq;
     }
 
     /// The underlying dynamic graph.
@@ -251,7 +274,11 @@ impl DynamicCore {
     /// appear).
     pub fn apply_batch(&mut self, updates: &[EdgeUpdate]) -> BatchReport {
         let before = self.coreness.clone();
-        let mut report = BatchReport::default();
+        self.seq += 1;
+        let mut report = BatchReport {
+            seq: self.seq,
+            ..BatchReport::default()
+        };
         for &u in updates {
             let applied = match u {
                 EdgeUpdate::Insert(a, b) => self.insert_edge(a, b),
@@ -469,11 +496,30 @@ mod tests {
     }
 
     #[test]
-    fn empty_batch_is_a_noop() {
+    fn empty_batch_is_a_noop_but_still_numbered() {
         let mut dc = DynamicCore::new(2);
         dc.insert_edge(0, 1);
         let report = dc.apply_batch(&[]);
-        assert_eq!(report, BatchReport::default());
+        assert_eq!(
+            report,
+            BatchReport {
+                seq: 1,
+                ..BatchReport::default()
+            }
+        );
+    }
+
+    #[test]
+    fn batch_sequence_numbers_are_monotone_and_restorable() {
+        let mut dc = DynamicCore::new(4);
+        assert_eq!(dc.seq(), 0);
+        assert_eq!(dc.apply_batch(&[EdgeUpdate::Insert(0, 1)]).seq, 1);
+        assert_eq!(dc.apply_batch(&[EdgeUpdate::Insert(1, 2)]).seq, 2);
+        assert_eq!(dc.seq(), 2);
+        // Recovery resumes numbering from the checkpoint's sequence.
+        let mut recovered = DynamicCore::from_csr(&dc.graph().to_csr());
+        recovered.set_seq(2);
+        assert_eq!(recovered.apply_batch(&[EdgeUpdate::Insert(2, 3)]).seq, 3);
     }
 
     #[test]

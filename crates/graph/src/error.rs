@@ -17,6 +17,89 @@ pub enum GraphError {
     },
     /// A binary graph file had an invalid header or inconsistent arrays.
     Format(String),
+    /// A binary graph file violated the framing format itself (typed so
+    /// callers can distinguish truncation from corruption).
+    Binary(IoFormatError),
+}
+
+/// Typed failures of the compact binary graph format. `Truncated`-class
+/// variants mean the file ended early (a torn write); the others mean
+/// the bytes that *are* present contradict the format (corruption).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IoFormatError {
+    /// The 8-byte magic/version tag is not a known format version.
+    BadMagic([u8; 8]),
+    /// The header-declared element counts cannot fit in memory or in the
+    /// `u32` id space.
+    CountOverflow {
+        /// Which count overflowed (`"vertex"` or `"arc"`).
+        what: &'static str,
+        /// The header-declared value.
+        value: u64,
+    },
+    /// The header-declared counts imply a payload longer than the bytes
+    /// actually available. Detected before any payload allocation.
+    TooShort {
+        /// Bytes the header implies the file must contain.
+        needed: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// The stream ended mid-structure.
+    Truncated {
+        /// Which structure was being read.
+        context: &'static str,
+    },
+    /// Payload checksum mismatch (v2 files only).
+    CrcMismatch {
+        /// Checksum recorded in the file.
+        expected: u32,
+        /// Checksum of the payload as read.
+        actual: u32,
+    },
+    /// The payload arrays are inconsistent (decreasing offsets,
+    /// out-of-range neighbor ids, …).
+    Invalid(String),
+}
+
+impl IoFormatError {
+    /// Whether this error is consistent with a torn (incomplete) write,
+    /// as opposed to in-place corruption of bytes that were written.
+    pub fn is_truncation(&self) -> bool {
+        matches!(
+            self,
+            IoFormatError::TooShort { .. } | IoFormatError::Truncated { .. }
+        )
+    }
+}
+
+impl fmt::Display for IoFormatError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoFormatError::BadMagic(m) => write!(f, "bad magic header {m:02x?}"),
+            IoFormatError::CountOverflow { what, value } => {
+                write!(f, "header {what} count {value} not addressable")
+            }
+            IoFormatError::TooShort { needed, actual } => write!(
+                f,
+                "header implies {needed} bytes but only {actual} are present"
+            ),
+            IoFormatError::Truncated { context } => {
+                write!(f, "file truncated while reading {context}")
+            }
+            IoFormatError::CrcMismatch { expected, actual } => write!(
+                f,
+                "payload checksum mismatch: header says {expected:#010x}, payload hashes to {actual:#010x}"
+            ),
+            IoFormatError::Invalid(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+impl From<IoFormatError> for GraphError {
+    fn from(e: IoFormatError) -> Self {
+        GraphError::Binary(e)
+    }
 }
 
 impl fmt::Display for GraphError {
@@ -27,6 +110,7 @@ impl fmt::Display for GraphError {
                 write!(f, "parse error at line {line}: {message}")
             }
             GraphError::Format(msg) => write!(f, "format error: {msg}"),
+            GraphError::Binary(e) => write!(f, "binary format error: {e}"),
         }
     }
 }
@@ -59,6 +143,24 @@ mod tests {
         assert_eq!(e.to_string(), "parse error at line 3: bad token");
         let e = GraphError::Format("truncated".into());
         assert!(e.to_string().contains("truncated"));
+    }
+
+    #[test]
+    fn binary_error_displays_and_classifies() {
+        let torn = GraphError::from(IoFormatError::Truncated { context: "offsets" });
+        assert!(torn.to_string().contains("truncated while reading offsets"));
+        let crc = IoFormatError::CrcMismatch {
+            expected: 0xDEAD_BEEF,
+            actual: 0x1234_5678,
+        };
+        assert!(!crc.is_truncation());
+        assert!(crc.to_string().contains("0xdeadbeef"));
+        assert!(IoFormatError::TooShort {
+            needed: 64,
+            actual: 10
+        }
+        .is_truncation());
+        assert!(!IoFormatError::BadMagic(*b"NOTMAGIC").is_truncation());
     }
 
     #[test]

@@ -6,25 +6,31 @@
 //!   whitespace separator. This is the format SNAP and most public graph
 //!   repositories distribute.
 //! * **Compact binary** — a little-endian dump of the CSR arrays with a
-//!   magic header, for fast reload of generated benchmark graphs.
+//!   magic header, for fast reload of generated benchmark graphs. Two
+//!   versions exist: v1 (`HCDCSR01`, legacy, unchecksummed) and v2
+//!   (`HCDCSR02`, written by default, with a CRC32 over the payload so
+//!   bit rot and torn writes are detected on load). `read_binary`
+//!   auto-detects the version; errors are typed ([`IoFormatError`]) so
+//!   callers can tell truncation (torn write) from corruption.
 
 use std::fs::File;
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
 use crate::builder::build_from_edges;
+use crate::crc32::crc32;
 use crate::csr::{CsrGraph, VertexId};
-use crate::error::GraphError;
+use crate::error::{GraphError, IoFormatError};
 
-const BINARY_MAGIC: &[u8; 8] = b"HCDCSR01";
+/// Magic tag of the legacy (unchecksummed) binary format.
+pub const BINARY_MAGIC_V1: &[u8; 8] = b"HCDCSR01";
+/// Magic tag of the checksummed binary format: the payload that follows
+/// the magic + CRC header is covered by a CRC32.
+pub const BINARY_MAGIC_V2: &[u8; 8] = b"HCDCSR02";
 
-/// Upper bound on the number of elements `read_binary` preallocates from
-/// header-declared sizes. A corrupt header can claim up to `u64::MAX`
-/// vertices or arcs; trusting it in `Vec::with_capacity` would abort the
-/// process on allocation failure before a single payload byte is read.
-/// Beyond this bound the vectors grow geometrically as real data arrives,
-/// so truncated or fabricated inputs fail with `Err` instead.
-const MAX_PREALLOC: usize = 1 << 20;
+/// Fixed bytes of the v1/v2 payload before the variable-length arrays:
+/// vertex count `u64` + arc count `u64`.
+const PAYLOAD_HEADER_LEN: u64 = 16;
 
 /// Parses a text edge list from any reader.
 ///
@@ -98,18 +104,42 @@ pub fn write_edge_list<W: Write>(g: &CsrGraph, writer: W) -> Result<(), GraphErr
     Ok(())
 }
 
-/// Writes the compact binary CSR format.
-pub fn write_binary<W: Write>(g: &CsrGraph, writer: W) -> Result<(), GraphError> {
-    let mut w = BufWriter::new(writer);
-    w.write_all(BINARY_MAGIC)?;
-    w.write_all(&(g.num_vertices() as u64).to_le_bytes())?;
-    w.write_all(&(g.num_arcs() as u64).to_le_bytes())?;
+/// Serializes the CSR payload shared by both binary format versions:
+/// `n u64 | arcs u64 | offsets (n+1)×u64 | neighbors arcs×u32`, all
+/// little-endian.
+fn binary_payload(g: &CsrGraph) -> Vec<u8> {
+    let mut payload = Vec::with_capacity(
+        PAYLOAD_HEADER_LEN as usize + (g.num_vertices() + 1) * 8 + g.num_arcs() * 4,
+    );
+    payload.extend_from_slice(&(g.num_vertices() as u64).to_le_bytes());
+    payload.extend_from_slice(&(g.num_arcs() as u64).to_le_bytes());
     for &off in g.offsets() {
-        w.write_all(&(off as u64).to_le_bytes())?;
+        payload.extend_from_slice(&(off as u64).to_le_bytes());
     }
     for &nb in g.raw_neighbors() {
-        w.write_all(&nb.to_le_bytes())?;
+        payload.extend_from_slice(&nb.to_le_bytes());
     }
+    payload
+}
+
+/// Writes the checksummed (v2) binary CSR format: magic, CRC32 of the
+/// payload, payload. This is the format all new files are written in.
+pub fn write_binary<W: Write>(g: &CsrGraph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    let payload = binary_payload(g);
+    w.write_all(BINARY_MAGIC_V2)?;
+    w.write_all(&crc32(&payload).to_le_bytes())?;
+    w.write_all(&payload)?;
+    w.flush()?;
+    Ok(())
+}
+
+/// Writes the legacy (v1, unchecksummed) binary format. Kept so the
+/// v1 read path stays covered by tests and old tooling can be fed.
+pub fn write_binary_v1<W: Write>(g: &CsrGraph, writer: W) -> Result<(), GraphError> {
+    let mut w = BufWriter::new(writer);
+    w.write_all(BINARY_MAGIC_V1)?;
+    w.write_all(&binary_payload(g))?;
     w.flush()?;
     Ok(())
 }
@@ -119,70 +149,142 @@ pub fn write_binary_file<P: AsRef<Path>>(g: &CsrGraph, path: P) -> Result<(), Gr
     write_binary(g, File::create(path)?)
 }
 
-/// Reads the compact binary CSR format, validating all invariants.
+/// Reads the compact binary CSR format (either version), validating the
+/// checksum (v2) and all structural invariants.
+///
+/// The whole stream is buffered before parsing; vectors only ever grow
+/// to the number of bytes actually present, so a corrupt header claiming
+/// `2^60` arcs fails with a typed [`IoFormatError::TooShort`] before any
+/// payload allocation.
 pub fn read_binary<R: Read>(reader: R) -> Result<CsrGraph, GraphError> {
     let mut r = BufReader::new(reader);
     let mut magic = [0u8; 8];
-    r.read_exact(&mut magic)?;
-    if &magic != BINARY_MAGIC {
-        return Err(GraphError::Format("bad magic header".into()));
+    read_exact_or(&mut r, &mut magic, "magic header")?;
+    match &magic {
+        m if m == BINARY_MAGIC_V1 => {
+            let mut payload = Vec::new();
+            r.read_to_end(&mut payload)?;
+            // v1 streams historically tolerated trailing bytes; keep that.
+            parse_binary_payload(&payload, false)
+        }
+        m if m == BINARY_MAGIC_V2 => {
+            let mut crc_buf = [0u8; 4];
+            read_exact_or(&mut r, &mut crc_buf, "payload checksum")?;
+            let expected = u32::from_le_bytes(crc_buf);
+            let mut payload = Vec::new();
+            r.read_to_end(&mut payload)?;
+            // Size classification first: a short payload is a torn write
+            // (TooShort), not corruption, even though its CRC also fails.
+            let g = parse_binary_payload(&payload, true)?;
+            let actual = crc32(&payload);
+            if actual != expected {
+                return Err(IoFormatError::CrcMismatch { expected, actual }.into());
+            }
+            Ok(g)
+        }
+        _ => Err(IoFormatError::BadMagic(magic).into()),
     }
-    let n_raw = read_u64(&mut r)?;
-    let arcs_raw = read_u64(&mut r)?;
+}
+
+/// Parses the shared CSR payload, checking header-implied size against
+/// the bytes actually present *before* allocating the arrays.
+fn parse_binary_payload(payload: &[u8], strict_len: bool) -> Result<CsrGraph, GraphError> {
+    if payload.len() < PAYLOAD_HEADER_LEN as usize {
+        return Err(IoFormatError::Truncated {
+            context: "count header",
+        }
+        .into());
+    }
+    let n_raw = u64::from_le_bytes(payload[0..8].try_into().unwrap());
+    let arcs_raw = u64::from_le_bytes(payload[8..16].try_into().unwrap());
     // Header sanity before any allocation: vertex ids are u32, and both
     // counts must be addressable on this platform (with room for n + 1
     // offsets).
     if n_raw > u32::MAX as u64 {
-        return Err(GraphError::Format(format!(
-            "header vertex count {n_raw} exceeds u32 id space"
-        )));
+        return Err(IoFormatError::CountOverflow {
+            what: "vertex",
+            value: n_raw,
+        }
+        .into());
     }
     let n = usize::try_from(n_raw)
         .ok()
         .filter(|n| n.checked_add(1).is_some())
-        .ok_or_else(|| {
-            GraphError::Format(format!("header vertex count {n_raw} not addressable"))
+        .ok_or(IoFormatError::CountOverflow {
+            what: "vertex",
+            value: n_raw,
         })?;
-    let arcs = usize::try_from(arcs_raw)
-        .map_err(|_| GraphError::Format(format!("header arc count {arcs_raw} not addressable")))?;
-    // Never trust header-declared sizes for preallocation: a corrupt
-    // header asking for 2^60 entries must fail with Err, not abort on
-    // allocation. Past MAX_PREALLOC the Vec grows as data is actually
-    // read, so a short stream errors out long before memory does.
-    let mut offsets = Vec::with_capacity((n + 1).min(MAX_PREALLOC));
+    let arcs = usize::try_from(arcs_raw).map_err(|_| IoFormatError::CountOverflow {
+        what: "arc",
+        value: arcs_raw,
+    })?;
+    // Reject headers that imply more bytes than are present before any
+    // array allocation: a fabricated count can ask for terabytes, but the
+    // actual byte count bounds what we will ever allocate.
+    let needed = PAYLOAD_HEADER_LEN
+        .checked_add(
+            (n as u64 + 1)
+                .checked_mul(8)
+                .ok_or(IoFormatError::CountOverflow {
+                    what: "vertex",
+                    value: n_raw,
+                })?,
+        )
+        .and_then(|b| b.checked_add((arcs as u64).checked_mul(4)?))
+        .ok_or(IoFormatError::CountOverflow {
+            what: "arc",
+            value: arcs_raw,
+        })?;
+    let actual = payload.len() as u64;
+    if actual < needed {
+        return Err(IoFormatError::TooShort { needed, actual }.into());
+    }
+    if strict_len && actual > needed {
+        return Err(IoFormatError::Invalid(format!(
+            "{} trailing bytes after payload",
+            actual - needed
+        ))
+        .into());
+    }
+    let mut offsets = Vec::with_capacity(n + 1);
     let mut prev = 0u64;
+    let mut cursor = PAYLOAD_HEADER_LEN as usize;
     for i in 0..=n {
-        let off = read_u64(&mut r)?;
+        let off = u64::from_le_bytes(payload[cursor..cursor + 8].try_into().unwrap());
+        cursor += 8;
         if off < prev {
-            return Err(GraphError::Format(format!(
+            return Err(IoFormatError::Invalid(format!(
                 "offset {off} at index {i} decreases (previous {prev})"
-            )));
+            ))
+            .into());
         }
         if off > arcs_raw {
-            return Err(GraphError::Format(format!(
+            return Err(IoFormatError::Invalid(format!(
                 "offset {off} at index {i} exceeds arc count {arcs_raw}"
-            )));
+            ))
+            .into());
         }
         prev = off;
         offsets.push(off as usize);
     }
     if offsets.first() != Some(&0) || offsets.last() != Some(&arcs) {
-        return Err(GraphError::Format("inconsistent offsets".into()));
+        return Err(IoFormatError::Invalid("inconsistent offsets".into()).into());
     }
-    let mut neighbors = Vec::with_capacity(arcs.min(MAX_PREALLOC));
-    let mut buf = [0u8; 4];
+    let mut neighbors = Vec::with_capacity(arcs);
     for _ in 0..arcs {
-        r.read_exact(&mut buf)?;
-        let nb = u32::from_le_bytes(buf);
+        let nb = u32::from_le_bytes(payload[cursor..cursor + 4].try_into().unwrap());
+        cursor += 4;
         if nb as usize >= n {
-            return Err(GraphError::Format(format!(
+            return Err(IoFormatError::Invalid(format!(
                 "neighbor id {nb} out of range for {n} vertices"
-            )));
+            ))
+            .into());
         }
         neighbors.push(nb);
     }
     let g = CsrGraph::from_csr(offsets, neighbors);
-    g.check_invariants().map_err(GraphError::Format)?;
+    g.check_invariants()
+        .map_err(|m| GraphError::Binary(IoFormatError::Invalid(m)))?;
     Ok(g)
 }
 
@@ -191,10 +293,20 @@ pub fn read_binary_file<P: AsRef<Path>>(path: P) -> Result<CsrGraph, GraphError>
     read_binary(File::open(path)?)
 }
 
-fn read_u64<R: Read>(r: &mut R) -> Result<u64, GraphError> {
-    let mut buf = [0u8; 8];
-    r.read_exact(&mut buf)?;
-    Ok(u64::from_le_bytes(buf))
+/// Like `read_exact` but maps the short-read case to a typed truncation
+/// error instead of a bare `UnexpectedEof` io error.
+fn read_exact_or<R: Read>(
+    r: &mut R,
+    buf: &mut [u8],
+    context: &'static str,
+) -> Result<(), GraphError> {
+    r.read_exact(buf).map_err(|e| {
+        if e.kind() == std::io::ErrorKind::UnexpectedEof {
+            GraphError::Binary(IoFormatError::Truncated { context })
+        } else {
+            GraphError::Io(e)
+        }
+    })
 }
 
 #[cfg(test)]
@@ -249,6 +361,17 @@ mod tests {
         let g = sample();
         let mut buf = Vec::new();
         write_binary(&g, &mut buf).unwrap();
+        assert_eq!(&buf[..8], BINARY_MAGIC_V2);
+        let g2 = read_binary(&buf[..]).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn binary_v1_files_still_load() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary_v1(&g, &mut buf).unwrap();
+        assert_eq!(&buf[..8], BINARY_MAGIC_V1);
         let g2 = read_binary(&buf[..]).unwrap();
         assert_eq!(g, g2);
     }
@@ -256,52 +379,127 @@ mod tests {
     #[test]
     fn binary_rejects_bad_magic() {
         let buf = b"NOTMAGIC".to_vec();
-        assert!(matches!(
-            read_binary(&buf[..]),
-            Err(GraphError::Format(_)) | Err(GraphError::Io(_))
-        ));
+        match read_binary(&buf[..]) {
+            Err(GraphError::Binary(IoFormatError::BadMagic(m))) => assert_eq!(&m, b"NOTMAGIC"),
+            other => panic!("expected BadMagic, got {other:?}"),
+        }
     }
 
     #[test]
-    fn binary_rejects_truncation() {
+    fn binary_rejects_truncation_as_typed_truncation() {
         let g = sample();
         let mut buf = Vec::new();
         write_binary(&g, &mut buf).unwrap();
         buf.truncate(buf.len() - 3);
-        assert!(read_binary(&buf[..]).is_err());
+        match read_binary(&buf[..]) {
+            Err(GraphError::Binary(e)) => assert!(e.is_truncation(), "got {e:?}"),
+            other => panic!("expected typed truncation, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_rejects_truncation_at_every_header_byte_offset() {
+        // Chop a valid file at every byte offset of the (magic + crc +
+        // count) header region, for both format versions. Every prefix
+        // must fail with a typed truncation-class error — never a panic,
+        // never an allocation driven by a half-read count.
+        let g = sample();
+        for version in ["v1", "v2"] {
+            let mut buf = Vec::new();
+            if version == "v1" {
+                write_binary_v1(&g, &mut buf).unwrap();
+            } else {
+                write_binary(&g, &mut buf).unwrap();
+            }
+            let header_len = if version == "v1" { 8 + 16 } else { 8 + 4 + 16 };
+            for cut in 0..header_len {
+                let prefix = &buf[..cut];
+                match read_binary(prefix) {
+                    Err(GraphError::Binary(e)) => assert!(
+                        e.is_truncation(),
+                        "{version} cut at {cut}: expected truncation, got {e:?}"
+                    ),
+                    other => panic!("{version} cut at {cut}: expected Err, got {other:?}"),
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn binary_rejects_header_implying_more_bytes_than_present() {
+        // A plausible small header whose counts nonetheless exceed the
+        // actual byte count must fail with TooShort before allocating.
+        let mut buf = BINARY_MAGIC_V1.to_vec();
+        buf.extend_from_slice(&8u64.to_le_bytes()); // n = 8
+        buf.extend_from_slice(&1_000_000u64.to_le_bytes()); // arcs = 1e6
+        buf.extend_from_slice(&[0u8; 64]); // nowhere near enough payload
+        match read_binary(&buf[..]) {
+            Err(GraphError::Binary(IoFormatError::TooShort { needed, actual })) => {
+                assert!(needed > actual, "needed {needed} vs actual {actual}");
+            }
+            other => panic!("expected TooShort, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn binary_v2_detects_payload_corruption_via_crc() {
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        // Flip one bit in the neighbor array (last payload byte region)
+        // such that the file still parses structurally.
+        let last = buf.len() - 1;
+        buf[last] ^= 0x01;
+        match read_binary(&buf[..]) {
+            Err(GraphError::Binary(e)) => assert!(!e.is_truncation(), "got {e:?}"),
+            other => panic!("expected corruption error, got {other:?}"),
+        }
+        // Flip a bit in the stored CRC itself: payload parses fine, the
+        // checksum comparison must catch it.
+        buf[last] ^= 0x01;
+        buf[9] ^= 0x80;
+        match read_binary(&buf[..]) {
+            Err(GraphError::Binary(IoFormatError::CrcMismatch { .. })) => {}
+            other => panic!("expected CrcMismatch, got {other:?}"),
+        }
     }
 
     #[test]
     fn binary_rejects_giant_header_counts_without_allocating() {
         // Claims u32::MAX vertices / near-u64::MAX arcs with no payload.
         // Must return Err promptly instead of preallocating terabytes.
-        let mut buf = BINARY_MAGIC.to_vec();
+        let mut buf = BINARY_MAGIC_V1.to_vec();
         buf.extend_from_slice(&(u32::MAX as u64).to_le_bytes());
         buf.extend_from_slice(&(u64::MAX / 2).to_le_bytes());
         assert!(read_binary(&buf[..]).is_err());
 
         // Vertex count beyond the u32 id space is rejected by the header
         // sanity check itself.
-        let mut buf = BINARY_MAGIC.to_vec();
+        let mut buf = BINARY_MAGIC_V1.to_vec();
         buf.extend_from_slice(&u64::MAX.to_le_bytes());
         buf.extend_from_slice(&0u64.to_le_bytes());
         match read_binary(&buf[..]) {
-            Err(GraphError::Format(msg)) => assert!(msg.contains("u32 id space")),
-            other => panic!("expected format error, got {other:?}"),
+            Err(GraphError::Binary(IoFormatError::CountOverflow { what, .. })) => {
+                assert_eq!(what, "vertex")
+            }
+            other => panic!("expected CountOverflow, got {other:?}"),
         }
     }
 
     #[test]
     fn binary_rejects_decreasing_and_overflowing_offsets() {
         // n=2, arcs=2, offsets [0, 3, 2]: 3 > arcs and 2 < 3.
-        let mut buf = BINARY_MAGIC.to_vec();
+        let mut buf = BINARY_MAGIC_V1.to_vec();
         buf.extend_from_slice(&2u64.to_le_bytes());
         buf.extend_from_slice(&2u64.to_le_bytes());
         for off in [0u64, 3, 2] {
             buf.extend_from_slice(&off.to_le_bytes());
         }
+        buf.extend_from_slice(&[0u8; 8]); // neighbor bytes so length adds up
         match read_binary(&buf[..]) {
-            Err(GraphError::Format(msg)) => assert!(msg.contains("exceeds arc count")),
+            Err(GraphError::Binary(IoFormatError::Invalid(msg))) => {
+                assert!(msg.contains("exceeds arc count"))
+            }
             other => panic!("expected format error, got {other:?}"),
         }
     }
@@ -309,7 +507,7 @@ mod tests {
     #[test]
     fn binary_rejects_out_of_range_neighbor() {
         // n=2, arcs=2, valid offsets, but a neighbor id of 7.
-        let mut buf = BINARY_MAGIC.to_vec();
+        let mut buf = BINARY_MAGIC_V1.to_vec();
         buf.extend_from_slice(&2u64.to_le_bytes());
         buf.extend_from_slice(&2u64.to_le_bytes());
         for off in [0u64, 1, 2] {
@@ -318,7 +516,9 @@ mod tests {
         buf.extend_from_slice(&7u32.to_le_bytes());
         buf.extend_from_slice(&0u32.to_le_bytes());
         match read_binary(&buf[..]) {
-            Err(GraphError::Format(msg)) => assert!(msg.contains("out of range")),
+            Err(GraphError::Binary(IoFormatError::Invalid(msg))) => {
+                assert!(msg.contains("out of range"))
+            }
             other => panic!("expected format error, got {other:?}"),
         }
     }
@@ -338,8 +538,15 @@ mod tests {
             z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
             z ^ (z >> 31)
         };
-        for round in 0..200 {
-            let mut buf = BINARY_MAGIC.to_vec();
+        for round in 0..400 {
+            // Alternate between the two magics so both read paths face
+            // the same adversarial headers.
+            let magic = if round % 2 == 0 {
+                BINARY_MAGIC_V1
+            } else {
+                BINARY_MAGIC_V2
+            };
+            let mut buf = magic.to_vec();
             // Mix of plausible-small and absurd-large header counts.
             let n = match round % 4 {
                 0 => next() % 16,
@@ -352,6 +559,9 @@ mod tests {
                 1 => next(),
                 _ => next() % (1 << 50),
             };
+            if magic == BINARY_MAGIC_V2 {
+                buf.extend_from_slice(&(next() as u32).to_le_bytes());
+            }
             buf.extend_from_slice(&n.to_le_bytes());
             buf.extend_from_slice(&arcs.to_le_bytes());
             let tail = (next() % 256) as usize;
@@ -361,6 +571,21 @@ mod tests {
             assert!(
                 read_binary(&buf[..]).is_err(),
                 "round {round}: corrupt header (n={n}, arcs={arcs}, tail={tail}) was accepted"
+            );
+        }
+    }
+
+    #[test]
+    fn binary_survives_truncation_at_every_offset_of_small_file() {
+        // Beyond the header: truncating a full valid v2 file at *every*
+        // byte offset must yield a typed error, never a panic.
+        let g = sample();
+        let mut buf = Vec::new();
+        write_binary(&g, &mut buf).unwrap();
+        for cut in 0..buf.len() {
+            assert!(
+                read_binary(&buf[..cut]).is_err(),
+                "prefix of {cut} bytes was accepted"
             );
         }
     }

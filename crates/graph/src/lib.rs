@@ -20,6 +20,7 @@
 //! lists are sorted by vertex id.
 
 pub mod builder;
+pub mod crc32;
 pub mod csr;
 pub mod error;
 pub mod hash;
@@ -30,8 +31,9 @@ pub mod subgraph;
 pub mod traversal;
 
 pub use builder::GraphBuilder;
+pub use crc32::{crc32, Crc32};
 pub use csr::{CsrGraph, VertexId};
-pub use error::GraphError;
+pub use error::{GraphError, IoFormatError};
 pub use hash::{FxHashMap, FxHashSet};
 pub use permute::Permutation;
 pub use subgraph::InducedSubgraph;

@@ -36,6 +36,12 @@ impl EpochCounter {
         EpochCounter(AtomicU64::new(0))
     }
 
+    /// A counter resumed at an arbitrary generation (crash recovery
+    /// republishes state that was already past generation 0).
+    pub fn starting_at(generation: u64) -> Self {
+        EpochCounter(AtomicU64::new(generation))
+    }
+
     /// The current generation.
     pub fn current(&self) -> u64 {
         self.0.load(Ordering::Acquire)
@@ -77,6 +83,16 @@ impl<T> EpochCell<T> {
         EpochCell {
             slot: RwLock::new(Arc::new(initial)),
             epoch: EpochCounter::new(),
+        }
+    }
+
+    /// A cell holding `initial` at an arbitrary starting generation, so
+    /// recovered state keeps its pre-crash epoch numbering and readers
+    /// never observe the generation go backwards across a restart.
+    pub fn new_at(initial: T, generation: u64) -> Self {
+        EpochCell {
+            slot: RwLock::new(Arc::new(initial)),
+            epoch: EpochCounter::starting_at(generation),
         }
     }
 
@@ -128,6 +144,15 @@ mod tests {
     }
 
     #[test]
+    fn cell_can_resume_at_a_recovered_generation() {
+        let cell = EpochCell::new_at(7u32, 41);
+        assert_eq!(cell.generation(), 41);
+        assert_eq!(*cell.load(), 7);
+        assert_eq!(cell.publish(Arc::new(8)), 42);
+        assert_eq!(cell.generation(), 42);
+    }
+
+    #[test]
     fn old_snapshots_survive_publication() {
         let cell = EpochCell::new(String::from("old"));
         let held = cell.load();
@@ -143,10 +168,12 @@ mod tests {
         // the writer actually published.
         let cell = Arc::new(EpochCell::new(0u64));
         let stop = Arc::new(AtomicBool::new(false));
+        let progress: Arc<Vec<AtomicU64>> = Arc::new((0..4).map(|_| AtomicU64::new(0)).collect());
         let readers: Vec<_> = (0..4)
-            .map(|_| {
+            .map(|i| {
                 let cell = Arc::clone(&cell);
                 let stop = Arc::clone(&stop);
+                let progress = Arc::clone(&progress);
                 std::thread::spawn(move || {
                     let mut last = 0u64;
                     let mut loads = 0u64;
@@ -155,6 +182,7 @@ mod tests {
                         assert!(v >= last, "generation went backwards: {v} < {last}");
                         last = v;
                         loads += 1;
+                        progress[i].store(loads, Ordering::Relaxed);
                     }
                     loads
                 })
@@ -163,6 +191,14 @@ mod tests {
         for g in 1..=100u64 {
             let gen = cell.publish(Arc::new(g));
             assert_eq!(gen, g);
+        }
+        // On a single core the writer can finish all 100 publishes before
+        // a reader is ever scheduled; wait for each to make progress so
+        // the loads>0 assertion is about correctness, not timing.
+        for p in progress.iter() {
+            while p.load(Ordering::Relaxed) == 0 {
+                std::thread::yield_now();
+            }
         }
         stop.store(true, Ordering::Relaxed);
         for r in readers {

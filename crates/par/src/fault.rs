@@ -7,7 +7,7 @@
 //! [`Executor::checkpoint`](crate::Executor::checkpoint). Nothing here
 //! interrupts a running computation preemptively.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -80,6 +80,59 @@ pub enum Fault {
     Cancel,
 }
 
+/// A named IO boundary at which a [`FaultPlan`] can schedule a simulated
+/// process crash. Crash points are *polled* by IO code (the serve
+/// layer's WAL writer and checkpointer) via
+/// [`Executor::crash_point`](crate::Executor::crash_point); when the
+/// plan schedules a crash at the polled occurrence, the caller abandons
+/// the write mid-flight exactly as a killed process would, leaving the
+/// on-disk state torn for recovery to deal with.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CrashPoint {
+    /// Before any byte of a WAL record is written: the batch is lost
+    /// entirely, the log is untouched.
+    WalPreAppend,
+    /// After a prefix of the record's bytes: the log ends in a torn
+    /// record.
+    WalMidRecord,
+    /// After the record is fully written but before fsync: the bytes may
+    /// never have reached the disk (simulated as page-cache loss).
+    WalPreFsync,
+    /// After the checkpoint temp file is written + fsynced but before
+    /// the atomic rename: the old checkpoint remains current.
+    CkptPreRename,
+    /// After the rename publishes the new checkpoint: the checkpoint is
+    /// durable, anything after it (acks, in-memory state) is lost.
+    CkptPostRename,
+}
+
+impl CrashPoint {
+    /// Every crash point, in WAL-then-checkpoint order.
+    pub const ALL: [CrashPoint; 5] = [
+        CrashPoint::WalPreAppend,
+        CrashPoint::WalMidRecord,
+        CrashPoint::WalPreFsync,
+        CrashPoint::CkptPreRename,
+        CrashPoint::CkptPostRename,
+    ];
+
+    /// Stable kebab-case name (CLI flag / harness label).
+    pub fn name(self) -> &'static str {
+        match self {
+            CrashPoint::WalPreAppend => "wal-pre-append",
+            CrashPoint::WalMidRecord => "wal-mid-record",
+            CrashPoint::WalPreFsync => "wal-pre-fsync",
+            CrashPoint::CkptPreRename => "ckpt-pre-rename",
+            CrashPoint::CkptPostRename => "ckpt-post-rename",
+        }
+    }
+
+    /// Parses the kebab-case name produced by [`CrashPoint::name`].
+    pub fn parse(s: &str) -> Option<CrashPoint> {
+        CrashPoint::ALL.into_iter().find(|p| p.name() == s)
+    }
+}
+
 /// A deterministic schedule of faults, keyed by `(region, chunk)`.
 ///
 /// Regions are numbered in execution order from the moment the plan is
@@ -91,6 +144,10 @@ pub enum Fault {
 #[derive(Debug, Clone, Default)]
 pub struct FaultPlan {
     sites: HashMap<(usize, usize), Fault>,
+    /// Scheduled process-crash simulations, keyed by
+    /// `(crash point, occurrence)`: the Nth time the point is polled
+    /// since the plan was installed, the crash fires.
+    crashes: HashSet<(CrashPoint, usize)>,
 }
 
 impl FaultPlan {
@@ -153,6 +210,31 @@ impl FaultPlan {
         v.sort_by_key(|&(k, _)| k);
         v
     }
+
+    /// Schedules a simulated process crash at the `occurrence`-th poll
+    /// (0-based) of `point`. Builder-style.
+    pub fn crash(mut self, point: CrashPoint, occurrence: usize) -> Self {
+        self.crashes.insert((point, occurrence));
+        self
+    }
+
+    /// Whether a crash is scheduled at the given poll of `point`.
+    pub fn crash_at(&self, point: CrashPoint, occurrence: usize) -> bool {
+        self.crashes.contains(&(point, occurrence))
+    }
+
+    /// Whether any crash points are scheduled at all (fast path for the
+    /// executor's poll).
+    pub fn has_crashes(&self) -> bool {
+        !self.crashes.is_empty()
+    }
+
+    /// All scheduled crash sites in deterministic (sorted) order.
+    pub fn crash_sites(&self) -> Vec<(CrashPoint, usize)> {
+        let mut v: Vec<_> = self.crashes.iter().copied().collect();
+        v.sort();
+        v
+    }
 }
 
 #[cfg(test)]
@@ -211,6 +293,36 @@ mod tests {
         let c = FaultPlan::seeded(43, 8, 4, 6);
         // Different seeds almost surely differ somewhere.
         assert_ne!(a.sites(), c.sites());
+    }
+
+    #[test]
+    fn crash_sites_are_independent_of_chunk_sites() {
+        let plan = FaultPlan::new()
+            .inject(0, 0, Fault::Panic)
+            .crash(CrashPoint::WalMidRecord, 2)
+            .crash(CrashPoint::CkptPreRename, 0);
+        assert!(plan.has_crashes());
+        assert!(plan.crash_at(CrashPoint::WalMidRecord, 2));
+        assert!(!plan.crash_at(CrashPoint::WalMidRecord, 1));
+        assert!(!plan.crash_at(CrashPoint::WalPreFsync, 2));
+        assert_eq!(
+            plan.crash_sites(),
+            vec![
+                (CrashPoint::WalMidRecord, 2),
+                (CrashPoint::CkptPreRename, 0)
+            ]
+        );
+        // Chunk-site accounting is untouched by crash sites.
+        assert_eq!(plan.len(), 1);
+        assert!(!FaultPlan::new().has_crashes());
+    }
+
+    #[test]
+    fn crash_point_names_round_trip() {
+        for p in CrashPoint::ALL {
+            assert_eq!(CrashPoint::parse(p.name()), Some(p));
+        }
+        assert_eq!(CrashPoint::parse("not-a-point"), None);
     }
 
     #[test]

@@ -64,9 +64,10 @@
 //! cancellation is cooperative). The original infallible APIs remain as
 //! thin wrappers that re-raise the failure as a panic.
 
+use std::collections::HashMap;
 use std::ops::Range;
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
@@ -83,7 +84,7 @@ pub use chunks::{split_even, split_weighted};
 pub use diff::{diff_metrics, DiffEntry, DiffOptions, DiffReport, Snapshot};
 pub use epoch::{EpochCell, EpochCounter};
 pub use error::{BuildError, ParError};
-pub use fault::{CancelToken, Deadline, Fault, FaultPlan};
+pub use fault::{CancelToken, CrashPoint, Deadline, Fault, FaultPlan};
 pub use metrics::{CounterValue, RegionMetrics, RunMetrics, METRICS_SCHEMA};
 pub use trace::{EventKind, Trace, TraceEvent, DEFAULT_EVENT_CAPACITY, TRACE_SCHEMA};
 
@@ -145,6 +146,14 @@ struct Ctrl {
     /// Regions executed since the fault plan was installed; numbers the
     /// injection sites.
     region: AtomicUsize,
+    /// Per-point poll counts since the fault plan was installed; numbers
+    /// the crash-point occurrences the same way `region` numbers chunk
+    /// sites.
+    crash_polls: Mutex<HashMap<CrashPoint, usize>>,
+    /// Simulated crashes that actually fired since the plan was
+    /// installed (harnesses use this to tell "crash happened" from
+    /// "write failed for a real reason").
+    crashes_fired: AtomicU64,
 }
 
 /// A static-chunked parallel-for executor (see crate docs).
@@ -403,16 +412,53 @@ impl Executor {
     }
 
     /// Installs (or replaces) the fault plan and restarts region
-    /// numbering at zero, so plan sites address the next run.
+    /// numbering, crash-point occurrence numbering, and the fired-crash
+    /// count at zero, so plan sites address the next run.
     pub fn set_fault_plan(&self, plan: FaultPlan) {
         *self.ctrl.plan.lock() = Some(plan);
         self.ctrl.region.store(0, Ordering::Relaxed);
+        self.ctrl.crash_polls.lock().clear();
+        self.ctrl.crashes_fired.store(0, Ordering::Relaxed);
     }
 
     /// Removes the fault plan (region numbering keeps advancing; install
     /// a new plan to reset it).
     pub fn clear_fault_plan(&self) {
         *self.ctrl.plan.lock() = None;
+    }
+
+    /// Polls a simulated process-crash site. IO code (WAL append,
+    /// checkpoint publish) calls this at each crash-able boundary;
+    /// `true` means the installed [`FaultPlan`] scheduled a crash at
+    /// this occurrence of `point`, and the caller must abandon the
+    /// operation mid-flight exactly as a killed process would (no
+    /// cleanup, no rollback). Occurrences are numbered per point from
+    /// the moment the plan is installed. Without a plan (or with a plan
+    /// that schedules no crashes) this is a cheap no-op returning
+    /// `false`.
+    pub fn crash_point(&self, point: CrashPoint) -> bool {
+        let plan = self.ctrl.plan.lock();
+        let Some(plan) = plan.as_ref() else {
+            return false;
+        };
+        if !plan.has_crashes() {
+            return false;
+        }
+        let mut polls = self.ctrl.crash_polls.lock();
+        let occurrence = polls.entry(point).or_insert(0);
+        let fire = plan.crash_at(point, *occurrence);
+        *occurrence += 1;
+        if fire {
+            self.ctrl.crashes_fired.fetch_add(1, Ordering::Relaxed);
+            self.add_counter("fault.crashes", 1);
+        }
+        fire
+    }
+
+    /// Number of simulated crashes that fired since the current fault
+    /// plan was installed.
+    pub fn crashes_fired(&self) -> u64 {
+        self.ctrl.crashes_fired.load(Ordering::Relaxed)
     }
 
     /// Cooperative cancellation point for long chunk bodies: checks the
@@ -1287,6 +1333,40 @@ mod fault_tests {
         // region-0 site still fires.
         exec.set_fault_plan(FaultPlan::new().inject(0, 0, Fault::Panic));
         assert!(exec.try_for_each_index(5, |_| Ok(())).is_err());
+    }
+
+    #[test]
+    fn crash_points_fire_at_scheduled_occurrence_only() {
+        let exec = Executor::sequential();
+        // No plan installed: polls are free and never fire.
+        assert!(!exec.crash_point(CrashPoint::WalPreAppend));
+        assert_eq!(exec.crashes_fired(), 0);
+
+        exec.set_fault_plan(FaultPlan::new().crash(CrashPoint::WalMidRecord, 1));
+        assert!(!exec.crash_point(CrashPoint::WalMidRecord)); // occurrence 0
+        assert!(exec.crash_point(CrashPoint::WalMidRecord)); // occurrence 1
+        assert!(!exec.crash_point(CrashPoint::WalMidRecord)); // occurrence 2
+                                                              // Other points have independent occurrence counters.
+        assert!(!exec.crash_point(CrashPoint::WalPreAppend));
+        assert_eq!(exec.crashes_fired(), 1);
+
+        // Installing a fresh plan resets occurrence numbering and the
+        // fired count.
+        exec.set_fault_plan(FaultPlan::new().crash(CrashPoint::CkptPostRename, 0));
+        assert_eq!(exec.crashes_fired(), 0);
+        assert!(exec.crash_point(CrashPoint::CkptPostRename));
+        assert_eq!(exec.crashes_fired(), 1);
+        exec.clear_fault_plan();
+        assert!(!exec.crash_point(CrashPoint::CkptPostRename));
+    }
+
+    #[test]
+    fn fired_crashes_are_counted_in_metrics() {
+        let exec = Executor::sequential().with_metrics();
+        exec.set_fault_plan(FaultPlan::new().crash(CrashPoint::WalPreFsync, 0));
+        assert!(exec.crash_point(CrashPoint::WalPreFsync));
+        let m = exec.take_metrics();
+        assert_eq!(m.get_counter("fault.crashes").unwrap().value, 1);
     }
 
     #[test]

@@ -19,7 +19,17 @@
 //!   answers many independent queries in one parallel region
 //!   (`serve.query.batch`), all from the *same* snapshot;
 //! * [`workload`] — the seeded mixed read/update workload behind
-//!   `hcd-cli serve-bench`.
+//!   `hcd-cli serve-bench`;
+//! * **durability** ([`wal`], [`checkpoint`], [`recover`]) — an opt-in
+//!   crash-safety layer: every acknowledged batch is appended to a
+//!   checksummed write-ahead log *before* it is applied, snapshot
+//!   checkpoints are written atomically in the checksummed v2 binary
+//!   format, and [`HcdService::recover`] rebuilds the exact
+//!   last-acknowledged state from the newest valid checkpoint plus the
+//!   WAL suffix — torn tails (kill-mid-write) are truncated with a
+//!   warning, mid-log corruption is refused. The `Wal*`/`Ckpt*`
+//!   [`hcd_par::CrashPoint`]s let the kill-and-recover harness die at
+//!   every IO boundary deterministically.
 //!
 //! Every query and rebuild runs through the shared `Executor`, so the
 //! full observability and failure machinery (metrics regions
@@ -30,10 +40,20 @@
 //! anything: the service keeps serving the previous snapshot, and the
 //! pending graph state is picked up by the next successful publication.
 
+pub mod checkpoint;
+#[cfg(test)]
+mod proptests;
+pub mod recover;
 pub mod service;
 pub mod snapshot;
+pub mod wal;
 pub mod workload;
 
-pub use service::{BatchAnswers, HcdService, Query, QueryAnswer, Response};
+pub use checkpoint::CheckpointError;
+pub use recover::{RecoverError, RecoveryReport};
+pub use service::{
+    BatchAnswers, DurabilityConfig, HcdService, Query, QueryAnswer, Response, ServeError,
+};
 pub use snapshot::Snapshot;
+pub use wal::{FsyncPolicy, TailStatus, WalError, WalScan, WalWriter, WAL_FILE_NAME};
 pub use workload::{run_workload, WorkloadConfig, WorkloadSummary};

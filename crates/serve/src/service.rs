@@ -1,5 +1,6 @@
 //! The snapshot-isolated query service.
 
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 use hcd_core::query::{core_containing, hierarchy_position, in_k_core, same_k_core};
@@ -9,7 +10,106 @@ use hcd_par::{EpochCell, Executor, ParError, CHECKPOINT_STRIDE};
 use hcd_search::{try_pbks_on, BestCore, Metric};
 use parking_lot::Mutex;
 
+use crate::checkpoint::{self, CheckpointError};
 use crate::snapshot::Snapshot;
+use crate::wal::{FsyncPolicy, WalError, WalWriter, WAL_FILE_NAME};
+
+/// Why a service write failed.
+///
+/// Read paths still speak plain [`ParError`]; writes gained a
+/// durability layer, so their failures split into "the parallel
+/// pipeline failed" and "the write-ahead append failed".
+#[derive(Debug)]
+pub enum ServeError {
+    /// The rebuild/publish pipeline failed (contained panic,
+    /// cancellation, expired deadline, injected fault). Nothing was
+    /// published; any WAL record written for the batch stays — the
+    /// maintained writer state keeps the batch too, so log and memory
+    /// agree.
+    Par(ParError),
+    /// The write-ahead append failed (real IO error or injected crash).
+    /// The batch was neither logged, applied, nor acknowledged; the old
+    /// snapshot keeps serving.
+    Wal(WalError),
+    /// Setting up durability failed (initial checkpoint write).
+    Checkpoint(CheckpointError),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Par(e) => write!(f, "{e}"),
+            ServeError::Wal(e) => write!(f, "{e}"),
+            ServeError::Checkpoint(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl From<ParError> for ServeError {
+    fn from(e: ParError) -> Self {
+        ServeError::Par(e)
+    }
+}
+
+impl From<WalError> for ServeError {
+    fn from(e: WalError) -> Self {
+        ServeError::Wal(e)
+    }
+}
+
+impl From<CheckpointError> for ServeError {
+    fn from(e: CheckpointError) -> Self {
+        ServeError::Checkpoint(e)
+    }
+}
+
+impl ServeError {
+    /// Whether this failure is a scheduled [`hcd_par::CrashPoint`]
+    /// firing (the kill-and-recover harness's signal that the simulated
+    /// process died) rather than an organic error.
+    pub fn is_simulated_crash(&self) -> bool {
+        matches!(
+            self,
+            ServeError::Wal(WalError::Crashed(_))
+                | ServeError::Checkpoint(CheckpointError::Crashed(_))
+        )
+    }
+}
+
+/// Knobs for the durability layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DurabilityConfig {
+    /// When the WAL is fsynced relative to appends.
+    pub fsync: FsyncPolicy,
+    /// Write a snapshot checkpoint every this-many applied batches
+    /// (`0` = never after the initial one; recovery then replays the
+    /// whole log).
+    pub checkpoint_every: u64,
+}
+
+impl Default for DurabilityConfig {
+    fn default() -> Self {
+        DurabilityConfig {
+            fsync: FsyncPolicy::Always,
+            checkpoint_every: 8,
+        }
+    }
+}
+
+/// The writer-side durability state, held under the same lock discipline
+/// as the [`DynamicCore`] writer (always writer lock first).
+pub(crate) struct Durable {
+    pub(crate) dir: PathBuf,
+    pub(crate) wal: WalWriter,
+    pub(crate) cfg: DurabilityConfig,
+    /// Sequence number of the newest on-disk checkpoint.
+    pub(crate) last_checkpoint_seq: u64,
+    /// A simulated crash fired somewhere in the durability path: the
+    /// "process" is dead, so every later durable write is refused. (The
+    /// read side keeps answering — the harness just stops using the
+    /// instance, like the real dead process it stands in for.)
+    pub(crate) poisoned: bool,
+}
 
 /// A query against one snapshot. All variants are answered from the
 /// index alone (no graph traversal beyond the HCD structures), so a
@@ -107,6 +207,8 @@ fn answer(snap: &Snapshot, q: &Query) -> QueryAnswer {
 pub struct HcdService {
     cell: EpochCell<Snapshot>,
     writer: Mutex<DynamicCore>,
+    /// Durability state; `None` for a purely in-memory service.
+    durable: Mutex<Option<Durable>>,
     /// Cumulative count of reads answered from a superseded snapshot.
     stale_reads: std::sync::atomic::AtomicU64,
 }
@@ -119,8 +221,62 @@ impl HcdService {
         Ok(HcdService {
             cell: EpochCell::new(snapshot),
             writer: Mutex::new(writer),
+            durable: Mutex::new(None),
             stale_reads: std::sync::atomic::AtomicU64::new(0),
         })
+    }
+
+    /// [`HcdService::try_new`] plus durability: writes the seq-0
+    /// checkpoint and an empty WAL into `dir` (created if missing,
+    /// existing durable state overwritten — use
+    /// [`HcdService::recover`](crate::recover) to resume a directory),
+    /// then logs every acknowledged batch ahead of applying it.
+    pub fn try_new_durable<P: AsRef<Path>>(
+        g: &CsrGraph,
+        dir: P,
+        cfg: DurabilityConfig,
+        exec: &Executor,
+    ) -> Result<Self, ServeError> {
+        let dir = dir.as_ref().to_path_buf();
+        std::fs::create_dir_all(&dir).map_err(WalError::Io)?;
+        let svc = Self::try_new(g, exec)?;
+        checkpoint::write_checkpoint(&dir, 0, g, exec)?;
+        let wal = WalWriter::create(dir.join(WAL_FILE_NAME), cfg.fsync).map_err(WalError::Io)?;
+        *svc.durable.lock() = Some(Durable {
+            dir,
+            wal,
+            cfg,
+            last_checkpoint_seq: 0,
+            poisoned: false,
+        });
+        Ok(svc)
+    }
+
+    /// Assembles a recovered service: the snapshot keeps its replayed
+    /// epoch numbering and the durability state resumes appending where
+    /// the pre-crash log left off.
+    pub(crate) fn from_recovered(
+        snapshot: Snapshot,
+        writer: DynamicCore,
+        durable: Durable,
+    ) -> Self {
+        let generation = snapshot.generation;
+        HcdService {
+            cell: EpochCell::new_at(snapshot, generation),
+            writer: Mutex::new(writer),
+            durable: Mutex::new(Some(durable)),
+            stale_reads: std::sync::atomic::AtomicU64::new(0),
+        }
+    }
+
+    /// Whether this service write-ahead-logs its batches.
+    pub fn is_durable(&self) -> bool {
+        self.durable.lock().is_some()
+    }
+
+    /// The durability directory, when the service is durable.
+    pub fn durability_dir(&self) -> Option<PathBuf> {
+        self.durable.lock().as_ref().map(|d| d.dir.clone())
     }
 
     /// Infallible [`HcdService::try_new`] (panics on construction
@@ -301,19 +457,52 @@ impl HcdService {
     /// Applies an update batch and publishes the next snapshot.
     ///
     /// Pipeline (all under the writer lock, never blocking readers):
-    /// incremental coreness maintenance for every update
+    /// **write-ahead log append + fsync** when the service is durable
+    /// (the batch is on disk before anything observes it), incremental
+    /// coreness maintenance for every update
     /// ([`DynamicCore::apply_batch`]), CSR + decomposition snapshotting
     /// in the fault-injectable `serve.rebuild` region, PHCD
-    /// reconstruction (regions `phcd.*`), then one atomic epoch swap.
+    /// reconstruction (regions `phcd.*`), one atomic epoch swap, then
+    /// (per [`DurabilityConfig::checkpoint_every`]) a snapshot
+    /// checkpoint.
+    ///
     /// On `Err`, nothing was published and the previous snapshot keeps
-    /// serving; the applied coreness maintenance is retained and rides
-    /// along with the next successful publication.
+    /// serving. A WAL failure ([`ServeError::Wal`]) means the batch was
+    /// not even logged or applied — `serve.wal_errors` ticks and the
+    /// service stays exactly where it was. A pipeline failure
+    /// ([`ServeError::Par`]) happens *after* the append: the maintained
+    /// coreness state keeps the batch (riding along with the next
+    /// successful publication) and so does the log, so memory and disk
+    /// agree. Checkpoint IO errors never fail the batch — the WAL
+    /// already covers it; `serve.ckpt_errors` ticks and recovery simply
+    /// replays a longer suffix.
     pub fn try_apply_batch(
         &self,
         updates: &[EdgeUpdate],
         exec: &Executor,
-    ) -> Result<Response<BatchReport>, ParError> {
+    ) -> Result<Response<BatchReport>, ServeError> {
         let mut writer = self.writer.lock();
+        let mut durable = self.durable.lock();
+        if let Some(d) = durable.as_mut() {
+            if d.poisoned {
+                return Err(ServeError::Wal(WalError::Poisoned));
+            }
+            // Log under the sequence number apply_batch is about to
+            // stamp, so replay and live application agree exactly.
+            match d.wal.append(writer.seq() + 1, updates, exec) {
+                Ok(bytes) => {
+                    exec.add_counter("serve.wal_appends", 1);
+                    exec.add_counter("serve.wal_bytes", bytes);
+                }
+                Err(e) => {
+                    if matches!(e, WalError::Crashed(_)) {
+                        d.poisoned = true;
+                    }
+                    exec.add_counter("serve.wal_errors", 1);
+                    return Err(ServeError::Wal(e));
+                }
+            }
+        }
         let report = writer.apply_batch(updates);
         exec.add_counter("serve.batches", 1);
 
@@ -334,12 +523,35 @@ impl HcdService {
         let hcd = hcd_core::try_phcd(&csr, &cores, exec)?;
 
         let generation = self.cell.generation() + 1;
-        let snapshot = Snapshot::from_parts(csr, cores, hcd, generation);
-        let published = self.cell.publish(Arc::new(snapshot));
+        let snapshot = Arc::new(Snapshot::from_parts(csr, cores, hcd, generation));
+        let published = self.cell.publish(Arc::clone(&snapshot));
         // The writer lock serializes publications, so the generation we
         // stamped is the one the cell advanced to.
         debug_assert_eq!(published, generation);
         exec.add_counter("serve.swaps", 1);
+
+        if let Some(d) = durable.as_mut() {
+            let due = d.cfg.checkpoint_every > 0
+                && report.seq - d.last_checkpoint_seq >= d.cfg.checkpoint_every;
+            if due {
+                match checkpoint::write_checkpoint(&d.dir, report.seq, &snapshot.graph, exec) {
+                    Ok(_) => {
+                        d.last_checkpoint_seq = report.seq;
+                        exec.add_counter("serve.checkpoints", 1);
+                    }
+                    Err(CheckpointError::Crashed(_)) => {
+                        // The batch is already durable (WAL) and
+                        // acknowledged (published); the simulated
+                        // process dies here without affecting either,
+                        // so the caller still gets its ack.
+                        d.poisoned = true;
+                    }
+                    Err(CheckpointError::Io(_)) => {
+                        exec.add_counter("serve.ckpt_errors", 1);
+                    }
+                }
+            }
+        }
         Ok(Response {
             generation: published,
             value: report,
@@ -468,7 +680,7 @@ mod tests {
         let err = svc
             .try_apply_batch(&[EdgeUpdate::Insert(1, 3)], &exec)
             .unwrap_err();
-        assert!(matches!(err, ParError::Panicked { .. }));
+        assert!(matches!(err, ServeError::Par(ParError::Panicked { .. })));
         exec.clear_fault_plan();
         // Nothing was published.
         assert_eq!(svc.generation(), 0);
@@ -504,5 +716,110 @@ mod tests {
         assert!(names.contains(&"serve.query.member"), "{names:?}");
         assert!(names.contains(&"serve.query.batch"), "{names:?}");
         assert!(names.contains(&"serve.rebuild"), "{names:?}");
+    }
+
+    fn tempdir() -> PathBuf {
+        static NEXT: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let id = NEXT.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let dir = std::env::temp_dir().join(format!("hcd-serve-test-{}-{id}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn durable_service_logs_every_acknowledged_batch_and_checkpoints() {
+        use crate::wal::{scan_wal_file, TailStatus};
+        let dir = tempdir();
+        let exec = Executor::sequential().with_metrics();
+        let cfg = DurabilityConfig {
+            fsync: FsyncPolicy::Always,
+            checkpoint_every: 2,
+        };
+        let svc = HcdService::try_new_durable(&triangle_plus_tail(), &dir, cfg, &exec).unwrap();
+        assert!(svc.is_durable());
+        assert_eq!(svc.durability_dir().unwrap(), dir);
+        for i in 0..3u32 {
+            svc.try_apply_batch(&[EdgeUpdate::Insert(i, i + 5)], &exec)
+                .unwrap();
+        }
+        let scan = scan_wal_file(dir.join(WAL_FILE_NAME)).unwrap();
+        assert_eq!(scan.tail, TailStatus::Clean);
+        assert_eq!(
+            scan.records.iter().map(|r| r.seq).collect::<Vec<_>>(),
+            vec![1, 2, 3]
+        );
+        // checkpoint_every = 2: the initial seq-0 checkpoint plus one at
+        // seq 2 (seq 3 is one batch past it, not yet due).
+        let seqs: Vec<u64> = checkpoint::list_checkpoints(&dir)
+            .unwrap()
+            .into_iter()
+            .map(|(s, _)| s)
+            .collect();
+        assert_eq!(seqs, vec![0, 2]);
+        let m = exec.take_metrics();
+        assert_eq!(m.get_counter("serve.wal_appends").unwrap().value, 3);
+        assert!(m.get_counter("serve.wal_bytes").unwrap().value > 0);
+        assert_eq!(m.get_counter("serve.checkpoints").unwrap().value, 1);
+        assert!(m.get_counter("serve.wal_errors").is_none());
+    }
+
+    #[test]
+    fn wal_crash_rejects_the_batch_and_keeps_serving() {
+        use hcd_par::{CrashPoint, FaultPlan};
+        let dir = tempdir();
+        let exec = Executor::sequential().with_metrics();
+        let svc = HcdService::try_new_durable(
+            &triangle_plus_tail(),
+            &dir,
+            DurabilityConfig::default(),
+            &exec,
+        )
+        .unwrap();
+        svc.try_apply_batch(&[EdgeUpdate::Insert(0, 3)], &exec)
+            .unwrap();
+        exec.set_fault_plan(FaultPlan::new().crash(CrashPoint::WalPreAppend, 0));
+        let err = svc
+            .try_apply_batch(&[EdgeUpdate::Insert(1, 4)], &exec)
+            .unwrap_err();
+        assert!(err.is_simulated_crash(), "{err}");
+        exec.clear_fault_plan();
+        // Nothing moved: the crashed batch was never acknowledged.
+        assert_eq!(svc.generation(), 1);
+        let r = svc.try_in_k_core(3, 2, &exec).unwrap();
+        assert_eq!(r.generation, 1);
+        // The dead "process" refuses all further durable writes.
+        assert!(matches!(
+            svc.try_apply_batch(&[], &exec).unwrap_err(),
+            ServeError::Wal(WalError::Poisoned)
+        ));
+        let m = exec.take_metrics();
+        assert_eq!(m.get_counter("serve.wal_errors").unwrap().value, 1);
+        assert_eq!(m.get_counter("fault.crashes").unwrap().value, 1);
+    }
+
+    #[test]
+    fn checkpoint_crash_still_acknowledges_the_batch() {
+        use hcd_par::{CrashPoint, FaultPlan};
+        let dir = tempdir();
+        let exec = Executor::sequential();
+        let cfg = DurabilityConfig {
+            fsync: FsyncPolicy::Always,
+            checkpoint_every: 1,
+        };
+        let svc = HcdService::try_new_durable(&triangle_plus_tail(), &dir, cfg, &exec).unwrap();
+        exec.set_fault_plan(FaultPlan::new().crash(CrashPoint::CkptPreRename, 0));
+        // The batch is WAL-durable and published before the checkpoint
+        // dies, so the caller still gets its acknowledgement.
+        let resp = svc
+            .try_apply_batch(&[EdgeUpdate::Insert(0, 3)], &exec)
+            .unwrap();
+        assert_eq!(resp.generation, 1);
+        assert_eq!(exec.crashes_fired(), 1);
+        exec.clear_fault_plan();
+        // But the process is dead: no further durable writes.
+        assert!(matches!(
+            svc.try_apply_batch(&[], &exec).unwrap_err(),
+            ServeError::Wal(WalError::Poisoned)
+        ));
     }
 }

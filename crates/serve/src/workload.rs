@@ -9,11 +9,11 @@
 
 use hcd_dynamic::EdgeUpdate;
 use hcd_graph::VertexId;
-use hcd_par::{Executor, ParError};
+use hcd_par::Executor;
 use rand::Rng;
 use rand_chacha::ChaCha8Rng;
 
-use crate::service::{HcdService, Query, QueryAnswer};
+use crate::service::{HcdService, Query, QueryAnswer, ServeError};
 
 /// Knobs for [`run_workload`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -108,7 +108,7 @@ pub fn run_workload(
     service: &HcdService,
     cfg: &WorkloadConfig,
     exec: &Executor,
-) -> Result<WorkloadSummary, ParError> {
+) -> Result<WorkloadSummary, ServeError> {
     assert!(cfg.universe > 0, "vertex universe must be non-empty");
     assert!(cfg.batch_size > 0, "batch size must be positive");
     let mut rng = <ChaCha8Rng as rand::SeedableRng>::seed_from_u64(cfg.seed);

@@ -7,7 +7,8 @@
 //! hcd-cli core   <graph> -v VERTEX -k K                   # the k-core containing v
 //! hcd-cli dot    <graph> [-p P] [--order O]               # Graphviz DOT of the HCD
 //! hcd-cli gen    <model> <out> [--seed S]                 # generate a synthetic graph
-//! hcd-cli serve-bench <graph> [--seed S] [--ops N] [--batch B] [--read-ratio R] [-p P] [--timeout-ms T] [--metrics M.json] [--trace T.json]
+//! hcd-cli serve-bench <graph> [--durable DIR] [--seed S] [--ops N] [--batch B] [--read-ratio R] [-p P] [--timeout-ms T] [--metrics M.json] [--trace T.json]
+//! hcd-cli wal-inspect <dir|wal.log>                       # scan a write-ahead log
 //! hcd-cli metrics-diff <old.json> <new.json> [--threshold X] [--abs-floor-ns N] [--counters-only]
 //! hcd-cli help                                            # usage and exit codes
 //! ```
@@ -21,9 +22,10 @@
 //! | code | meaning |
 //! |------|---------|
 //! | 0    | success |
-//! | 1    | runtime failure (I/O error, worker panic, bad input graph) |
+//! | 1    | runtime failure (I/O error, worker panic, bad input graph, corrupt WAL) |
 //! | 2    | usage error (unknown command, bad flag, unknown metric) |
 //! | 3    | `metrics-diff` found a regression past the threshold |
+//! | 4    | recovered with a truncated WAL tail (torn-write warning) |
 //! | 124  | deadline exceeded or cancelled (`--timeout-ms` fired) |
 
 use std::process::ExitCode;
@@ -40,6 +42,10 @@ const EXIT_USAGE: u8 = 2;
 /// threshold — distinct from runtime failure (1) so CI can tell "the
 /// comparison ran and found a slowdown" from "the comparison broke".
 const EXIT_REGRESSION: u8 = 3;
+/// Exit code when a write-ahead log ended in a torn record — expected
+/// after a mid-write kill, so it is a warning (the state recovers to
+/// the last acknowledged batch), distinct from hard corruption (1).
+const EXIT_TORN_TAIL: u8 = 4;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -56,6 +62,10 @@ fn main() -> ExitCode {
             ExitCode::FAILURE
         }
         Err(CliError::Regression) => ExitCode::from(EXIT_REGRESSION),
+        Err(CliError::TornTail(msg)) => {
+            eprintln!("warning: {msg}");
+            ExitCode::from(EXIT_TORN_TAIL)
+        }
         Err(CliError::Timeout(msg)) => {
             eprintln!("error: {msg}");
             ExitCode::from(EXIT_TIMEOUT)
@@ -70,7 +80,8 @@ const USAGE: &str = "usage:
   hcd-cli core   <graph> -v <vertex> -k <k>
   hcd-cli dot    <graph> [-p threads] [--order none|degree]
   hcd-cli gen    <rmat|ba|er|ws|tree> <out.txt> [--seed S]
-  hcd-cli serve-bench <graph> [--seed S] [--ops N] [--batch B] [--read-ratio R] [-p threads] [--timeout-ms T] [--metrics out.json] [--trace out.json]
+  hcd-cli serve-bench <graph> [--durable DIR] [--seed S] [--ops N] [--batch B] [--read-ratio R] [-p threads] [--timeout-ms T] [--metrics out.json] [--trace out.json]
+  hcd-cli wal-inspect <dir|wal.log>
   hcd-cli metrics-diff <old.json> <new.json> [--threshold X] [--abs-floor-ns N] [--counters-only]
   hcd-cli help
 
@@ -92,6 +103,22 @@ function of --seed, so counters are reproducible run-to-run with -p 1;
 combine with --metrics + metrics-diff --counters-only to gate the
 serve.* counters in CI.
 
+--durable DIR makes the service crash-safe: every update batch is
+appended to a checksummed write-ahead log in DIR (fsynced before it is
+acknowledged) and snapshot checkpoints are written atomically in the
+checksummed binary format. An empty DIR is initialized from the input
+graph; a DIR with existing checkpoints is *recovered* first — the
+newest valid checkpoint plus the WAL suffix, ignoring the graph
+argument — and the run continues from the recovered state. A torn WAL
+tail (the shape a mid-write kill leaves) is truncated and reported
+with exit code 4 after the run; mid-log corruption refuses to recover
+with exit code 1.
+
+wal-inspect scans a write-ahead log (a durability directory or the
+wal.log file itself) without modifying it and reports its records and
+tail state: exit 0 for a clean log, 4 for a torn tail, 1 for
+corruption.
+
 --metrics writes per-region runtime observability (schema
 hcd-metrics-v1) as JSON; the file is written even when the command
 fails, so aborted runs can be diagnosed.
@@ -109,9 +136,10 @@ reported but only counter regressions gate (for CI on noisy runners).
 
 exit codes:
   0    success
-  1    runtime failure (I/O error, worker panic, bad input graph)
+  1    runtime failure (I/O error, worker panic, bad input graph, corrupt WAL)
   2    usage error (unknown command, bad flag, unknown metric)
   3    metrics-diff found a regression past the threshold
+  4    recovered with a truncated WAL tail (torn-write warning)
   124  deadline exceeded or cancelled (--timeout-ms fired)";
 
 /// Typed failure, mapped to a distinct process exit code in `main`.
@@ -124,6 +152,9 @@ enum CliError {
     /// `metrics-diff` found a regression: exit 3. The report has already
     /// been printed, so no extra message is attached.
     Regression,
+    /// A WAL ended in a torn record (truncated or truncatable at the
+    /// last valid record): exit 4, a warning rather than a failure.
+    TornTail(String),
     /// A `--timeout-ms` deadline fired (or the run was cancelled): exit 124.
     Timeout(String),
 }
@@ -134,6 +165,25 @@ enum CliError {
 fn par_err(e: ParError) -> CliError {
     match e {
         ParError::Cancelled | ParError::DeadlineExceeded => CliError::Timeout(e.to_string()),
+        other => CliError::Runtime(other.to_string()),
+    }
+}
+
+/// Maps a serving-layer failure: parallel-pipeline errors keep their
+/// timeout/runtime split, WAL and checkpoint failures are runtime.
+fn serve_err(e: ServeError) -> CliError {
+    match e {
+        ServeError::Par(p) => par_err(p),
+        other => CliError::Runtime(other.to_string()),
+    }
+}
+
+/// Maps a recovery failure: corrupt logs and missing checkpoints are
+/// runtime failures (exit 1) — the torn-tail *warning* path never
+/// reaches here (recovery succeeds and reports it instead).
+fn recover_err(e: RecoverError) -> CliError {
+    match e {
+        RecoverError::Par(p) => par_err(p),
         other => CliError::Runtime(other.to_string()),
     }
 }
@@ -187,6 +237,7 @@ fn run(args: &[String]) -> Result<(), CliError> {
                 serve_bench(path, args, exec)
             })
         }
+        "wal-inspect" => wal_inspect(args.get(1).ok_or_else(|| usage("missing wal path"))?),
         "metrics-diff" => metrics_diff(args),
         "help" | "--help" | "-h" => {
             println!("{USAGE}");
@@ -471,11 +522,43 @@ fn serve_bench(path: &str, args: &[String], exec: &Executor) -> Result<(), CliEr
             cfg.read_ratio
         )));
     }
-    let service = HcdService::try_new(&g, exec).map_err(par_err)?;
+    let durable_dir = flag_value(args, "--durable")?;
+    let mut recovery: Option<RecoveryReport> = None;
+    let service = match &durable_dir {
+        None => HcdService::try_new(&g, exec).map_err(par_err)?,
+        Some(dir) => {
+            let dir = std::path::Path::new(dir);
+            let has_state = hcd::serve::checkpoint::list_checkpoints(dir)
+                .map(|c| !c.is_empty())
+                .unwrap_or(false);
+            if has_state {
+                let (svc, report) = HcdService::recover(dir, DurabilityConfig::default(), exec)
+                    .map_err(recover_err)?;
+                println!(
+                    "recovered        = checkpoint seq {} + {} replayed wal record(s){}",
+                    report.checkpoint_seq,
+                    report.replayed,
+                    if report.tail_was_truncated() {
+                        " (torn tail truncated)"
+                    } else {
+                        ""
+                    }
+                );
+                recovery = Some(report);
+                svc
+            } else {
+                HcdService::try_new_durable(&g, dir, DurabilityConfig::default(), exec)
+                    .map_err(serve_err)?
+            }
+        }
+    };
     let start = std::time::Instant::now();
-    let summary = run_workload(&service, &cfg, exec).map_err(par_err)?;
+    let summary = run_workload(&service, &cfg, exec).map_err(serve_err)?;
     let elapsed = start.elapsed();
     println!("graph            = {path}");
+    if let Some(dir) = &durable_dir {
+        println!("durable dir      = {dir}");
+    }
     println!("ops              = {}", cfg.ops);
     println!("batch size       = {}", cfg.batch_size);
     println!("read ratio       = {}", cfg.read_ratio);
@@ -487,7 +570,67 @@ fn serve_bench(path: &str, args: &[String], exec: &Executor) -> Result<(), CliEr
     println!("positive answers = {}", summary.positive_answers);
     println!("final generation = {}", summary.final_generation);
     println!("elapsed          = {:.3}s", elapsed.as_secs_f64());
+    // The run itself succeeded; surface a tail truncation as the
+    // distinct warning exit code after everything is printed.
+    if let Some(r) = recovery {
+        if r.tail_was_truncated() {
+            return Err(CliError::TornTail(format!(
+                "recovered after truncating {} byte(s) of torn WAL tail",
+                r.truncated_bytes
+            )));
+        }
+    }
     Ok(())
+}
+
+/// `wal-inspect <dir|wal.log>` — scans a write-ahead log (read-only)
+/// and reports its records and tail state. Exit 0 for a clean log, 4
+/// for a torn tail, 1 for mid-log corruption.
+fn wal_inspect(path: &str) -> Result<(), CliError> {
+    use hcd::serve::wal::scan_wal_file;
+    let p = std::path::Path::new(path);
+    let wal_path = if p.is_dir() {
+        p.join(WAL_FILE_NAME)
+    } else {
+        p.to_path_buf()
+    };
+    if p.is_dir() {
+        let ckpts = hcd::serve::checkpoint::list_checkpoints(p)
+            .map_err(|e| CliError::Runtime(format!("cannot list {path}: {e}")))?;
+        let seqs: Vec<String> = ckpts.iter().map(|(s, _)| s.to_string()).collect();
+        println!("checkpoints      = [{}]", seqs.join(", "));
+    }
+    let scan = scan_wal_file(&wal_path)
+        .map_err(|e| CliError::Runtime(format!("cannot read {}: {e}", wal_path.display())))?;
+    println!("wal              = {}", wal_path.display());
+    println!("records          = {}", scan.records.len());
+    let updates: usize = scan.records.iter().map(|r| r.updates.len()).sum();
+    println!("updates          = {updates}");
+    if let (Some(first), Some(last)) = (scan.records.first(), scan.records.last()) {
+        println!("seq range        = {}..={}", first.seq, last.seq);
+    }
+    println!("valid bytes      = {}", scan.valid_len());
+    match scan.tail {
+        TailStatus::Clean => {
+            println!("tail             = clean");
+            Ok(())
+        }
+        TailStatus::TornTail {
+            torn_bytes,
+            valid_len,
+        } => {
+            println!("tail             = torn ({torn_bytes} byte(s) past offset {valid_len})");
+            Err(CliError::TornTail(format!(
+                "torn WAL tail: {torn_bytes} byte(s) would be truncated on recovery"
+            )))
+        }
+        TailStatus::Corrupt { offset, reason } => {
+            println!("tail             = corrupt at byte {offset}: {reason}");
+            Err(CliError::Runtime(format!(
+                "corrupt WAL record at byte {offset}: {reason}"
+            )))
+        }
+    }
 }
 
 fn gen(model: &str, out: &str, seed: Option<String>) -> Result<(), CliError> {

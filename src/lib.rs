@@ -20,6 +20,9 @@
 //!   parallel hierarchy construction (PHTD) on the same framework,
 //! * [`flow`] — max-flow and Goldberg's exact densest subgraph (test
 //!   oracle),
+//! * [`serve`] — the snapshot-isolated query service with batch-dynamic
+//!   updates and opt-in crash-safe durability (checksummed WAL +
+//!   atomic snapshot checkpoints + recovery),
 //! * [`datasets`] — seeded synthetic graph generators and the paper
 //!   dataset stand-in registry.
 //!
@@ -55,6 +58,7 @@ pub use hcd_flow as flow;
 pub use hcd_graph as graph;
 pub use hcd_par as par;
 pub use hcd_search as search;
+pub use hcd_serve as serve;
 pub use hcd_truss as truss;
 pub use hcd_unionfind as unionfind;
 

@@ -22,9 +22,9 @@ pub use hcd_core::{
 };
 
 pub use hcd_par::{
-    diff_metrics, BuildError, CancelToken, CounterValue, Deadline, DiffEntry, DiffOptions,
-    DiffReport, EventKind, Executor, Fault, FaultPlan, ParError, RegionMetrics, RunMetrics,
-    Snapshot, Trace, TraceEvent, CHECKPOINT_STRIDE, METRICS_SCHEMA, TRACE_SCHEMA,
+    diff_metrics, BuildError, CancelToken, CounterValue, CrashPoint, Deadline, DiffEntry,
+    DiffOptions, DiffReport, EventKind, Executor, Fault, FaultPlan, ParError, RegionMetrics,
+    RunMetrics, Snapshot, Trace, TraceEvent, CHECKPOINT_STRIDE, METRICS_SCHEMA, TRACE_SCHEMA,
 };
 
 pub use hcd_search::bestk::{best_k, core_set_scores, try_best_k, try_core_set_scores};
@@ -44,8 +44,9 @@ pub use hcd_dynamic::{BatchReport, DynamicCore, DynamicGraph, EdgeUpdate};
 // `hcd_serve::Snapshot` is aliased to avoid colliding with the metrics
 // snapshot exported from `hcd_par`.
 pub use hcd_serve::{
-    run_workload, BatchAnswers, HcdService, Query, QueryAnswer, Response,
-    Snapshot as ServeSnapshot, WorkloadConfig, WorkloadSummary,
+    run_workload, BatchAnswers, CheckpointError, DurabilityConfig, FsyncPolicy, HcdService, Query,
+    QueryAnswer, RecoverError, RecoveryReport, Response, ServeError, Snapshot as ServeSnapshot,
+    TailStatus, WalError, WalScan, WalWriter, WorkloadConfig, WorkloadSummary, WAL_FILE_NAME,
 };
 
 pub use hcd_truss::{

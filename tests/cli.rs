@@ -374,12 +374,14 @@ fn help_documents_every_exit_code() {
         assert!(text.contains("usage"), "{cmd}: {text}");
         assert!(text.contains("exit codes"), "{cmd}: {text}");
         // Every code in the taxonomy is documented, including the
-        // metrics-diff regression code (3) and the timeout code (124).
+        // metrics-diff regression code (3), the torn-WAL warning code
+        // (4), and the timeout code (124).
         for needle in [
             "0    success",
             "1    runtime failure",
             "2    usage error",
             "3    metrics-diff found a regression",
+            "4    recovered with a truncated WAL tail",
             "124  deadline exceeded",
         ] {
             assert!(text.contains(needle), "{cmd} help missing {needle:?}");
@@ -494,4 +496,177 @@ fn build_with_degree_order_writes_identical_index() {
     std::fs::remove_file(&graph).ok();
     std::fs::remove_file(&plain).ok();
     std::fs::remove_file(&ordered).ok();
+}
+
+/// Generates a graph and runs one durable `serve-bench` pass into
+/// `dir`, returning the graph path. Write-heavy so the WAL is never
+/// empty.
+fn durable_run(name: &str, dir: &std::path::Path) -> PathBuf {
+    let graph = tmp(&format!("{name}.txt"));
+    assert!(cli()
+        .args(["gen", "ba", graph.to_str().unwrap(), "--seed", "3"])
+        .status()
+        .unwrap()
+        .success());
+    let out = cli()
+        .args([
+            "serve-bench",
+            graph.to_str().unwrap(),
+            "--durable",
+            dir.to_str().unwrap(),
+            "--ops",
+            "12",
+            "--batch",
+            "6",
+            "--read-ratio",
+            "0.4",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "durable serve-bench: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("durable dir"), "{text}");
+    assert!(text.contains("update batches"), "{text}");
+    graph
+}
+
+#[test]
+fn serve_bench_durable_initializes_then_recovers() {
+    let dir = tmp("durable_dir");
+    std::fs::remove_dir_all(&dir).ok();
+    let graph = durable_run("durable", &dir);
+    assert!(dir.join("wal.log").is_file(), "WAL created");
+
+    // A second run against the same directory recovers instead of
+    // reinitializing, and keeps exiting 0 on a clean log.
+    let out = cli()
+        .args([
+            "serve-bench",
+            graph.to_str().unwrap(),
+            "--durable",
+            dir.to_str().unwrap(),
+            "--ops",
+            "6",
+            "--batch",
+            "4",
+            "--read-ratio",
+            "0.5",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        text.contains("recovered        = checkpoint seq"),
+        "second run must recover: {text}"
+    );
+
+    // wal-inspect on the healthy directory: clean tail, exit 0.
+    let out = cli()
+        .args(["wal-inspect", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("checkpoints      = [0"), "{text}");
+    assert!(text.contains("tail             = clean"), "{text}");
+
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn wal_inspect_distinguishes_torn_tail_from_corruption() {
+    let dir = tmp("inspect_dir");
+    std::fs::remove_dir_all(&dir).ok();
+    let graph = durable_run("inspect", &dir);
+    let wal = dir.join("wal.log");
+    let healthy = std::fs::read(&wal).unwrap();
+    assert!(healthy.len() > 16, "workload must have written records");
+
+    // Cut the last few bytes: the kill-mid-write shape. Exit 4 with a
+    // warning — the log is still recoverable.
+    std::fs::write(&wal, &healthy[..healthy.len() - 3]).unwrap();
+    let out = cli()
+        .args(["wal-inspect", wal.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4), "torn tail is the warning code");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("tail             = torn"), "{text}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("warning"), "{err}");
+
+    // Flip a payload byte of the first record instead: mid-log
+    // corruption is a hard failure, exit 1.
+    let mut corrupt = healthy.clone();
+    corrupt[9] ^= 0x10;
+    std::fs::write(&wal, &corrupt).unwrap();
+    let out = cli()
+        .args(["wal-inspect", wal.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(1), "corruption is a hard error");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("tail             = corrupt"), "{text}");
+
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_bench_recovery_flags_a_truncated_tail_with_exit_4() {
+    let dir = tmp("torn_dir");
+    std::fs::remove_dir_all(&dir).ok();
+    let graph = durable_run("torn", &dir);
+
+    // Append a partial frame: a header promising far more payload than
+    // exists, exactly what a mid-write kill leaves behind.
+    let wal = dir.join("wal.log");
+    let mut bytes = std::fs::read(&wal).unwrap();
+    bytes.extend_from_slice(&[0xFF; 10]);
+    std::fs::write(&wal, &bytes).unwrap();
+
+    let out = cli()
+        .args([
+            "serve-bench",
+            graph.to_str().unwrap(),
+            "--durable",
+            dir.to_str().unwrap(),
+            "--ops",
+            "6",
+            "--batch",
+            "4",
+            "--read-ratio",
+            "0.5",
+        ])
+        .output()
+        .unwrap();
+    // The run completes (summary printed), then exits with the
+    // torn-tail warning code.
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("(torn tail truncated)"), "{text}");
+    assert!(
+        text.contains("final generation"),
+        "run still completed: {text}"
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("truncating 10 byte(s)"), "{err}");
+
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_dir_all(&dir).ok();
 }

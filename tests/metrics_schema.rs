@@ -232,6 +232,8 @@ fn search_metrics_cover_the_pbks_pipeline() {
 fn serve_bench_metrics_cover_the_serving_layer() {
     let graph = gen_graph("serve.txt", "ba");
     let metrics = tmp("serve.json");
+    let durable = tmp("serve_durable_dir");
+    std::fs::remove_dir_all(&durable).ok();
     let out = cli()
         .args([
             "serve-bench",
@@ -244,6 +246,8 @@ fn serve_bench_metrics_cover_the_serving_layer() {
             "8",
             "--read-ratio",
             "0.7",
+            "--durable",
+            durable.to_str().unwrap(),
             "--metrics",
             metrics.to_str().unwrap(),
         ])
@@ -279,7 +283,14 @@ fn serve_bench_metrics_cover_the_serving_layer() {
             )
         })
         .collect();
-    for counter in ["serve.queries", "serve.batches", "serve.swaps"] {
+    // The durable run adds write-ahead-log traffic to the counter set.
+    for counter in [
+        "serve.queries",
+        "serve.batches",
+        "serve.swaps",
+        "serve.wal_appends",
+        "serve.wal_bytes",
+    ] {
         let (_, kind, value) = counters
             .iter()
             .find(|(n, _, _)| *n == counter)
@@ -295,6 +306,7 @@ fn serve_bench_metrics_cover_the_serving_layer() {
     assert_eq!(*kind, "max", "serve.stale_reads");
     std::fs::remove_file(&graph).ok();
     std::fs::remove_file(&metrics).ok();
+    std::fs::remove_dir_all(&durable).ok();
 }
 
 #[test]

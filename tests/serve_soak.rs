@@ -153,7 +153,7 @@ fn concurrent_readers_never_see_torn_or_unpublished_snapshots() {
                 let updates = random_updates(&mut rng, 6, universe);
                 faulty_exec.set_fault_plan(FaultPlan::new().inject(0, 0, Fault::Panic));
                 let err = service.try_apply_batch(&updates, &faulty_exec).unwrap_err();
-                assert!(matches!(err, ParError::Panicked { .. }));
+                assert!(matches!(err, ServeError::Par(ParError::Panicked { .. })));
                 assert_eq!(service.generation(), i, "failed publish must not swap");
             }
             let updates = random_updates(&mut rng, 6, universe);
@@ -223,7 +223,10 @@ fn injected_faults_leave_the_previous_snapshot_serving() {
     let exec = Executor::sequential();
     exec.set_fault_plan(FaultPlan::new().inject(0, 0, Fault::Panic));
     let err = service.try_apply_batch(&updates, &exec).unwrap_err();
-    assert!(matches!(err, ParError::Panicked { .. }), "{err:?}");
+    assert!(
+        matches!(err, ServeError::Par(ParError::Panicked { .. })),
+        "{err:?}"
+    );
 
     // Cancellation tripped in the first downstream phcd region.
     let exec = Executor::sequential();
@@ -231,7 +234,10 @@ fn injected_faults_leave_the_previous_snapshot_serving() {
     let err = service
         .try_apply_batch(&[EdgeUpdate::Insert(4, 5)], &exec)
         .unwrap_err();
-    assert_eq!(err, ParError::Cancelled);
+    assert!(
+        matches!(err, ServeError::Par(ParError::Cancelled)),
+        "{err:?}"
+    );
 
     // An already-expired deadline.
     let exec = Executor::sequential();
@@ -239,7 +245,10 @@ fn injected_faults_leave_the_previous_snapshot_serving() {
     let err = service
         .try_apply_batch(&[EdgeUpdate::Insert(6, 7)], &exec)
         .unwrap_err();
-    assert_eq!(err, ParError::DeadlineExceeded);
+    assert!(
+        matches!(err, ServeError::Par(ParError::DeadlineExceeded)),
+        "{err:?}"
+    );
 
     // Panic injected into a read region fails that query only.
     let exec = Executor::sequential();
