@@ -25,6 +25,9 @@
 //! * [`lb`] — the union-find lower bound (`LB` in Table III).
 //! * [`oracle`] — brute-force HCD construction by repeated filtered
 //!   connected components; the ground truth for every test.
+//! * [`repair`] — surgical forest repair after a batch of edge updates:
+//!   rebuilds only the tree nodes of the dirty region a maintenance
+//!   batch reports, keeping the rest of the published forest verbatim.
 //!
 //! HCD construction is P-complete (paper Theorem 1), so a polylog-depth
 //! parallelization is not expected; PHCD instead delivers near-linear
@@ -40,6 +43,7 @@ pub mod phcd;
 pub mod query;
 pub mod rank;
 pub mod rc;
+pub mod repair;
 pub mod stats;
 
 pub use index::{CanonicalHcd, Hcd, TreeNode, NO_NODE};

@@ -8,23 +8,27 @@
 //! * [`DynamicGraph`] — an adjacency-set graph supporting edge insertion
 //!   and removal, convertible to/from [`hcd_graph::CsrGraph`];
 //! * [`DynamicCore`] — coreness maintained incrementally with the
-//!   traversal algorithm (Sariyüce et al., PVLDB 2013; Li, Yu & Mao,
-//!   TKDE 2014): an edge update changes coreness by at most one, and only
-//!   inside the *subcore* reachable from the update through vertices of
-//!   the same coreness — typically a tiny region;
+//!   parallel batch-dynamic scheme of Liu et al., *Parallel
+//!   Batch-Dynamic Algorithms for k-Core Decomposition and Related
+//!   Graph Problems* (SPAA 2022, see PAPERS.md): after mutating the
+//!   edge set, an h-index-style *peel* fixpoint handles all coreness
+//!   decreases of the whole batch at once, then round-based *promote*
+//!   phases raise values level by level to the exact new coreness —
+//!   cost proportional to the affected region, not the graph;
 //! * **batched updates** — [`DynamicCore::apply_batch`] applies a whole
 //!   [`EdgeUpdate`] batch and reports the exact changed region
-//!   ([`BatchReport`]), which is what the serving layer amortizes its
-//!   per-publication costs (coreness diff, HCD rebuild, epoch swap)
-//!   over. The batch is currently applied update-by-update; sharing
-//!   traversal work *within* a batch — as in Liu et al., *Parallel
-//!   Batch-Dynamic Algorithms for k-Core Decomposition and Related
-//!   Graph Problems* (SPAA 2022, see PAPERS.md), whose h-index-style
-//!   batch peeling processes all affected subcores at once — is the
-//!   natural next step and left as future work;
+//!   ([`BatchReport`]): the vertices whose coreness moved plus the
+//!   endpoints the applied updates touched, which is exactly the dirty
+//!   seed set the serving layer hands to the surgical hierarchy repair
+//!   ([`hcd_core::Hcd::repair`]). The parallel phases run through
+//!   [`hcd_par::Executor`] regions (`dynamic.peel`, `dynamic.promote`)
+//!   so cancellation, deadlines, fault injection, and metrics govern
+//!   maintenance exactly as they govern construction, with counters
+//!   `dynamic.affected_vertices` / `dynamic.traversal_edges` reporting
+//!   how small the touched region actually was;
 //! * on-demand HCD refresh: the hierarchy is rebuilt with PHCD only when
-//!   queried after updates (true incremental hierarchy maintenance is
-//!   the subject of \[15\] and left as future work, as in the paper).
+//!   queried after updates; the serving layer instead repairs its
+//!   published forest surgically from the batch report.
 //!
 //! Every update path is property-tested against full recomputation.
 

@@ -1,9 +1,9 @@
-//! Incremental core maintenance (traversal algorithm).
+//! Incremental core maintenance (parallel batch-dynamic algorithm).
 
 use hcd_core::Hcd;
 use hcd_decomp::{core_decomposition, CoreDecomposition};
 use hcd_graph::{CsrGraph, FxHashMap, FxHashSet, VertexId};
-use hcd_par::Executor;
+use hcd_par::{Executor, ParError};
 
 use crate::graph::DynamicGraph;
 
@@ -16,10 +16,9 @@ pub enum EdgeUpdate {
     Remove(VertexId, VertexId),
 }
 
-/// What a batch of updates did: how many edges actually changed, and
-/// which vertices' coreness moved — the *changed region* a rebuild (or a
-/// future truly-incremental hierarchy repair, see the crate docs on
-/// batch-dynamic algorithms) needs to look at.
+/// What a batch of updates did: how many edges actually changed, which
+/// endpoints they touched, and which vertices' coreness moved — the
+/// *changed region* a hierarchy repair needs to look at.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct BatchReport {
     /// Stable 1-based sequence number of this batch: the Nth batch ever
@@ -37,6 +36,11 @@ pub struct BatchReport {
     /// ascending order. Empty for a batch that only touched edges
     /// between vertices whose coreness was unaffected.
     pub changed: Vec<VertexId>,
+    /// Endpoints of the applied (edge-set-changing) updates, deduplicated
+    /// and ascending. Together with `changed` this is the exact dirty
+    /// seed set for surgical hierarchy repair: connectivity can only
+    /// change across these edges even when no coreness moves.
+    pub touched: Vec<VertexId>,
 }
 
 impl BatchReport {
@@ -46,15 +50,29 @@ impl BatchReport {
     }
 }
 
+/// Bookkeeping the batch engine hands back to the caller.
+struct EngineOutcome {
+    /// Pre-batch coreness of every vertex whose value moved at some
+    /// point (including moves that later cancelled out).
+    old_values: FxHashMap<VertexId, u32>,
+    /// Distinct vertices examined by the peel/promote phases.
+    affected: u64,
+    /// Adjacency-list entries scanned across all phases.
+    traversed: u64,
+}
+
 /// A dynamic graph with incrementally maintained coreness and an
 /// on-demand HCD.
 ///
-/// Insertion and removal of an edge `{u, v}` change the coreness of a
-/// vertex by at most one, and only for vertices of coreness
-/// `c = min(c(u), c(v))` inside the *subcore* reachable from the edge
-/// through same-coreness vertices (Sariyüce et al. 2013; Li, Yu & Mao
-/// 2014). Each update therefore costs time proportional to that local
-/// region instead of `O(m)`.
+/// Updates are maintained with the parallel batch-dynamic scheme of Liu,
+/// Shi, Yu & Dhulipala (SPAA 2022): after mutating the edge set, a
+/// *peel* phase runs an h-index fixpoint seeded at the update endpoints
+/// (handling all coreness decreases of the whole batch at once), then
+/// round-based *promote* phases raise values level by level until the
+/// exact new coreness is reached. Both phases run through [`Executor`]
+/// regions (`dynamic.peel`, `dynamic.promote`) so cancellation,
+/// deadlines, fault injection and metrics govern them, and their cost is
+/// proportional to the affected region, not the graph.
 ///
 /// # Examples
 ///
@@ -132,180 +150,149 @@ impl DynamicCore {
         CoreDecomposition::from_coreness(self.coreness.clone())
     }
 
+    /// Whether every update in `batch` would be a no-op against the
+    /// current edge set: duplicate inserts, self-loops, and removals of
+    /// absent edges. Because a no-op update leaves the graph untouched,
+    /// checking each update against the *unmutated* graph is exact.
+    pub fn batch_is_noop(&self, updates: &[EdgeUpdate]) -> bool {
+        let n = self.g.num_vertices() as u64;
+        updates.iter().all(|&u| match u {
+            EdgeUpdate::Insert(a, b) => {
+                a == b || ((a as u64) < n && (b as u64) < n && self.g.has_edge(a, b))
+            }
+            EdgeUpdate::Remove(a, b) => {
+                (a as u64) >= n || (b as u64) >= n || !self.g.has_edge(a, b)
+            }
+        })
+    }
+
     /// Inserts `{u, v}` and repairs coreness. Returns `false` (and leaves
-    /// everything untouched) for duplicates and self-loops.
+    /// everything untouched) for duplicates and self-loops. Does not
+    /// advance the batch sequence number.
     pub fn insert_edge(&mut self, u: VertexId, v: VertexId) -> bool {
-        if !self.g.insert_edge(u, v) {
-            return false;
-        }
-        self.cache = None;
-        if self.coreness.len() < self.g.num_vertices() {
-            self.coreness.resize(self.g.num_vertices(), 0);
-        }
-        let c = self.coreness[u as usize].min(self.coreness[v as usize]);
-
-        // Candidate subcore: coreness-c vertices reachable from the
-        // endpoint(s) of coreness c through coreness-c vertices.
-        let mut subcore: FxHashSet<VertexId> = FxHashSet::default();
-        let mut stack: Vec<VertexId> = Vec::new();
-        for r in [u, v] {
-            if self.coreness[r as usize] == c && subcore.insert(r) {
-                stack.push(r);
-            }
-        }
-        while let Some(w) = stack.pop() {
-            for x in self.g.neighbors(w) {
-                if self.coreness[x as usize] == c && subcore.insert(x) {
-                    stack.push(x);
-                }
-            }
-        }
-
-        // Peel: candidates needing >= c+1 supporters (neighbors of higher
-        // coreness, or fellow survivors) keep their promotion.
-        let mut cd: FxHashMap<VertexId, u32> = FxHashMap::default();
-        for &w in &subcore {
-            let count = self
-                .g
-                .neighbors(w)
-                .filter(|&x| self.coreness[x as usize] > c || subcore.contains(&x))
-                .count() as u32;
-            cd.insert(w, count);
-        }
-        let mut queue: Vec<VertexId> = subcore.iter().copied().filter(|w| cd[w] <= c).collect();
-        let mut evicted: FxHashSet<VertexId> = FxHashSet::default();
-        while let Some(w) = queue.pop() {
-            if !evicted.insert(w) {
-                continue;
-            }
-            for x in self.g.neighbors(w) {
-                if subcore.contains(&x) && !evicted.contains(&x) {
-                    let e = cd.get_mut(&x).expect("cd computed for subcore");
-                    *e -= 1;
-                    if *e <= c {
-                        queue.push(x);
-                    }
-                }
-            }
-        }
-        for &w in &subcore {
-            if !evicted.contains(&w) {
-                self.coreness[w as usize] = c + 1;
-            }
-        }
-        true
+        self.single_update(EdgeUpdate::Insert(u, v))
     }
 
     /// Removes `{u, v}` and repairs coreness. Returns `false` if the edge
-    /// was absent.
+    /// was absent. Does not advance the batch sequence number.
     pub fn remove_edge(&mut self, u: VertexId, v: VertexId) -> bool {
-        if !self.g.remove_edge(u, v) {
-            return false;
-        }
-        self.cache = None;
-        let c = self.coreness[u as usize].min(self.coreness[v as usize]);
-        if c == 0 {
-            return true; // coreness-0 vertices cannot drop further
-        }
-
-        // Cascade demotions among coreness-c vertices whose support
-        // (neighbors of coreness >= c) fell below c. `cd` is computed
-        // lazily from the *current* state so later demotions see earlier
-        // ones.
-        let mut cd: FxHashMap<VertexId, u32> = FxHashMap::default();
-        let mut queue: Vec<VertexId> = Vec::new();
-        for r in [u, v] {
-            if self.coreness[r as usize] == c {
-                let count = self.support(r, c);
-                cd.insert(r, count);
-                if count < c {
-                    queue.push(r);
-                }
-            }
-        }
-        while let Some(w) = queue.pop() {
-            if self.coreness[w as usize] != c {
-                continue; // already demoted
-            }
-            self.coreness[w as usize] = c - 1;
-            let neighbors: Vec<VertexId> = self.g.neighbors(w).collect();
-            for x in neighbors {
-                if self.coreness[x as usize] != c {
-                    continue;
-                }
-                let entry = match cd.get_mut(&x) {
-                    Some(e) => {
-                        // w was counted when x's support was computed
-                        // (w still had coreness c then).
-                        *e -= 1;
-                        *e
-                    }
-                    None => {
-                        let count = self.support(x, c);
-                        cd.insert(x, count);
-                        count
-                    }
-                };
-                if entry < c {
-                    queue.push(x);
-                }
-            }
-        }
-        true
+        self.single_update(EdgeUpdate::Remove(u, v))
     }
 
-    /// Applies a whole batch of edge updates in order and reports the
-    /// changed region.
-    ///
-    /// Each update runs the same subcore-local repair as
-    /// [`DynamicCore::insert_edge`] / [`DynamicCore::remove_edge`], so
-    /// the batch result is identical to applying the updates one by one
-    /// — batching buys the *caller* something: one coreness diff, one
-    /// HCD rebuild, and one snapshot publication per batch instead of
-    /// per edge (the serving layer's epoch swap). Truly batch-internal
-    /// sharing of traversal work is the subject of parallel
-    /// batch-dynamic k-core algorithms (Liu et al.; see the crate docs)
-    /// and is deliberately left as future work.
-    ///
-    /// The report's `changed` set is computed as a before/after diff of
-    /// the coreness array, so it is exact: a vertex appears iff its
-    /// coreness after the batch differs from its coreness before
-    /// (intermediate flips that cancel out within the batch do not
-    /// appear).
+    fn single_update(&mut self, update: EdgeUpdate) -> bool {
+        let seq = self.seq;
+        let report = self.apply_batch(std::slice::from_ref(&update));
+        self.seq = seq;
+        report.applied == 1
+    }
+
+    /// Applies a whole batch of edge updates and reports the changed
+    /// region. Infallible form of [`DynamicCore::try_apply_batch`] on a
+    /// private sequential executor (which has no failure modes: no
+    /// deadline, no cancellation token, no fault plan).
     pub fn apply_batch(&mut self, updates: &[EdgeUpdate]) -> BatchReport {
-        let before = self.coreness.clone();
+        match self.try_apply_batch(updates, &Executor::sequential()) {
+            Ok(report) => report,
+            // A fresh sequential executor cannot cancel, time out, or
+            // inject faults, and the engine body does not panic.
+            Err(e) => unreachable!("sequential batch maintenance failed: {e}"),
+        }
+    }
+
+    /// Applies a whole batch of edge updates with the SPAA'22-style
+    /// batch-dynamic algorithm and reports the changed region.
+    ///
+    /// Phases, each costing time proportional to the affected region:
+    ///
+    /// 1. **mutate** — every update is applied to the edge set (order
+    ///    matters only for classifying duplicates within the batch);
+    ///    endpoints of applied updates seed the repair.
+    /// 2. **peel** (`dynamic.peel` region, one invocation) — an h-index
+    ///    worklist fixpoint lowers coreness values: starting from the
+    ///    pre-batch values, `L(v) ← min(L(v), H({L(w) : w ∈ N(v)}))`
+    ///    until stable. At the fixpoint `L(v) ≤ H` for every vertex, so
+    ///    each level set `{L ≥ k}` has min internal degree `≥ k` — `L`
+    ///    is a sound lower bound of the new coreness, exact for the
+    ///    graph with only the removals applied.
+    /// 3. **promote** (`dynamic.promote` region per round) — candidates
+    ///    are gathered by traversal from the seeds through equal-value
+    ///    vertices; per level `k` the maximal set whose members keep
+    ///    `≥ k+1` supporters (neighbors of larger value or surviving
+    ///    co-candidates) is promoted one level. Rounds repeat with the
+    ///    promoted vertices (and their neighbors) as new seeds until no
+    ///    promotion happens, which reaches the exact new coreness.
+    ///
+    /// Counters `dynamic.affected_vertices` and
+    /// `dynamic.traversal_edges` report the size of the region the
+    /// repair actually looked at.
+    ///
+    /// On `Err` (cancellation, deadline, injected fault) the graph
+    /// mutation is kept — the batch was already logged by durable
+    /// callers — and coreness is restored to the exact decomposition of
+    /// the mutated graph with a sequential recomputation, so the writer
+    /// state never diverges from its log. The sequence number advances
+    /// on every call, succeed or fail, matching WAL record numbering.
+    pub fn try_apply_batch(
+        &mut self,
+        updates: &[EdgeUpdate],
+        exec: &Executor,
+    ) -> Result<BatchReport, ParError> {
         self.seq += 1;
         let mut report = BatchReport {
             seq: self.seq,
             ..BatchReport::default()
         };
+        let mut seed_set: FxHashSet<VertexId> = FxHashSet::default();
         for &u in updates {
-            let applied = match u {
-                EdgeUpdate::Insert(a, b) => self.insert_edge(a, b),
-                EdgeUpdate::Remove(a, b) => self.remove_edge(a, b),
+            let (a, b, applied) = match u {
+                EdgeUpdate::Insert(a, b) => (a, b, self.g.insert_edge(a, b)),
+                EdgeUpdate::Remove(a, b) => (a, b, self.g.remove_edge(a, b)),
             };
             if applied {
                 report.applied += 1;
+                seed_set.insert(a);
+                seed_set.insert(b);
             } else {
                 report.skipped += 1;
             }
         }
-        // Vertices added by the batch start from implicit coreness 0.
-        for v in 0..self.coreness.len() {
-            let old = before.get(v).copied().unwrap_or(0);
-            if self.coreness[v] != old {
-                report.changed.push(v as VertexId);
+        if report.applied == 0 {
+            // The edge set is untouched: nothing to repair, no regions
+            // to open (so no-op batches cost no parallel machinery).
+            return Ok(report);
+        }
+        self.cache = None;
+        if self.coreness.len() < self.g.num_vertices() {
+            self.coreness.resize(self.g.num_vertices(), 0);
+        }
+        let mut seeds: Vec<VertexId> = seed_set.iter().copied().collect();
+        seeds.sort_unstable();
+        report.touched = seeds.clone();
+
+        match run_batch_engine(&self.g, &mut self.coreness, &seeds, exec) {
+            Ok(outcome) => {
+                exec.add_counter("dynamic.affected_vertices", outcome.affected);
+                exec.add_counter("dynamic.traversal_edges", outcome.traversed);
+                let mut changed: Vec<VertexId> = outcome
+                    .old_values
+                    .iter()
+                    .filter(|&(&v, &old)| self.coreness[v as usize] != old)
+                    .map(|(&v, _)| v)
+                    .collect();
+                changed.sort_unstable();
+                report.changed = changed;
+                Ok(report)
+            }
+            Err(e) => {
+                // The fixpoint was abandoned mid-flight; values may be
+                // torn. Restore the exact-coreness invariant so memory
+                // stays consistent with the (kept) graph mutation and
+                // the durable log.
+                let exact = core_decomposition(&self.g.to_csr());
+                self.coreness = exact.as_slice().to_vec();
+                Err(e)
             }
         }
-        report
-    }
-
-    /// Number of `w`'s neighbors with coreness `>= c`.
-    fn support(&self, w: VertexId, c: u32) -> u32 {
-        self.g
-            .neighbors(w)
-            .filter(|&x| self.coreness[x as usize] >= c)
-            .count() as u32
     }
 
     /// The HCD of the current graph, rebuilt (with PHCD on a CSR
@@ -320,6 +307,272 @@ impl DynamicCore {
         }
         self.cache.as_ref().expect("just filled")
     }
+}
+
+/// The capped h-index bound: the largest `t <= vals[v]` such that at
+/// least `t` neighbors of `v` have value `>= t`. Returns the bound and
+/// the number of adjacency entries scanned.
+fn h_bound(g: &DynamicGraph, vals: &[u32], v: VertexId) -> (u32, u64) {
+    let cap = vals[v as usize];
+    let deg = g.degree(v) as u64;
+    if cap == 0 {
+        return (0, deg);
+    }
+    let mut cnt = vec![0u32; cap as usize + 1];
+    for x in g.neighbors(v) {
+        cnt[vals[x as usize].min(cap) as usize] += 1;
+    }
+    let mut at_least = 0u32;
+    for t in (1..=cap).rev() {
+        at_least += cnt[t as usize];
+        if at_least >= t {
+            return (t, deg);
+        }
+    }
+    (0, deg)
+}
+
+/// Peel + promote over the already-mutated graph. `coreness` holds the
+/// pre-batch values on entry and the exact post-batch values on `Ok`;
+/// on `Err` it may be torn (the caller recomputes).
+fn run_batch_engine(
+    g: &DynamicGraph,
+    coreness: &mut [u32],
+    seeds: &[VertexId],
+    exec: &Executor,
+) -> Result<EngineOutcome, ParError> {
+    let mut old_values: FxHashMap<VertexId, u32> = FxHashMap::default();
+    let mut affected: FxHashSet<VertexId> = seeds.iter().copied().collect();
+    let mut traversed: u64 = 0;
+
+    // --- peel: one parallel scan over the seeds, then the worklist ----
+    // The region computes the first h-index bound for every seed
+    // (read-only); the drops it finds seed the sequential cascade, whose
+    // cost is bounded by the region that actually shrinks.
+    let initial: Vec<(Vec<(VertexId, u32)>, u64)> = {
+        let vals: &[u32] = coreness;
+        exec.region("dynamic.peel").try_map_chunks(
+            seeds.len(),
+            |_, range| {
+                let mut drops: Vec<(VertexId, u32)> = Vec::new();
+                let mut edges = 0u64;
+                for i in range {
+                    let v = seeds[i];
+                    let (h, deg) = h_bound(g, vals, v);
+                    edges += deg;
+                    if h < vals[v as usize] {
+                        drops.push((v, h));
+                    }
+                }
+                Ok((drops, edges))
+            },
+        )?
+    };
+    let mut work: Vec<VertexId> = Vec::new();
+    let mut queued: FxHashSet<VertexId> = FxHashSet::default();
+    let lower = |v: VertexId,
+                     h: u32,
+                     coreness: &mut [u32],
+                     work: &mut Vec<VertexId>,
+                     queued: &mut FxHashSet<VertexId>,
+                     old_values: &mut FxHashMap<VertexId, u32>,
+                     affected: &mut FxHashSet<VertexId>,
+                     traversed: &mut u64| {
+        let old = coreness[v as usize];
+        old_values.entry(v).or_insert(old);
+        coreness[v as usize] = h;
+        for x in g.neighbors(v) {
+            *traversed += 1;
+            // Only neighbors that may have counted v above its new value
+            // can see their bound drop.
+            let xv = coreness[x as usize];
+            if h < xv && xv <= old && queued.insert(x) {
+                affected.insert(x);
+                work.push(x);
+            }
+        }
+    };
+    for (drops, edges) in initial {
+        traversed += edges;
+        for (v, h) in drops {
+            if h < coreness[v as usize] {
+                lower(
+                    v,
+                    h,
+                    coreness,
+                    &mut work,
+                    &mut queued,
+                    &mut old_values,
+                    &mut affected,
+                    &mut traversed,
+                );
+            }
+        }
+    }
+    while let Some(v) = work.pop() {
+        queued.remove(&v);
+        let (h, deg) = h_bound(g, coreness, v);
+        traversed += deg;
+        if h < coreness[v as usize] {
+            lower(
+                v,
+                h,
+                coreness,
+                &mut work,
+                &mut queued,
+                &mut old_values,
+                &mut affected,
+                &mut traversed,
+            );
+        }
+    }
+
+    // --- promote: rounds of gather → parallel support → evict → raise --
+    // Round-1 seeds: the update endpoints, everything the peel touched,
+    // and their neighbors (generous seeding is always sound; see the
+    // module tests for the completeness argument).
+    let mut round_seeds: Vec<VertexId> = Vec::new();
+    {
+        let mut seen: FxHashSet<VertexId> = FxHashSet::default();
+        let base: Vec<VertexId> = seeds
+            .iter()
+            .copied()
+            .chain(old_values.keys().copied())
+            .collect();
+        for v in base {
+            if seen.insert(v) {
+                round_seeds.push(v);
+            }
+            for x in g.neighbors(v) {
+                traversed += 1;
+                if seen.insert(x) {
+                    round_seeds.push(x);
+                }
+            }
+        }
+    }
+    loop {
+        // Gather candidate groups: traversal from each seed through
+        // vertices of the seed's current value.
+        let mut cand: Vec<VertexId> = Vec::new();
+        let mut cand_pos: FxHashMap<VertexId, u32> = FxHashMap::default();
+        let mut stack: Vec<VertexId> = Vec::new();
+        for &s in &round_seeds {
+            if cand_pos.contains_key(&s) {
+                continue;
+            }
+            cand_pos.insert(s, cand.len() as u32);
+            cand.push(s);
+            stack.push(s);
+            while let Some(w) = stack.pop() {
+                let k = coreness[w as usize];
+                for x in g.neighbors(w) {
+                    traversed += 1;
+                    if coreness[x as usize] == k && !cand_pos.contains_key(&x) {
+                        cand_pos.insert(x, cand.len() as u32);
+                        cand.push(x);
+                        stack.push(x);
+                    }
+                }
+            }
+        }
+        affected.extend(cand.iter().copied());
+
+        // Parallel support counts (read-only), then the sequential
+        // eviction cascade. A candidate at level k needs >= k+1
+        // supporters: neighbors of strictly larger value, or surviving
+        // co-candidates of the same level.
+        let mut sup = vec![0u32; cand.len()];
+        {
+            let vals: &[u32] = coreness;
+            let cand_ref = &cand;
+            let pos_ref = &cand_pos;
+            let chunks: Vec<(Vec<(u32, u32)>, u64)> = exec.region("dynamic.promote").try_map_chunks(
+                cand_ref.len(),
+                |_, range| {
+                    let mut out = Vec::with_capacity(range.len());
+                    let mut edges = 0u64;
+                    for i in range {
+                        let v = cand_ref[i];
+                        let k = vals[v as usize];
+                        let mut s = 0u32;
+                        for x in g.neighbors(v) {
+                            edges += 1;
+                            let xv = vals[x as usize];
+                            if xv > k || (xv == k && pos_ref.contains_key(&x)) {
+                                s += 1;
+                            }
+                        }
+                        out.push((i as u32, s));
+                    }
+                    Ok((out, edges))
+                },
+            )?;
+            for (pairs, edges) in chunks {
+                traversed += edges;
+                for (i, s) in pairs {
+                    sup[i as usize] = s;
+                }
+            }
+        }
+        let mut evicted = vec![false; cand.len()];
+        let mut queue: Vec<u32> = (0..cand.len() as u32)
+            .filter(|&i| sup[i as usize] <= coreness[cand[i as usize] as usize])
+            .collect();
+        while let Some(i) = queue.pop() {
+            if evicted[i as usize] {
+                continue;
+            }
+            evicted[i as usize] = true;
+            let v = cand[i as usize];
+            let k = coreness[v as usize];
+            for x in g.neighbors(v) {
+                traversed += 1;
+                if coreness[x as usize] != k {
+                    continue;
+                }
+                if let Some(&j) = cand_pos.get(&x) {
+                    if !evicted[j as usize] {
+                        sup[j as usize] -= 1;
+                        if sup[j as usize] <= k {
+                            queue.push(j);
+                        }
+                    }
+                }
+            }
+        }
+        let promoted: Vec<VertexId> = (0..cand.len())
+            .filter(|&i| !evicted[i])
+            .map(|i| cand[i])
+            .collect();
+        if promoted.is_empty() {
+            break;
+        }
+        for &v in &promoted {
+            old_values.entry(v).or_insert(coreness[v as usize]);
+            coreness[v as usize] += 1;
+        }
+        round_seeds.clear();
+        let mut seen: FxHashSet<VertexId> = FxHashSet::default();
+        for &v in &promoted {
+            if seen.insert(v) {
+                round_seeds.push(v);
+            }
+            for x in g.neighbors(v) {
+                traversed += 1;
+                if seen.insert(x) {
+                    round_seeds.push(x);
+                }
+            }
+        }
+    }
+
+    affected.extend(old_values.keys().copied());
+    Ok(EngineOutcome {
+        affected: affected.len() as u64,
+        traversed,
+        old_values,
+    })
 }
 
 #[cfg(test)]
@@ -405,6 +658,24 @@ mod tests {
     }
 
     #[test]
+    fn noop_detection_matches_application() {
+        let mut dc = DynamicCore::new(3);
+        dc.insert_edge(0, 1);
+        assert!(dc.batch_is_noop(&[]));
+        assert!(dc.batch_is_noop(&[
+            EdgeUpdate::Insert(0, 1),  // duplicate
+            EdgeUpdate::Insert(2, 2),  // self-loop
+            EdgeUpdate::Remove(0, 2),  // absent
+            EdgeUpdate::Remove(7, 9),  // out of range
+            EdgeUpdate::Remove(0, 9),  // half out of range
+        ]));
+        assert!(!dc.batch_is_noop(&[EdgeUpdate::Insert(0, 1), EdgeUpdate::Insert(1, 2)]));
+        // An insert that grows the vertex set is never a no-op.
+        assert!(!dc.batch_is_noop(&[EdgeUpdate::Insert(0, 5)]));
+        assert!(!dc.batch_is_noop(&[EdgeUpdate::Remove(0, 1)]));
+    }
+
+    #[test]
     fn hcd_cache_refreshes_after_updates() {
         let mut dc = DynamicCore::new(0);
         dc.insert_edge(0, 1);
@@ -462,6 +733,7 @@ mod tests {
         assert_eq!(batch.coreness_slice(), &[3, 3, 3, 3, 0]);
         assert_ne!(batch.coreness_slice(), before.as_slice());
         assert_eq!(report.changed, vec![0, 1, 2, 3, 4]);
+        assert_eq!(report.touched, vec![0, 1, 3, 4]);
         assert_matches_recompute(&batch);
     }
 
@@ -478,6 +750,7 @@ mod tests {
         assert_eq!(report.applied, 1);
         assert_eq!(report.skipped, 3);
         assert_eq!(report.changed, vec![2]); // 2 went 0 -> 1
+        assert_eq!(report.touched, vec![1, 2]);
         assert_matches_recompute(&dc);
     }
 
@@ -533,10 +806,63 @@ mod tests {
         let mut dc = DynamicCore::from_csr(&g);
         let split = dc.apply_batch(&[EdgeUpdate::Remove(2, 3)]);
         assert!(split.coreness_unchanged(), "{split:?}");
+        assert_eq!(split.touched, vec![2, 3]);
         assert_matches_recompute(&dc);
         let dismantle = dc.apply_batch(&[EdgeUpdate::Remove(3, 4)]);
         assert_eq!(dismantle.changed, vec![3, 4, 5]);
         assert_matches_recompute(&dc);
+    }
+
+    #[test]
+    fn regions_and_counters_cover_the_batch_engine() {
+        let g = hcd_graph::GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+            .build();
+        let exec = Executor::sequential().with_metrics();
+        let mut dc = DynamicCore::from_csr(&g);
+        dc.try_apply_batch(
+            &[EdgeUpdate::Insert(1, 3), EdgeUpdate::Remove(3, 4)],
+            &exec,
+        )
+        .unwrap();
+        let m = exec.take_metrics();
+        let names: Vec<_> = m.regions.iter().map(|r| r.name).collect();
+        assert!(names.contains(&"dynamic.peel"), "{names:?}");
+        assert!(names.contains(&"dynamic.promote"), "{names:?}");
+        let affected = m.get_counter("dynamic.affected_vertices").unwrap();
+        assert_eq!(affected.kind, "sum");
+        assert!(affected.value >= 2, "{affected:?}");
+        let traversed = m.get_counter("dynamic.traversal_edges").unwrap();
+        assert!(traversed.value >= affected.value, "{traversed:?}");
+    }
+
+    #[test]
+    fn faults_in_the_engine_leave_exact_coreness_behind() {
+        use hcd_par::{Fault, FaultPlan};
+        let g = hcd_graph::GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4)])
+            .build();
+        // Panic in dynamic.peel (region 0), then cancel in the first
+        // dynamic.promote round (region 1 of a fresh plan).
+        for (region, fault) in [(0, Fault::Panic), (1, Fault::Cancel)] {
+            let exec = Executor::sequential();
+            exec.set_fault_plan(FaultPlan::new().inject(region, 0, fault));
+            let mut dc = DynamicCore::from_csr(&g);
+            let seq_before = dc.seq();
+            let err = dc
+                .try_apply_batch(&[EdgeUpdate::Insert(1, 3), EdgeUpdate::Remove(3, 4)], &exec)
+                .unwrap_err();
+            match region {
+                0 => assert!(matches!(err, ParError::Panicked { .. }), "{err:?}"),
+                _ => assert!(matches!(err, ParError::Cancelled), "{err:?}"),
+            }
+            // The mutation is kept, the sequence number advanced, and
+            // coreness was repaired to the exact decomposition.
+            assert_eq!(dc.seq(), seq_before + 1);
+            assert!(dc.graph().has_edge(1, 3));
+            assert!(!dc.graph().has_edge(3, 4));
+            assert_matches_recompute(&dc);
+        }
     }
 }
 
@@ -618,6 +944,7 @@ mod proptests {
                     }
                 }
             }
+            prop_assert!(dc.batch_is_noop(&noops));
             let report = dc.apply_batch(&noops);
             prop_assert_eq!(report.applied, 0);
             prop_assert_eq!(report.skipped, noops.len());
@@ -716,6 +1043,52 @@ mod proptests {
                 if a != b {
                     prop_assert!(dc.graph().has_edge(a, b));
                 }
+            }
+            let expect = core_decomposition(&dc.graph().to_csr());
+            prop_assert_eq!(dc.coreness_slice(), expect.as_slice());
+        }
+
+        #[test]
+        fn adversarial_insert_remove_same_edge_across_a_core_boundary(
+            tail in 2..6usize,
+            extra in prop::collection::vec((0..10u32, 0..10u32), 0..12),
+            flips in 1..4usize,
+        ) {
+            // A dense clique (high coreness) with a pendant path (coreness
+            // 1) hanging off it: a k-core boundary by construction. The
+            // batch repeatedly inserts AND removes the same boundary-
+            // crossing edge, plus random churn, so the engine sees
+            // cancelling updates whose subcores straddle the boundary.
+            let mut dc = DynamicCore::new(10);
+            for u in 0..4u32 {
+                for v in (u + 1)..4 {
+                    dc.insert_edge(u, v); // K4: coreness 3
+                }
+            }
+            for i in 0..tail as u32 {
+                dc.insert_edge(3 + i, 4 + i); // path off vertex 3
+            }
+            for &(a, b) in &extra {
+                dc.insert_edge(a, b);
+            }
+            let before = dc.coreness_slice().to_vec();
+            // The boundary edge: clique vertex 0 to the path's far end.
+            let far = 3 + tail as u32;
+            let mut updates = Vec::new();
+            for _ in 0..flips {
+                updates.push(EdgeUpdate::Insert(0, far));
+                updates.push(EdgeUpdate::Remove(0, far));
+            }
+            let had_edge = dc.graph().has_edge(0, far);
+            let report = dc.apply_batch(&updates);
+            // The last flip is always a Remove of a then-present edge,
+            // so the batch leaves the boundary edge absent...
+            prop_assert!(!dc.graph().has_edge(0, far));
+            // ...and if it was absent to begin with, every flip applied
+            // and they all cancelled without a trace in the coreness.
+            if !had_edge {
+                prop_assert_eq!(report.applied, 2 * flips);
+                prop_assert_eq!(dc.coreness_slice(), before.as_slice());
             }
             let expect = core_decomposition(&dc.graph().to_csr());
             prop_assert_eq!(dc.coreness_slice(), expect.as_slice());

@@ -196,8 +196,12 @@ fn answer(snap: &Snapshot, q: &Query) -> QueryAnswer {
 ///   the response's `generation` says exactly which state it saw;
 /// * the **writer** (serialized by an internal lock; any thread may
 ///   call it) applies an [`EdgeUpdate`] batch to the maintained
-///   [`DynamicCore`], snapshots the graph, reruns PHCD, and publishes
-///   the result with an atomic epoch swap.
+///   [`DynamicCore`] incrementally, snapshots the graph, surgically
+///   repairs the published hierarchy around the batch's changed region
+///   ([`hcd_core::Hcd::repair`]), and publishes the result with an
+///   atomic epoch swap — update cost is proportional to the changed
+///   region, not the graph; batches that change nothing publish no new
+///   generation at all.
 ///
 /// A rebuild failure (contained panic, cancellation, expired deadline —
 /// including injected faults in the `serve.rebuild` region) publishes
@@ -211,6 +215,14 @@ pub struct HcdService {
     durable: Mutex<Option<Durable>>,
     /// Cumulative count of reads answered from a superseded snapshot.
     stale_reads: std::sync::atomic::AtomicU64,
+    /// Whether the maintained writer state has run ahead of the
+    /// published snapshot (a publish attempt failed after its batch was
+    /// applied). While set, the no-op fast path is disabled and the next
+    /// publication rebuilds the hierarchy from scratch instead of
+    /// surgically repairing the (stale) published forest. Logically
+    /// guarded by the writer lock; atomic so readers of the flag don't
+    /// need it.
+    writer_dirty: std::sync::atomic::AtomicBool,
 }
 
 impl HcdService {
@@ -223,6 +235,7 @@ impl HcdService {
             writer: Mutex::new(writer),
             durable: Mutex::new(None),
             stale_reads: std::sync::atomic::AtomicU64::new(0),
+            writer_dirty: std::sync::atomic::AtomicBool::new(false),
         })
     }
 
@@ -266,6 +279,7 @@ impl HcdService {
             writer: Mutex::new(writer),
             durable: Mutex::new(Some(durable)),
             stale_reads: std::sync::atomic::AtomicU64::new(0),
+            writer_dirty: std::sync::atomic::AtomicBool::new(false),
         }
     }
 
@@ -454,17 +468,27 @@ impl HcdService {
         })
     }
 
-    /// Applies an update batch and publishes the next snapshot.
+    /// Applies an update batch and publishes the next snapshot, doing
+    /// work proportional to the changed region.
     ///
     /// Pipeline (all under the writer lock, never blocking readers):
-    /// **write-ahead log append + fsync** when the service is durable
-    /// (the batch is on disk before anything observes it), incremental
-    /// coreness maintenance for every update
-    /// ([`DynamicCore::apply_batch`]), CSR + decomposition snapshotting
-    /// in the fault-injectable `serve.rebuild` region, PHCD
-    /// reconstruction (regions `phcd.*`), one atomic epoch swap, then
-    /// (per [`DurabilityConfig::checkpoint_every`]) a snapshot
-    /// checkpoint.
+    /// a **no-op fast path** — when every update is a duplicate insert,
+    /// self-loop, or absent removal and the published snapshot is
+    /// current, nothing is logged, applied, or published (the WAL, the
+    /// sequence counter, and the generation all stand still and
+    /// `serve.noop_batches` ticks); otherwise a **write-ahead log
+    /// append + fsync** when the service is durable (the batch is on
+    /// disk before anything observes it), incremental coreness
+    /// maintenance ([`DynamicCore::try_apply_batch`], regions
+    /// `dynamic.peel` / `dynamic.promote`), CSR + decomposition
+    /// snapshotting plus **surgical hierarchy repair**
+    /// ([`hcd_core::Hcd::repair`] on the published forest, seeded with
+    /// the batch report's exact changed region) in the fault-injectable
+    /// `serve.rebuild` region, one atomic epoch swap, then (per
+    /// [`DurabilityConfig::checkpoint_every`]) a snapshot checkpoint.
+    /// Only when the published forest is stale — a previous publish
+    /// attempt failed after applying its batch — does the writer fall
+    /// back to full PHCD reconstruction (regions `phcd.*`).
     ///
     /// On `Err`, nothing was published and the previous snapshot keeps
     /// serving. A WAL failure ([`ServeError::Wal`]) means the batch was
@@ -481,12 +505,31 @@ impl HcdService {
         updates: &[EdgeUpdate],
         exec: &Executor,
     ) -> Result<Response<BatchReport>, ServeError> {
+        use std::sync::atomic::Ordering;
         let mut writer = self.writer.lock();
         let mut durable = self.durable.lock();
         if let Some(d) = durable.as_mut() {
             if d.poisoned {
                 return Err(ServeError::Wal(WalError::Poisoned));
             }
+        }
+        let was_dirty = self.writer_dirty.load(Ordering::Relaxed);
+        if !was_dirty && writer.batch_is_noop(updates) {
+            // Nothing would change and the published snapshot already
+            // reflects the writer state exactly: acknowledge without
+            // logging, bumping the sequence, or publishing.
+            exec.add_counter("serve.noop_batches", 1);
+            return Ok(Response {
+                generation: self.cell.generation(),
+                value: BatchReport {
+                    seq: writer.seq(),
+                    applied: 0,
+                    skipped: updates.len(),
+                    ..BatchReport::default()
+                },
+            });
+        }
+        if let Some(d) = durable.as_mut() {
             // Log under the sequence number apply_batch is about to
             // stamp, so replay and live application agree exactly.
             match d.wal.append(writer.seq() + 1, updates, exec) {
@@ -503,24 +546,47 @@ impl HcdService {
                 }
             }
         }
-        let report = writer.apply_batch(updates);
+        // From here until the swap succeeds, any failure leaves the
+        // writer ahead of the published snapshot: the batch is applied
+        // (and logged) but not served. Mark the forest stale up front;
+        // a completed publish clears it.
+        self.writer_dirty.store(true, Ordering::Relaxed);
+        let report = writer
+            .try_apply_batch(updates, exec)
+            .map_err(ServeError::Par)?;
         exec.add_counter("serve.batches", 1);
 
-        // Snapshot the writer state inside the named rebuild region so
-        // deadlines, cancellation, and the fault matrix govern it.
-        let parts: Mutex<Option<(CsrGraph, _)>> = Mutex::new(None);
+        // The published forest is exact for the pre-batch graph unless a
+        // previous publish failed; repair it with the batch's changed
+        // region instead of rebuilding from scratch.
+        let prev = (!was_dirty).then(|| self.cell.load());
+        // Snapshot the writer state (and repair the hierarchy) inside
+        // the named rebuild region so deadlines, cancellation, and the
+        // fault matrix govern it.
+        let parts: Mutex<Option<(CsrGraph, _, Option<hcd_core::Hcd>)>> = Mutex::new(None);
         let writer_ref = &*writer;
+        let report_ref = &report;
         exec.region("serve.rebuild").try_for_each_chunk(
             1,
             || (),
             |_, _, _| {
                 exec.checkpoint()?;
-                *parts.lock() = Some((writer_ref.graph().to_csr(), writer_ref.decomposition()));
+                let csr = writer_ref.graph().to_csr();
+                let cores = writer_ref.decomposition();
+                let hcd = prev.as_ref().map(|p| {
+                    let mut dirty = report_ref.changed.clone();
+                    dirty.extend_from_slice(&report_ref.touched);
+                    p.hcd.repair(&csr, &cores, &dirty)
+                });
+                *parts.lock() = Some((csr, cores, hcd));
                 Ok(())
             },
         )?;
-        let (csr, cores) = parts.into_inner().expect("rebuild region ran");
-        let hcd = hcd_core::try_phcd(&csr, &cores, exec)?;
+        let (csr, cores, repaired) = parts.into_inner().expect("rebuild region ran");
+        let hcd = match repaired {
+            Some(hcd) => hcd,
+            None => hcd_core::try_phcd(&csr, &cores, exec)?,
+        };
 
         let generation = self.cell.generation() + 1;
         let snapshot = Arc::new(Snapshot::from_parts(csr, cores, hcd, generation));
@@ -528,11 +594,15 @@ impl HcdService {
         // The writer lock serializes publications, so the generation we
         // stamped is the one the cell advanced to.
         debug_assert_eq!(published, generation);
+        self.writer_dirty.store(false, Ordering::Relaxed);
         exec.add_counter("serve.swaps", 1);
 
         if let Some(d) = durable.as_mut() {
+            // Saturating: recovery can restore a checkpoint newer than
+            // the replayed WAL tail, leaving `last_checkpoint_seq`
+            // ahead of the live sequence for a while.
             let due = d.cfg.checkpoint_every > 0
-                && report.seq - d.last_checkpoint_seq >= d.cfg.checkpoint_every;
+                && report.seq.saturating_sub(d.last_checkpoint_seq) >= d.cfg.checkpoint_every;
             if due {
                 match checkpoint::write_checkpoint(&d.dir, report.seq, &snapshot.graph, exec) {
                     Ok(_) => {
@@ -675,7 +745,7 @@ mod tests {
         let exec = Executor::sequential();
         let svc = HcdService::new(&triangle_plus_tail(), &exec);
         // Inject a panic into the first region of the *next* run — that
-        // is serve.rebuild (apply_batch opens it first).
+        // is dynamic.peel (the batch engine opens it first).
         exec.set_fault_plan(FaultPlan::new().inject(0, 0, Fault::Panic));
         let err = svc
             .try_apply_batch(&[EdgeUpdate::Insert(1, 3)], &exec)
@@ -716,6 +786,66 @@ mod tests {
         assert!(names.contains(&"serve.query.member"), "{names:?}");
         assert!(names.contains(&"serve.query.batch"), "{names:?}");
         assert!(names.contains(&"serve.rebuild"), "{names:?}");
+        // The incremental maintenance engine ran through its regions.
+        assert!(names.contains(&"dynamic.peel"), "{names:?}");
+        assert!(names.contains(&"dynamic.promote"), "{names:?}");
+        assert!(m.get_counter("dynamic.affected_vertices").unwrap().value >= 1);
+        assert!(m.get_counter("dynamic.traversal_edges").unwrap().value >= 1);
+    }
+
+    #[test]
+    fn noop_batches_publish_nothing_and_log_nothing() {
+        let exec = Executor::sequential().with_metrics();
+        let dir = tempdir();
+        let svc = HcdService::try_new_durable(
+            &triangle_plus_tail(),
+            &dir,
+            DurabilityConfig::default(),
+            &exec,
+        )
+        .unwrap();
+        let resp = svc
+            .try_apply_batch(&[EdgeUpdate::Insert(1, 3)], &exec)
+            .unwrap();
+        assert_eq!(resp.generation, 1);
+        let snap_before = svc.snapshot();
+        exec.take_metrics();
+
+        // Every update is a no-op: duplicate insert, self-loop, absent
+        // or out-of-range removal.
+        let noops = [
+            EdgeUpdate::Insert(1, 3),
+            EdgeUpdate::Insert(2, 2),
+            EdgeUpdate::Remove(0, 4),
+            EdgeUpdate::Remove(90, 91),
+        ];
+        let resp = svc.try_apply_batch(&noops, &exec).unwrap();
+        // Acknowledged against the current state, but nothing moved:
+        // no generation, no sequence bump, no swap, no WAL append.
+        assert_eq!(resp.generation, 1);
+        assert_eq!(resp.value.seq, 1);
+        assert_eq!(resp.value.applied, 0);
+        assert_eq!(resp.value.skipped, noops.len());
+        assert_eq!(svc.generation(), 1);
+        assert!(Arc::ptr_eq(&snap_before, &svc.snapshot()));
+        let m = exec.take_metrics();
+        assert!(m.get_counter("serve.swaps").is_none(), "swap on a no-op");
+        assert!(m.get_counter("serve.wal_appends").is_none(), "WAL append on a no-op");
+        assert!(m.get_counter("serve.batches").is_none(), "batch counted on a no-op");
+        assert_eq!(m.get_counter("serve.noop_batches").unwrap().value, 1);
+        // An empty batch takes the same fast path.
+        let resp = svc.try_apply_batch(&[], &exec).unwrap();
+        assert_eq!(resp.generation, 1);
+        assert_eq!(svc.generation(), 1);
+        // A real update afterwards still publishes with the next
+        // uninterrupted sequence number (the no-ops consumed none).
+        let resp = svc
+            .try_apply_batch(&[EdgeUpdate::Insert(0, 4)], &exec)
+            .unwrap();
+        assert_eq!(resp.generation, 2);
+        assert_eq!(resp.value.seq, 2);
+        svc.snapshot().validate().unwrap();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     fn tempdir() -> PathBuf {

@@ -53,8 +53,12 @@ pub struct WorkloadSummary {
     pub queries: u64,
     /// Query batches issued.
     pub query_batches: u64,
-    /// Update batches applied (each one publishes a snapshot).
+    /// Update batches applied (each one publishes a snapshot, unless
+    /// the writer's no-op fast path kicked in).
     pub update_batches: u64,
+    /// Update batches that changed nothing and therefore published no
+    /// new generation.
+    pub noop_update_batches: u64,
     /// Edge updates the dynamic maintainer actually applied.
     pub updates_applied: u64,
     /// Edge updates skipped as no-ops (duplicate insert / missing
@@ -127,10 +131,14 @@ pub fn run_workload(
             let updates: Vec<EdgeUpdate> = (0..cfg.batch_size)
                 .map(|_| random_update(&mut rng, cfg.universe))
                 .collect();
+            let before = service.generation();
             let resp = service.try_apply_batch(&updates, exec)?;
             summary.update_batches += 1;
             summary.updates_applied += resp.value.applied as u64;
             summary.updates_skipped += resp.value.skipped as u64;
+            if resp.generation == before {
+                summary.noop_update_batches += 1;
+            }
         }
     }
     summary.final_generation = service.generation();
@@ -171,7 +179,10 @@ mod tests {
             assert_eq!(*s, first, "mode {mode} diverged");
         }
         assert!(first.update_batches > 0, "workload never wrote: {first:?}");
-        assert_eq!(first.final_generation, first.update_batches);
+        assert_eq!(
+            first.final_generation,
+            first.update_batches - first.noop_update_batches
+        );
         assert_eq!(first.queries, first.query_batches * cfg.batch_size as u64);
     }
 

@@ -565,6 +565,7 @@ fn serve_bench(path: &str, args: &[String], exec: &Executor) -> Result<(), CliEr
     println!("queries          = {}", summary.queries);
     println!("query batches    = {}", summary.query_batches);
     println!("update batches   = {}", summary.update_batches);
+    println!("no-op batches    = {}", summary.noop_update_batches);
     println!("updates applied  = {}", summary.updates_applied);
     println!("updates skipped  = {}", summary.updates_skipped);
     println!("positive answers = {}", summary.positive_answers);

@@ -232,6 +232,65 @@ fn never_fsync_falls_back_to_the_newest_checkpoint() {
     std::fs::remove_dir_all(&dir).ok();
 }
 
+/// Regression: checkpoint cadence after a recovery whose restored
+/// checkpoint is *newer* than the replayed WAL tail (the Never-fsync
+/// shape: the unsynced log evaporated, so replay adds nothing on top of
+/// the checkpoint). The due-checkpoint comparison in `try_apply_batch`
+/// is `report.seq - last_checkpoint_seq`; it must use saturating
+/// arithmetic so a checkpoint sequence running ahead of the live
+/// sequence can never underflow into a panic (debug) or a
+/// wraparound-always-due (release), and the cadence must resume
+/// relative to the restored checkpoint.
+#[test]
+fn recovery_with_checkpoint_ahead_of_the_wal_keeps_checkpoint_cadence() {
+    let exec = Executor::sequential();
+    let g0 = gnp(36, 0.09, 0xCAFE);
+    let universe = g0.num_vertices() as VertexId + 4;
+    let cfg = DurabilityConfig {
+        fsync: FsyncPolicy::Never,
+        checkpoint_every: 2,
+    };
+    let dir = tempdir("ckpt-ahead");
+    let mut rng = <ChaCha8Rng as rand::SeedableRng>::seed_from_u64(0xAB1E);
+    let svc = HcdService::try_new_durable(&g0, &dir, cfg, &exec).unwrap();
+    for _ in 0..4 {
+        svc.try_apply_batch(&random_updates(&mut rng, 6, universe), &exec)
+            .unwrap();
+    }
+    // Page-cache loss: checkpoints at seqs 2 and 4 survive, the log
+    // does not — recovery restores checkpoint 4 and replays nothing.
+    exec.set_fault_plan(FaultPlan::new().crash(CrashPoint::WalPreFsync, 0));
+    svc.try_apply_batch(&random_updates(&mut rng, 6, universe), &exec)
+        .unwrap_err();
+    exec.clear_fault_plan();
+    drop(svc);
+
+    let (rec, report) = HcdService::recover(&dir, cfg, &exec).unwrap();
+    assert_eq!(report.checkpoint_seq, 4);
+    assert_eq!(report.replayed, 0, "the WAL tail is behind the checkpoint");
+
+    // Writes resume at seq 5 with the checkpoint marker at 4: the next
+    // checkpoint is due at seq 6, not before (over-eager) and not never
+    // (underflow). Two batches must complete without a panic and leave
+    // exactly the seq-6 checkpoint behind.
+    for expect_seq in 5..=6u64 {
+        let resp = rec
+            .try_apply_batch(&random_updates(&mut rng, 6, universe), &exec)
+            .unwrap();
+        assert_eq!(resp.value.seq, expect_seq);
+    }
+    assert!(
+        !dir.join(hcd::serve::checkpoint::checkpoint_file_name(5)).exists(),
+        "checkpoint written a batch early"
+    );
+    assert!(
+        dir.join(hcd::serve::checkpoint::checkpoint_file_name(6)).exists(),
+        "checkpoint cadence did not resume"
+    );
+    rec.snapshot().validate().unwrap();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
 /// A service can crash, recover, serve, and crash again — repeatedly.
 /// Each recovery truncates the previous torn tail for real, resumes the
 /// epoch numbering, and reproduces the acked state of its own run.

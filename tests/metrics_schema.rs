@@ -262,9 +262,16 @@ fn serve_bench_metrics_cover_the_serving_layer() {
     let doc = Json::parse(&text).expect("valid JSON");
     let names = validate_schema(&doc);
     // The workload mixes batched reads with rebuild/publish cycles; both
-    // serving regions must appear, alongside the construction regions the
-    // rebuilds trigger.
-    for region in ["serve.query.batch", "serve.rebuild", "phcd.kpc"] {
+    // serving regions must appear, alongside the incremental-maintenance
+    // regions the update batches open and the construction regions of
+    // the generation-0 build.
+    for region in [
+        "serve.query.batch",
+        "serve.rebuild",
+        "phcd.kpc",
+        "dynamic.peel",
+        "dynamic.promote",
+    ] {
         assert!(
             names.iter().any(|n| n == region),
             "missing {region}: {names:?}"

@@ -199,6 +199,95 @@ fn served_snapshots_match_from_scratch_oracle_across_modes() {
     }
 }
 
+/// The incremental writer path (batch-dynamic coreness engine plus
+/// surgical tree repair of the published forest) publishes exactly what
+/// a naive from-scratch rebuild of the same state would, for every
+/// graph family × executor mode. This pins the equivalence directly —
+/// one service runs incrementally, the comparison state is rebuilt with
+/// `HcdService::try_new` from the mirror graph each round — and checks
+/// the maintenance counters report a bounded touched region.
+#[test]
+fn incremental_path_matches_naive_rebuild_across_modes() {
+    const ROUNDS: usize = 6;
+    const BATCH: usize = 4;
+    for (family, g0) in seed_graphs() {
+        for exec in executors() {
+            let exec = exec.with_metrics();
+            let ctx_base = format!("{family}/{}", exec.mode_name());
+            let mut rng =
+                <ChaCha8Rng as rand::SeedableRng>::seed_from_u64(0xD1FF ^ g0.num_edges() as u64);
+            let mut mirror = Mirror::of(&g0);
+            let service = HcdService::try_new(&g0, &exec).unwrap();
+            let universe = g0.num_vertices() as VertexId + 6;
+            exec.take_metrics();
+            let mut generation = 0u64;
+            for round in 0..ROUNDS {
+                let ctx = format!("{ctx_base} round {round}");
+                let updates = random_updates(&mut rng, BATCH, universe);
+                let applied = updates.iter().filter(|u| mirror.apply(u)).count();
+                let resp = service.try_apply_batch(&updates, &exec).unwrap();
+                let m = exec.take_metrics();
+                if applied == 0 {
+                    // All-skipped batches take the fast path: nothing
+                    // published, nothing rebuilt, no swap.
+                    assert_eq!(resp.generation, generation, "{ctx}: no-op generation");
+                    assert!(m.get_counter("serve.swaps").is_none(), "{ctx}: no-op swap");
+                    assert_eq!(m.get_counter("serve.noop_batches").unwrap().value, 1, "{ctx}");
+                    continue;
+                }
+                generation += 1;
+                assert_eq!(resp.generation, generation, "{ctx}: epoch");
+                // Naive rebuild of the same logical state, from scratch.
+                let naive = HcdService::try_new(&mirror.graph(), &exec).unwrap();
+                let inc = service.snapshot();
+                let scratch = naive.snapshot();
+                assert_eq!(
+                    inc.graph.edges().collect::<BTreeSet<_>>(),
+                    scratch.graph.edges().collect::<BTreeSet<_>>(),
+                    "{ctx}: edges"
+                );
+                assert_eq!(
+                    inc.cores.as_slice(),
+                    scratch.cores.as_slice(),
+                    "{ctx}: coreness"
+                );
+                assert_eq!(
+                    inc.hcd.canonicalize(),
+                    scratch.hcd.canonicalize(),
+                    "{ctx}: hierarchy"
+                );
+                // The engine reported the region it examined.
+                let affected = m.get_counter("dynamic.affected_vertices").unwrap().value;
+                assert!(affected >= 1, "{ctx}: affected {affected}");
+                assert!(
+                    (affected as usize) <= inc.graph.num_vertices(),
+                    "{ctx}: affected {affected} beyond the graph"
+                );
+            }
+        }
+    }
+}
+
+/// A small, local update on a larger graph must touch a region that is
+/// a tiny fraction of it — the point of incremental maintenance.
+#[test]
+fn small_batches_touch_a_small_region() {
+    let g0 = barabasi_albert(400, 3, 0x77);
+    let exec = Executor::sequential().with_metrics();
+    let service = HcdService::try_new(&g0, &exec).unwrap();
+    exec.take_metrics();
+    // A pendant pair appended to the graph: the affected region is the
+    // two new vertices, far below n = 400.
+    let n = g0.num_vertices() as VertexId;
+    service
+        .try_apply_batch(&[EdgeUpdate::Insert(n, n + 1)], &exec)
+        .unwrap();
+    let m = exec.take_metrics();
+    let affected = m.get_counter("dynamic.affected_vertices").unwrap().value;
+    assert!(affected <= 8, "pendant insert touched {affected} vertices");
+    service.snapshot().validate().unwrap();
+}
+
 /// The changed-region report is exact: recomputing coreness from scratch
 /// before and after each batch gives the same changed-vertex set.
 #[test]

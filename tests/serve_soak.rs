@@ -219,7 +219,8 @@ fn injected_faults_leave_the_previous_snapshot_serving() {
         .unwrap();
     let updates = [EdgeUpdate::Insert(2, 3), EdgeUpdate::Remove(0, 1)];
 
-    // Panic inside serve.rebuild itself (region 0 after the plan reset).
+    // Panic inside dynamic.peel, the first region a batch with applied
+    // updates opens (region 0 after the plan reset).
     let exec = Executor::sequential();
     exec.set_fault_plan(FaultPlan::new().inject(0, 0, Fault::Panic));
     let err = service.try_apply_batch(&updates, &exec).unwrap_err();
@@ -228,7 +229,9 @@ fn injected_faults_leave_the_previous_snapshot_serving() {
         "{err:?}"
     );
 
-    // Cancellation tripped in the first downstream phcd region.
+    // Cancellation tripped one region downstream (the first
+    // dynamic.promote round — or, for a batch applying nothing on a
+    // stale forest, the first phcd region of the full-rebuild fallback).
     let exec = Executor::sequential();
     exec.set_fault_plan(FaultPlan::new().inject(1, 0, Fault::Cancel));
     let err = service
@@ -271,8 +274,11 @@ fn injected_faults_leave_the_previous_snapshot_serving() {
     service.snapshot().validate().unwrap();
 
     // The maintained (but unpublished) updates ride along with the next
-    // clean publication. Note the batches that failed in serve.rebuild /
-    // phcd still *applied* their coreness maintenance, by design.
+    // clean publication: the failed batches mutated the writer's graph
+    // before their regions aborted (the engine repairs coreness exactly
+    // on the error path), so the forest is stale and the empty batch —
+    // which would otherwise take the no-op fast path — rebuilds in full
+    // and publishes the cumulative state.
     let resp = service.try_apply_batch(&[], &clean).unwrap();
     assert_eq!(resp.generation, 2);
     let snap = service.snapshot();
