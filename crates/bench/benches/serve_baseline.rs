@@ -1,10 +1,12 @@
 //! Produces the committed metrics baseline for the serving layer.
 //!
 //! Drives the seeded mixed read/update workload from `hcd-serve`
-//! against a deterministic BA graph with region metering enabled and
-//! writes one `hcd-metrics-v1` snapshot. CI regenerates the snapshot
-//! and diffs it against the committed copy with
-//! `hcd-cli metrics-diff --counters-only`.
+//! against a deterministic BA graph with region metering and latency
+//! histograms enabled and writes one `hcd-metrics-v1` snapshot. CI
+//! regenerates the snapshot on the same runner and diffs it against the
+//! committed copy with `hcd-cli metrics-diff` under a generous
+//! threshold: the counters are bit-reproducible and the histogram p99s
+//! catch order-of-magnitude latency cliffs.
 //!
 //! * `HCD_BENCH_BASELINE_OUT` — output path
 //!   (default `bench/baselines/serve-small.json`).
@@ -39,7 +41,7 @@ fn main() {
         });
 
     let g = barabasi_albert(2_000, 4, 42);
-    let exec = Executor::sequential().with_metrics();
+    let exec = Executor::sequential().with_metrics().with_histograms();
     let scratch = std::env::temp_dir().join(format!("hcd-serve-baseline-{}", std::process::id()));
     std::fs::remove_dir_all(&scratch).ok();
     let service = HcdService::try_new_durable(&g, &scratch, DurabilityConfig::default(), &exec)
@@ -71,8 +73,9 @@ fn main() {
         summary.final_generation,
     );
     println!(
-        "wrote {out}: {} regions, {} counters",
+        "wrote {out}: {} regions, {} counters, {} histograms",
         m.regions.len(),
-        m.counters.len()
+        m.counters.len(),
+        m.histograms.len()
     );
 }

@@ -252,9 +252,7 @@ impl Hcd {
             }
             let mut parent = NO_NODE;
             for kp in (0..k).rev() {
-                let in_region = regions
-                    .get(kp as usize)
-                    .and_then(|r| r.get(&rep).copied());
+                let in_region = regions.get(kp as usize).and_then(|r| r.get(&rep).copied());
                 if let Some(label) = in_region {
                     let fresh = fresh_at[kp as usize][label as usize];
                     if fresh != NO_NODE {

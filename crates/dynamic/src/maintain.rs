@@ -351,9 +351,8 @@ fn run_batch_engine(
     // cost is bounded by the region that actually shrinks.
     let initial: Vec<(Vec<(VertexId, u32)>, u64)> = {
         let vals: &[u32] = coreness;
-        exec.region("dynamic.peel").try_map_chunks(
-            seeds.len(),
-            |_, range| {
+        exec.region("dynamic.peel")
+            .try_map_chunks(seeds.len(), |_, range| {
                 let mut drops: Vec<(VertexId, u32)> = Vec::new();
                 let mut edges = 0u64;
                 for i in range {
@@ -365,19 +364,18 @@ fn run_batch_engine(
                     }
                 }
                 Ok((drops, edges))
-            },
-        )?
+            })?
     };
     let mut work: Vec<VertexId> = Vec::new();
     let mut queued: FxHashSet<VertexId> = FxHashSet::default();
     let lower = |v: VertexId,
-                     h: u32,
-                     coreness: &mut [u32],
-                     work: &mut Vec<VertexId>,
-                     queued: &mut FxHashSet<VertexId>,
-                     old_values: &mut FxHashMap<VertexId, u32>,
-                     affected: &mut FxHashSet<VertexId>,
-                     traversed: &mut u64| {
+                 h: u32,
+                 coreness: &mut [u32],
+                 work: &mut Vec<VertexId>,
+                 queued: &mut FxHashSet<VertexId>,
+                 old_values: &mut FxHashMap<VertexId, u32>,
+                 affected: &mut FxHashSet<VertexId>,
+                 traversed: &mut u64| {
         let old = coreness[v as usize];
         old_values.entry(v).or_insert(old);
         coreness[v as usize] = h;
@@ -487,9 +485,9 @@ fn run_batch_engine(
             let vals: &[u32] = coreness;
             let cand_ref = &cand;
             let pos_ref = &cand_pos;
-            let chunks: Vec<(Vec<(u32, u32)>, u64)> = exec.region("dynamic.promote").try_map_chunks(
-                cand_ref.len(),
-                |_, range| {
+            let chunks: Vec<(Vec<(u32, u32)>, u64)> = exec
+                .region("dynamic.promote")
+                .try_map_chunks(cand_ref.len(), |_, range| {
                     let mut out = Vec::with_capacity(range.len());
                     let mut edges = 0u64;
                     for i in range {
@@ -506,8 +504,7 @@ fn run_batch_engine(
                         out.push((i as u32, s));
                     }
                     Ok((out, edges))
-                },
-            )?;
+                })?;
             for (pairs, edges) in chunks {
                 traversed += edges;
                 for (i, s) in pairs {
@@ -663,11 +660,11 @@ mod tests {
         dc.insert_edge(0, 1);
         assert!(dc.batch_is_noop(&[]));
         assert!(dc.batch_is_noop(&[
-            EdgeUpdate::Insert(0, 1),  // duplicate
-            EdgeUpdate::Insert(2, 2),  // self-loop
-            EdgeUpdate::Remove(0, 2),  // absent
-            EdgeUpdate::Remove(7, 9),  // out of range
-            EdgeUpdate::Remove(0, 9),  // half out of range
+            EdgeUpdate::Insert(0, 1), // duplicate
+            EdgeUpdate::Insert(2, 2), // self-loop
+            EdgeUpdate::Remove(0, 2), // absent
+            EdgeUpdate::Remove(7, 9), // out of range
+            EdgeUpdate::Remove(0, 9), // half out of range
         ]));
         assert!(!dc.batch_is_noop(&[EdgeUpdate::Insert(0, 1), EdgeUpdate::Insert(1, 2)]));
         // An insert that grows the vertex set is never a no-op.
@@ -820,11 +817,8 @@ mod tests {
             .build();
         let exec = Executor::sequential().with_metrics();
         let mut dc = DynamicCore::from_csr(&g);
-        dc.try_apply_batch(
-            &[EdgeUpdate::Insert(1, 3), EdgeUpdate::Remove(3, 4)],
-            &exec,
-        )
-        .unwrap();
+        dc.try_apply_batch(&[EdgeUpdate::Insert(1, 3), EdgeUpdate::Remove(3, 4)], &exec)
+            .unwrap();
         let m = exec.take_metrics();
         let names: Vec<_> = m.regions.iter().map(|r| r.name).collect();
         assert!(names.contains(&"dynamic.peel"), "{names:?}");

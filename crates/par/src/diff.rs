@@ -217,6 +217,19 @@ fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
     }
 }
 
+/// One histogram entry of a parsed metrics snapshot, reduced to the
+/// emitted percentile summary.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SnapshotHistogram {
+    pub name: String,
+    pub count: f64,
+    pub p50_ns: f64,
+    pub p90_ns: f64,
+    pub p99_ns: f64,
+    pub p999_ns: f64,
+    pub max_ns: f64,
+}
+
 /// One region row of a parsed metrics snapshot.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SnapshotRegion {
@@ -234,6 +247,13 @@ pub struct Snapshot {
     pub regions: Vec<SnapshotRegion>,
     /// Counter name → value ("sum" and "max" counters alike).
     pub counters: BTreeMap<String, f64>,
+    /// Latency-histogram percentile summaries (absent section ⇒ empty:
+    /// pre-PR8 documents carry no `histograms`).
+    pub histograms: Vec<SnapshotHistogram>,
+    /// Top-level sections this parser did not recognise — surfaced by
+    /// `metrics-diff` so schema drift is visible instead of silently
+    /// ignored.
+    pub unknown_sections: Vec<String>,
 }
 
 impl Snapshot {
@@ -280,12 +300,53 @@ impl Snapshot {
                 .ok_or("counter without name")?;
             snap.counters.insert(name.to_string(), num(c, "value")?);
         }
+        // `histograms` is absent in pre-PR8 documents; treat as empty.
+        for h in doc
+            .get("histograms")
+            .and_then(|h| h.get("entries"))
+            .and_then(Json::as_arr)
+            .unwrap_or(&[])
+        {
+            snap.histograms.push(SnapshotHistogram {
+                name: h
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("histogram without name")?
+                    .to_string(),
+                count: num(h, "count")?,
+                p50_ns: num(h, "p50_ns")?,
+                p90_ns: num(h, "p90_ns")?,
+                p99_ns: num(h, "p99_ns")?,
+                p999_ns: num(h, "p999_ns")?,
+                max_ns: num(h, "max_ns")?,
+            });
+        }
+        const KNOWN_SECTIONS: [&str; 6] = [
+            "schema",
+            "total_wall_ns",
+            "total_charged_ns",
+            "regions",
+            "counters",
+            "histograms",
+        ];
+        if let Some(obj) = doc.as_obj() {
+            for key in obj.keys() {
+                if !KNOWN_SECTIONS.contains(&key.as_str()) {
+                    snap.unknown_sections.push(key.clone());
+                }
+            }
+        }
         Ok(snap)
     }
 
     /// The region named `name`, if present.
     pub fn region(&self, name: &str) -> Option<&SnapshotRegion> {
         self.regions.iter().find(|r| r.name == name)
+    }
+
+    /// The histogram summary named `name`, if present.
+    pub fn histogram(&self, name: &str) -> Option<&SnapshotHistogram> {
+        self.histograms.iter().find(|h| h.name == name)
     }
 }
 
@@ -445,6 +506,34 @@ pub fn diff_metrics(old: &Snapshot, new: &Snapshot, opts: &DiffOptions) -> DiffR
             report.only_new.push(format!("region:{}", n.name));
         }
     }
+    for o in &old.histograms {
+        let Some(n) = new.histogram(&o.name) else {
+            report.only_old.push(format!("hist:{}", o.name));
+            continue;
+        };
+        // p99 is the gated tail statistic (relative threshold + absolute
+        // floor, like every timing gate); p50/p999/max ride along as
+        // advisory rows so the report shows where in the distribution a
+        // shift happened.
+        for (field, old_v, new_v, gated) in [
+            ("p50_ns", o.p50_ns, n.p50_ns, false),
+            ("p99_ns", o.p99_ns, n.p99_ns, true),
+            ("p999_ns", o.p999_ns, n.p999_ns, false),
+            ("max_ns", o.max_ns, n.max_ns, false),
+        ] {
+            report.entries.push(DiffEntry {
+                what: format!("hist:{}:{}", o.name, field),
+                old: old_v,
+                new: new_v,
+                regressed: gated && timing_regressed(old_v, new_v),
+            });
+        }
+    }
+    for n in &new.histograms {
+        if old.histogram(&n.name).is_none() {
+            report.only_new.push(format!("hist:{}", n.name));
+        }
+    }
     for (name, old_v) in &old.counters {
         let Some(new_v) = new.counters.get(name) else {
             report.only_old.push(format!("counter:{name}"));
@@ -489,6 +578,7 @@ mod tests {
                 value: wall / 1000,
                 kind: "sum",
             }],
+            ..RunMetrics::default()
         };
         rm.to_json()
     }
@@ -615,6 +705,99 @@ mod tests {
         assert_eq!(doc.get("c").unwrap().get("d"), Some(&Json::Null));
         assert!(Json::parse("{\"unterminated\": ").is_err());
         assert!(Json::parse("{} trailing").is_err());
+    }
+
+    fn hist_doc(p99: u64) -> String {
+        format!(
+            r#"{{"schema": "hcd-metrics-v1", "total_wall_ns": 0, "total_charged_ns": 0,
+                "regions": [], "counters": [],
+                "histograms": {{"version": 1, "sub_bits": 2, "entries": [
+                  {{"name": "serve.query.core", "count": 100, "sum_ns": 1, "min_ns": 1,
+                    "max_ns": {max}, "p50_ns": 1000, "p90_ns": 2000, "p99_ns": {p99},
+                    "p999_ns": {max}, "buckets": [[0, 100]]}}
+                ]}}}}"#,
+            p99 = p99,
+            max = p99 * 2,
+        )
+    }
+
+    #[test]
+    fn histogram_p99_regression_is_gated() {
+        let old = Snapshot::parse(&hist_doc(1_000_000)).unwrap();
+        let new = Snapshot::parse(&hist_doc(10_000_000)).unwrap();
+        let report = diff_metrics(&old, &new, &DiffOptions::default());
+        assert!(report.regressed());
+        assert!(report
+            .regressions()
+            .all(|e| e.what == "hist:serve.query.core:p99_ns"));
+        // p50 / p999 / max rows are advisory: present, never gated.
+        for field in ["p50_ns", "p999_ns", "max_ns"] {
+            assert!(report
+                .entries
+                .iter()
+                .any(|e| e.what == format!("hist:serve.query.core:{field}") && !e.regressed));
+        }
+        // Under counters-only, the p99 shift is advisory too.
+        let opts = DiffOptions {
+            counters_only: true,
+            ..DiffOptions::default()
+        };
+        assert!(!diff_metrics(&old, &new, &opts).regressed());
+    }
+
+    #[test]
+    fn histogram_p99_noise_below_abs_floor_passes() {
+        // 50x relative blowup but only 49µs absolute: under the 0.1ms floor.
+        let old = Snapshot::parse(&hist_doc(1_000)).unwrap();
+        let new = Snapshot::parse(&hist_doc(50_000)).unwrap();
+        assert!(!diff_metrics(&old, &new, &DiffOptions::default()).regressed());
+    }
+
+    #[test]
+    fn histogram_structure_changes_are_surfaced() {
+        let with = Snapshot::parse(&hist_doc(1_000)).unwrap();
+        let without = Snapshot::parse(&sample_metrics(1_000)).unwrap();
+        let report = diff_metrics(&with, &without, &DiffOptions::default());
+        assert!(report
+            .only_old
+            .contains(&"hist:serve.query.core".to_string()));
+        let report = diff_metrics(&without, &with, &DiffOptions::default());
+        assert!(report
+            .only_new
+            .contains(&"hist:serve.query.core".to_string()));
+    }
+
+    #[test]
+    fn unknown_sections_are_collected() {
+        let text = r#"{"schema": "hcd-metrics-v1", "total_wall_ns": 0,
+            "total_charged_ns": 0, "regions": [], "counters": [],
+            "futurestuff": {"x": 1}, "alsofuture": []}"#;
+        let snap = Snapshot::parse(text).unwrap();
+        assert_eq!(
+            snap.unknown_sections,
+            vec!["alsofuture".to_string(), "futurestuff".to_string()]
+        );
+        // Emitted documents are fully recognised.
+        let clean = Snapshot::parse(&sample_metrics(1_000)).unwrap();
+        assert!(clean.unknown_sections.is_empty());
+    }
+
+    #[test]
+    fn emitted_histograms_round_trip_through_the_parser() {
+        let exec = crate::Executor::sequential()
+            .with_metrics()
+            .with_histograms();
+        for ns in [1_000u64, 2_000, 4_000, 1_000_000] {
+            exec.observe_ns("rt.series", ns);
+        }
+        let json = exec.take_metrics().to_json();
+        let snap = Snapshot::parse(&json).unwrap();
+        let h = snap.histogram("rt.series").expect("histogram parsed");
+        assert_eq!(h.count, 4.0);
+        assert_eq!(h.max_ns, 1_000_000.0);
+        assert!(h.p50_ns <= h.p99_ns && h.p99_ns <= h.p999_ns);
+        assert!(h.p999_ns <= h.max_ns);
+        assert!(snap.unknown_sections.is_empty());
     }
 
     #[test]

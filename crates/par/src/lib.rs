@@ -77,17 +77,20 @@ pub mod diff;
 pub mod epoch;
 pub mod error;
 pub mod fault;
+pub mod hist;
 pub mod metrics;
 pub mod trace;
 
 pub use chunks::{split_even, split_weighted};
-pub use diff::{diff_metrics, DiffEntry, DiffOptions, DiffReport, Snapshot};
+pub use diff::{diff_metrics, DiffEntry, DiffOptions, DiffReport, Snapshot, SnapshotHistogram};
 pub use epoch::{EpochCell, EpochCounter};
 pub use error::{BuildError, ParError};
 pub use fault::{CancelToken, CrashPoint, Deadline, Fault, FaultPlan};
+pub use hist::{HistogramSnapshot, LatencyTimer};
 pub use metrics::{CounterValue, RegionMetrics, RunMetrics, METRICS_SCHEMA};
 pub use trace::{EventKind, Trace, TraceEvent, DEFAULT_EVENT_CAPACITY, TRACE_SCHEMA};
 
+use hist::HistRegistry;
 use metrics::{ChunkStats, Recorder};
 use trace::TraceCtl;
 
@@ -162,6 +165,7 @@ pub struct Executor {
     ctrl: Ctrl,
     metrics: Recorder,
     trace: TraceCtl,
+    hist: HistRegistry,
 }
 
 impl Executor {
@@ -172,6 +176,7 @@ impl Executor {
             ctrl: Ctrl::default(),
             metrics: Recorder::default(),
             trace: TraceCtl::default(),
+            hist: HistRegistry::default(),
         }
     }
 
@@ -203,6 +208,7 @@ impl Executor {
             ctrl: Ctrl::default(),
             metrics: Recorder::default(),
             trace: TraceCtl::default(),
+            hist: HistRegistry::default(),
         })
     }
 
@@ -232,6 +238,7 @@ impl Executor {
             ctrl: Ctrl::default(),
             metrics: Recorder::default(),
             trace: TraceCtl::default(),
+            hist: HistRegistry::default(),
         })
     }
 
@@ -299,7 +306,69 @@ impl Executor {
     /// metrics were enabled and at least one region ran. The enable flag
     /// itself is untouched, so a long-lived executor keeps recording.
     pub fn take_metrics(&self) -> RunMetrics {
-        self.metrics.take()
+        let mut m = self.metrics.take();
+        m.histograms = self.hist.drain();
+        m
+    }
+
+    /// Arms latency-histogram recording: [`Executor::observe_ns`] and
+    /// [`Executor::time`] start recording into named log2-bucketed
+    /// histograms (see the [`hist`] module), drained into
+    /// [`RunMetrics::histograms`] by [`Executor::take_metrics`].
+    /// Disarmed (the default), each observe costs one relaxed atomic
+    /// load and [`Executor::time`] never reads the clock. Histogram
+    /// arming is independent of [`Executor::set_metrics_enabled`] so
+    /// overhead can be measured in isolation.
+    pub fn arm_histograms(&self) {
+        self.hist.arm(true);
+    }
+
+    /// Builder form of [`Executor::arm_histograms`].
+    pub fn with_histograms(self) -> Self {
+        self.arm_histograms();
+        self
+    }
+
+    /// Enables or disables histogram recording on a live executor.
+    pub fn set_histograms_armed(&self, on: bool) {
+        self.hist.arm(on);
+    }
+
+    /// Whether latency histograms are armed.
+    pub fn histograms_armed(&self) -> bool {
+        self.hist.armed()
+    }
+
+    /// Records one nanosecond latency sample into the histogram named
+    /// `name` (no-op when disarmed).
+    #[inline]
+    pub fn observe_ns(&self, name: &'static str, ns: u64) {
+        self.hist.observe(name, ns);
+    }
+
+    /// Records a [`Duration`] latency sample (no-op when disarmed).
+    #[inline]
+    pub fn observe(&self, name: &'static str, elapsed: Duration) {
+        if self.hist.armed() {
+            self.hist
+                .observe(name, u64::try_from(elapsed.as_nanos()).unwrap_or(u64::MAX));
+        }
+    }
+
+    /// Starts a drop-to-record latency timer for `name`: the span from
+    /// this call to the drop of the returned guard is recorded into the
+    /// named histogram. When disarmed, no clock is read and drop is
+    /// free.
+    #[inline]
+    pub fn time(&self, name: &'static str) -> LatencyTimer<'_> {
+        LatencyTimer::start(&self.hist, name)
+    }
+
+    /// Copies the live histograms without resetting them — the
+    /// in-flight view used by `serve-bench --stats-interval`. Empty
+    /// when disarmed or nothing was recorded.
+    pub fn histogram_snapshots(&self) -> Vec<HistogramSnapshot> {
+        self.hist.snapshot()
     }
 
     /// Arms timeline tracing with the default per-thread event capacity

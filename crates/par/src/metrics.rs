@@ -143,6 +143,10 @@ pub struct RunMetrics {
     pub regions: Vec<RegionMetrics>,
     /// Named algorithm counters, ordered by first update.
     pub counters: Vec<CounterValue>,
+    /// Latency-histogram snapshots (armed via
+    /// [`arm_histograms`](crate::Executor::arm_histograms)), sorted by
+    /// name.
+    pub histograms: Vec<crate::hist::HistogramSnapshot>,
 }
 
 /// Version tag of the JSON document emitted by [`RunMetrics::to_json`].
@@ -159,9 +163,14 @@ impl RunMetrics {
         self.counters.iter().find(|c| c.name == name)
     }
 
+    /// The histogram snapshot named `name`, if it recorded anything.
+    pub fn get_histogram(&self, name: &str) -> Option<&crate::hist::HistogramSnapshot> {
+        self.histograms.iter().find(|h| h.name == name)
+    }
+
     /// Whether nothing was recorded (metrics disabled or no regions ran).
     pub fn is_empty(&self) -> bool {
-        self.regions.is_empty() && self.counters.is_empty()
+        self.regions.is_empty() && self.counters.is_empty() && self.histograms.is_empty()
     }
 
     /// Sum of critical-path (max-chunk) time over all regions — in
@@ -195,9 +204,25 @@ impl RunMetrics {
     ///   ],
     ///   "counters": [
     ///     {"name": "uf.cas_retries", "kind": "sum", "value": 17}
-    ///   ]
+    ///   ],
+    ///   "histograms": {
+    ///     "version": 1, "sub_bits": 2,
+    ///     "entries": [
+    ///       {"name": "serve.query.core", "count": 12, "sum_ns": 3456,
+    ///        "min_ns": 100, "max_ns": 900, "p50_ns": 224, "p90_ns": 544,
+    ///        "p99_ns": 900, "p999_ns": 900, "buckets": [[30, 7], [38, 5]]}
+    ///     ]
+    ///   }
     /// }
     /// ```
+    ///
+    /// The `histograms` section is always present (empty `entries` when
+    /// nothing was armed). Its `version` guards the entry layout and
+    /// `sub_bits` names the bucket scheme so a reader can reconstruct
+    /// bucket bounds from the sparse `[index, count]` pairs; the
+    /// emitted `p*_ns` fields are precomputed from the same buckets and
+    /// carry the documented ±12.5 % bucket-granularity error, while
+    /// `count`/`sum_ns`/`min_ns`/`max_ns` are exact.
     ///
     /// Region and counter names are restricted to `[a-z0-9._-]` by
     /// convention, but any name is emitted faithfully with standard JSON
@@ -260,7 +285,38 @@ impl RunMetrics {
         if !self.counters.is_empty() {
             out.push_str("\n  ");
         }
-        out.push_str("]\n}\n");
+        out.push_str("],\n");
+        out.push_str("  \"histograms\": {\n");
+        out.push_str("    \"version\": 1,\n");
+        out.push_str(&format!("    \"sub_bits\": {},\n", crate::hist::SUB_BITS));
+        out.push_str("    \"entries\": [");
+        for (i, h) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let buckets: Vec<String> = h
+                .buckets
+                .iter()
+                .map(|&(idx, c)| format!("[{idx}, {c}]"))
+                .collect();
+            out.push_str(&format!(
+                "\n      {{\"name\": \"{}\", \"count\": {}, \"sum_ns\": {},                  \"min_ns\": {}, \"max_ns\": {}, \"p50_ns\": {}, \"p90_ns\": {},                  \"p99_ns\": {}, \"p999_ns\": {}, \"buckets\": [{}]}}",
+                escape_json(h.name),
+                h.count,
+                h.sum_ns,
+                h.min_ns,
+                h.max_ns,
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
+                h.quantile(0.999),
+                buckets.join(", "),
+            ));
+        }
+        if !self.histograms.is_empty() {
+            out.push_str("\n    ");
+        }
+        out.push_str("]\n  }\n}\n");
         out
     }
 }
@@ -417,6 +473,7 @@ impl Recorder {
         RunMetrics {
             regions: std::mem::take(&mut *self.slots.lock()),
             counters: std::mem::take(&mut *self.counters.lock()),
+            histograms: Vec::new(),
         }
     }
 }
@@ -501,9 +558,12 @@ mod tests {
                 value: 17,
                 kind: "sum",
             }],
+            ..RunMetrics::default()
         };
         let json = rm.to_json();
         assert!(json.contains("\"schema\": \"hcd-metrics-v1\""));
+        assert!(json.contains("\"histograms\": {"));
+        assert!(json.contains("\"sub_bits\": 2"));
         assert!(json.contains("\"name\": \"phcd.union\""));
         assert!(json.contains("\"chunk_max_ns\": 300"));
         assert!(json.contains("\"imbalance\": 1.5000"));
@@ -529,6 +589,7 @@ mod tests {
                 value: 1,
                 kind: "sum",
             }],
+            ..RunMetrics::default()
         };
         let json = rm.to_json();
         assert!(json.contains(r#""we\"ird\\na\nme""#), "{json}");

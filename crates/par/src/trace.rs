@@ -423,7 +423,10 @@ fn micros(ns: u64) -> String {
 }
 
 /// Escapes a string for embedding in a JSON string literal.
-pub(crate) fn escape_json(s: &str) -> String {
+/// Escapes `s` for embedding inside a JSON string literal. Shared by
+/// every hand-rolled JSON emitter in the workspace (the workspace is
+/// serde-free by design).
+pub fn escape_json(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
         match c {

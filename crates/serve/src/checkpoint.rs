@@ -81,6 +81,7 @@ pub fn write_checkpoint(
     g: &CsrGraph,
     exec: &Executor,
 ) -> Result<PathBuf, CheckpointError> {
+    let _lat = exec.time("serve.ckpt.write");
     let final_path = dir.join(checkpoint_file_name(seq));
     let tmp_path = dir.join(format!("{}{TMP_SUFFIX}", checkpoint_file_name(seq)));
     let mut bytes = Vec::new();

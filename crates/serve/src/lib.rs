@@ -41,6 +41,7 @@
 //! pending graph state is picked up by the next successful publication.
 
 pub mod checkpoint;
+pub mod events;
 #[cfg(test)]
 mod proptests;
 pub mod recover;
@@ -50,10 +51,11 @@ pub mod wal;
 pub mod workload;
 
 pub use checkpoint::CheckpointError;
+pub use events::{EventLog, EVENTS_SCHEMA};
 pub use recover::{RecoverError, RecoveryReport};
 pub use service::{
     BatchAnswers, DurabilityConfig, HcdService, Query, QueryAnswer, Response, ServeError,
 };
 pub use snapshot::Snapshot;
 pub use wal::{FsyncPolicy, TailStatus, WalError, WalScan, WalWriter, WAL_FILE_NAME};
-pub use workload::{run_workload, WorkloadConfig, WorkloadSummary};
+pub use workload::{run_workload, run_workload_with, WorkloadConfig, WorkloadSummary};

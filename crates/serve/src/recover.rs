@@ -52,6 +52,12 @@ pub struct RecoveryReport {
     pub final_seq: u64,
     /// Bytes of torn tail truncated from the log (0 for a clean log).
     pub truncated_bytes: u64,
+    /// Total WAL bytes the recovery scan read (valid frames plus any
+    /// torn tail it classified).
+    pub bytes_scanned: u64,
+    /// Wall-clock time of the whole recovery (checkpoint load + scan +
+    /// replay + rebuild + publish), in nanoseconds.
+    pub wall_ns: u64,
 }
 
 impl RecoveryReport {
@@ -129,6 +135,7 @@ impl HcdService {
         cfg: DurabilityConfig,
         exec: &Executor,
     ) -> Result<(Self, RecoveryReport), RecoverError> {
+        let started = std::time::Instant::now();
         let dir = dir.as_ref().to_path_buf();
         let (checkpoint_seq, graph, checkpoints_skipped) =
             load_newest_valid(&dir)?.ok_or_else(|| RecoverError::NoCheckpoint(dir.clone()))?;
@@ -173,6 +180,8 @@ impl HcdService {
         // Reopen the log for appending; open_at also performs the
         // truncate-at-last-valid-record repair for a torn tail.
         let wal = WalWriter::open_at(&wal_path, cfg.fsync, scan.valid_len())?;
+        let bytes_scanned = scan.valid_len() + truncated_bytes;
+        let wall_ns = u64::try_from(started.elapsed().as_nanos()).unwrap_or(u64::MAX);
         let report = RecoveryReport {
             checkpoint_seq,
             checkpoints_skipped,
@@ -180,7 +189,21 @@ impl HcdService {
             replayed,
             final_seq,
             truncated_bytes,
+            bytes_scanned,
+            wall_ns,
         };
+        // Surface the report in the metrics snapshot too
+        // (`serve.recovery.*`). Gauges rather than sums so a legitimate
+        // zero (nothing replayed, no checkpoints damaged) still shows
+        // up as an explicit counter row.
+        exec.gauge("serve.recovery.records_replayed", replayed as u64);
+        exec.gauge("serve.recovery.bytes_scanned", bytes_scanned);
+        exec.gauge(
+            "serve.recovery.checkpoints_skipped",
+            checkpoints_skipped as u64,
+        );
+        exec.gauge("serve.recovery.wall_ns", wall_ns);
+        exec.observe_ns("serve.recover", wall_ns);
         let durable = Durable {
             dir,
             wal,

@@ -11,6 +11,7 @@ use hcd_search::{try_pbks_on, BestCore, Metric};
 use parking_lot::Mutex;
 
 use crate::checkpoint::{self, CheckpointError};
+use crate::events::EventLog;
 use crate::snapshot::Snapshot;
 use crate::wal::{FsyncPolicy, WalError, WalWriter, WAL_FILE_NAME};
 
@@ -223,6 +224,10 @@ pub struct HcdService {
     /// guarded by the writer lock; atomic so readers of the flag don't
     /// need it.
     writer_dirty: std::sync::atomic::AtomicBool,
+    /// Structured writer event log (see [`crate::events`]); `None`
+    /// unless attached. Leaf lock: taken only while already holding the
+    /// writer lock, released before returning.
+    events: Mutex<Option<EventLog>>,
 }
 
 impl HcdService {
@@ -236,6 +241,7 @@ impl HcdService {
             durable: Mutex::new(None),
             stale_reads: std::sync::atomic::AtomicU64::new(0),
             writer_dirty: std::sync::atomic::AtomicBool::new(false),
+            events: Mutex::new(None),
         })
     }
 
@@ -280,6 +286,7 @@ impl HcdService {
             durable: Mutex::new(Some(durable)),
             stale_reads: std::sync::atomic::AtomicU64::new(0),
             writer_dirty: std::sync::atomic::AtomicBool::new(false),
+            events: Mutex::new(None),
         }
     }
 
@@ -291,6 +298,20 @@ impl HcdService {
     /// The durability directory, when the service is durable.
     pub fn durability_dir(&self) -> Option<PathBuf> {
         self.durable.lock().as_ref().map(|d| d.dir.clone())
+    }
+
+    /// Attaches a structured writer event log: every later write-path
+    /// decision (batch applied, published, no-op, checkpoint, fault)
+    /// is appended as one JSONL record. Replaces any previous log.
+    pub fn attach_event_log(&self, log: EventLog) {
+        *self.events.lock() = Some(log);
+    }
+
+    /// Runs `f` against the attached event log, if any.
+    fn with_events(&self, f: impl FnOnce(&EventLog)) {
+        if let Some(log) = self.events.lock().as_ref() {
+            f(log);
+        }
     }
 
     /// Infallible [`HcdService::try_new`] (panics on construction
@@ -328,6 +349,7 @@ impl HcdService {
         T: Send,
         F: Fn(&Snapshot) -> T + Sync,
     {
+        let _lat = exec.time(region);
         let snap = self.cell.load();
         let slot: Mutex<Option<T>> = Mutex::new(None);
         exec.region(region).try_for_each_chunk(
@@ -416,6 +438,22 @@ impl HcdService {
         })
     }
 
+    /// Whether `u` and `v` share a k-core (region `serve.query.same`).
+    pub fn try_same_k_core(
+        &self,
+        u: VertexId,
+        v: VertexId,
+        k: u32,
+        exec: &Executor,
+    ) -> Result<Response<bool>, ParError> {
+        self.try_query_one("serve.query.same", exec, move |snap| {
+            matches!(
+                answer(snap, &Query::SameKCore(u, v, k)),
+                QueryAnswer::SameKCore(true)
+            )
+        })
+    }
+
     /// PBKS best-community search on the current snapshot under
     /// `metric`. The heavy regions are PBKS's own (`search.preprocess`,
     /// `pbks.*`); the service accounts it as one read.
@@ -424,6 +462,7 @@ impl HcdService {
         metric: &Metric,
         exec: &Executor,
     ) -> Result<Response<Option<BestCore>>, ParError> {
+        let _lat = exec.time("serve.query.pbks");
         let snap = self.cell.load();
         let best = try_pbks_on(&snap.graph, &snap.cores, &snap.hcd, metric, exec)?;
         self.note_reads(exec, 1, snap.generation);
@@ -441,6 +480,7 @@ impl HcdService {
         queries: &[Query],
         exec: &Executor,
     ) -> Result<BatchAnswers, ParError> {
+        let _lat = exec.time("serve.query.batch");
         let snap = self.cell.load();
         let slots: Vec<Mutex<Option<QueryAnswer>>> =
             queries.iter().map(|_| Mutex::new(None)).collect();
@@ -519,6 +559,9 @@ impl HcdService {
             // reflects the writer state exactly: acknowledge without
             // logging, bumping the sequence, or publishing.
             exec.add_counter("serve.noop_batches", 1);
+            self.with_events(|log| {
+                log.noop(writer.seq(), self.cell.generation(), updates.len() as u64)
+            });
             return Ok(Response {
                 generation: self.cell.generation(),
                 value: BatchReport {
@@ -529,6 +572,14 @@ impl HcdService {
                 },
             });
         }
+        // Everything past the fast path is real write work: time it as
+        // one `serve.apply` histogram sample and stamp the event-log
+        // records with durations from the same clock reading.
+        let started = std::time::Instant::now();
+        let _apply_lat = exec.time("serve.apply");
+        let seq_attempt = writer.seq() + 1;
+        let elapsed_ns =
+            |s: std::time::Instant| u64::try_from(s.elapsed().as_nanos()).unwrap_or(u64::MAX);
         if let Some(d) = durable.as_mut() {
             // Log under the sequence number apply_batch is about to
             // stamp, so replay and live application agree exactly.
@@ -542,7 +593,16 @@ impl HcdService {
                         d.poisoned = true;
                     }
                     exec.add_counter("serve.wal_errors", 1);
-                    return Err(ServeError::Wal(e));
+                    let e = ServeError::Wal(e);
+                    self.with_events(|log| {
+                        log.fault_kept_old_snapshot(
+                            seq_attempt,
+                            self.cell.generation(),
+                            &e.to_string(),
+                            elapsed_ns(started),
+                        )
+                    });
+                    return Err(e);
                 }
             }
         }
@@ -551,10 +611,23 @@ impl HcdService {
         // (and logged) but not served. Mark the forest stale up front;
         // a completed publish clears it.
         self.writer_dirty.store(true, Ordering::Relaxed);
-        let report = writer
-            .try_apply_batch(updates, exec)
-            .map_err(ServeError::Par)?;
+        let report = match writer.try_apply_batch(updates, exec) {
+            Ok(r) => r,
+            Err(e) => {
+                let e = ServeError::Par(e);
+                self.with_events(|log| {
+                    log.fault_kept_old_snapshot(
+                        seq_attempt,
+                        self.cell.generation(),
+                        &e.to_string(),
+                        elapsed_ns(started),
+                    )
+                });
+                return Err(e);
+            }
+        };
         exec.add_counter("serve.batches", 1);
+        let affected = (report.changed.len() + report.touched.len()) as u64;
 
         // The published forest is exact for the pre-batch graph unless a
         // previous publish failed; repair it with the batch's changed
@@ -566,7 +639,7 @@ impl HcdService {
         let parts: Mutex<Option<(CsrGraph, _, Option<hcd_core::Hcd>)>> = Mutex::new(None);
         let writer_ref = &*writer;
         let report_ref = &report;
-        exec.region("serve.rebuild").try_for_each_chunk(
+        let rebuilt = exec.region("serve.rebuild").try_for_each_chunk(
             1,
             || (),
             |_, _, _| {
@@ -576,26 +649,67 @@ impl HcdService {
                 let hcd = prev.as_ref().map(|p| {
                     let mut dirty = report_ref.changed.clone();
                     dirty.extend_from_slice(&report_ref.touched);
+                    let _lat = exec.time("serve.repair");
                     p.hcd.repair(&csr, &cores, &dirty)
                 });
                 *parts.lock() = Some((csr, cores, hcd));
                 Ok(())
             },
-        )?;
+        );
+        if let Err(e) = rebuilt {
+            let e = ServeError::Par(e);
+            self.with_events(|log| {
+                log.fault_kept_old_snapshot(
+                    report.seq,
+                    self.cell.generation(),
+                    &e.to_string(),
+                    elapsed_ns(started),
+                )
+            });
+            return Err(e);
+        }
         let (csr, cores, repaired) = parts.into_inner().expect("rebuild region ran");
         let hcd = match repaired {
             Some(hcd) => hcd,
-            None => hcd_core::try_phcd(&csr, &cores, exec)?,
+            None => match hcd_core::try_phcd(&csr, &cores, exec) {
+                Ok(hcd) => hcd,
+                Err(e) => {
+                    let e = ServeError::Par(e);
+                    self.with_events(|log| {
+                        log.fault_kept_old_snapshot(
+                            report.seq,
+                            self.cell.generation(),
+                            &e.to_string(),
+                            elapsed_ns(started),
+                        )
+                    });
+                    return Err(e);
+                }
+            },
         };
 
+        self.with_events(|log| {
+            log.batch_applied(
+                report.seq,
+                self.cell.generation(),
+                report.applied as u64,
+                report.skipped as u64,
+                affected,
+                elapsed_ns(started),
+            )
+        });
         let generation = self.cell.generation() + 1;
         let snapshot = Arc::new(Snapshot::from_parts(csr, cores, hcd, generation));
-        let published = self.cell.publish(Arc::clone(&snapshot));
+        let published = {
+            let _lat = exec.time("serve.publish");
+            self.cell.publish(Arc::clone(&snapshot))
+        };
         // The writer lock serializes publications, so the generation we
         // stamped is the one the cell advanced to.
         debug_assert_eq!(published, generation);
         self.writer_dirty.store(false, Ordering::Relaxed);
         exec.add_counter("serve.swaps", 1);
+        self.with_events(|log| log.published(report.seq, published, affected, elapsed_ns(started)));
 
         if let Some(d) = durable.as_mut() {
             // Saturating: recovery can restore a checkpoint newer than
@@ -604,10 +718,14 @@ impl HcdService {
             let due = d.cfg.checkpoint_every > 0
                 && report.seq.saturating_sub(d.last_checkpoint_seq) >= d.cfg.checkpoint_every;
             if due {
+                let ckpt_started = std::time::Instant::now();
                 match checkpoint::write_checkpoint(&d.dir, report.seq, &snapshot.graph, exec) {
                     Ok(_) => {
                         d.last_checkpoint_seq = report.seq;
                         exec.add_counter("serve.checkpoints", 1);
+                        self.with_events(|log| {
+                            log.checkpoint(report.seq, published, elapsed_ns(ckpt_started))
+                        });
                     }
                     Err(CheckpointError::Crashed(_)) => {
                         // The batch is already durable (WAL) and
@@ -830,8 +948,14 @@ mod tests {
         assert!(Arc::ptr_eq(&snap_before, &svc.snapshot()));
         let m = exec.take_metrics();
         assert!(m.get_counter("serve.swaps").is_none(), "swap on a no-op");
-        assert!(m.get_counter("serve.wal_appends").is_none(), "WAL append on a no-op");
-        assert!(m.get_counter("serve.batches").is_none(), "batch counted on a no-op");
+        assert!(
+            m.get_counter("serve.wal_appends").is_none(),
+            "WAL append on a no-op"
+        );
+        assert!(
+            m.get_counter("serve.batches").is_none(),
+            "batch counted on a no-op"
+        );
         assert_eq!(m.get_counter("serve.noop_batches").unwrap().value, 1);
         // An empty batch takes the same fast path.
         let resp = svc.try_apply_batch(&[], &exec).unwrap();

@@ -386,6 +386,7 @@ impl WalWriter {
         if self.poisoned {
             return Err(WalError::Poisoned);
         }
+        let _lat = exec.time("serve.wal.append");
         let frame = encode_record(seq, updates);
 
         if exec.crash_point(CrashPoint::WalPreAppend) {
@@ -424,7 +425,11 @@ impl WalWriter {
             FsyncPolicy::Never => false,
         };
         if sync_now {
-            if let Err(e) = self.file.sync_data() {
+            let synced = {
+                let _lat = exec.time("serve.wal.fsync");
+                self.file.sync_data()
+            };
+            if let Err(e) = synced {
                 // After a failed fsync the durable state is unknowable;
                 // refuse all further work on this writer.
                 self.poisoned = true;

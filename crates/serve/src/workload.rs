@@ -53,6 +53,11 @@ pub struct WorkloadSummary {
     pub queries: u64,
     /// Query batches issued.
     pub query_batches: u64,
+    /// Single-query read ops issued through the typed per-query-type
+    /// entry points (`try_core_containing` & co.), which is what
+    /// populates the `serve.query.core` / `.position` / `.member` /
+    /// `.same` latency histograms.
+    pub single_queries: u64,
     /// Update batches applied (each one publishes a snapshot, unless
     /// the writer's no-op fast path kicked in).
     pub update_batches: u64,
@@ -70,6 +75,10 @@ pub struct WorkloadSummary {
     /// Generation of the last published snapshot.
     pub final_generation: u64,
 }
+
+/// Fraction of read ops issued as one typed single query instead of a
+/// full batch.
+const SINGLE_QUERY_RATIO: f64 = 0.25;
 
 fn random_query(rng: &mut ChaCha8Rng, universe: VertexId) -> Query {
     let v = rng.gen_range(0..universe);
@@ -113,20 +122,60 @@ pub fn run_workload(
     cfg: &WorkloadConfig,
     exec: &Executor,
 ) -> Result<WorkloadSummary, ServeError> {
+    run_workload_with(service, cfg, exec, 0, |_, _| {})
+}
+
+/// [`run_workload`] with a progress hook: when `progress_every > 0`,
+/// `progress(ops_done, &summary_so_far)` is called after every
+/// `progress_every` completed operations (`serve-bench
+/// --stats-interval` prints in-flight histogram snapshots from it).
+/// The hook never affects the operation stream, so determinism is
+/// preserved.
+pub fn run_workload_with<F>(
+    service: &HcdService,
+    cfg: &WorkloadConfig,
+    exec: &Executor,
+    progress_every: usize,
+    mut progress: F,
+) -> Result<WorkloadSummary, ServeError>
+where
+    F: FnMut(usize, &WorkloadSummary),
+{
     assert!(cfg.universe > 0, "vertex universe must be non-empty");
     assert!(cfg.batch_size > 0, "batch size must be positive");
     let mut rng = <ChaCha8Rng as rand::SeedableRng>::seed_from_u64(cfg.seed);
     let mut summary = WorkloadSummary::default();
-    for _ in 0..cfg.ops {
+    for op in 0..cfg.ops {
         if rng.gen_bool(cfg.read_ratio.clamp(0.0, 1.0)) {
-            let queries: Vec<Query> = (0..cfg.batch_size)
-                .map(|_| random_query(&mut rng, cfg.universe))
-                .collect();
-            let batch = service.try_query_batch(&queries, exec)?;
-            summary.queries += batch.answers.len() as u64;
-            summary.query_batches += 1;
-            summary.positive_answers +=
-                batch.answers.iter().filter(|a| is_positive(a)).count() as u64;
+            if rng.gen_bool(SINGLE_QUERY_RATIO) {
+                // One query through its typed entry point, so every
+                // per-query-type region and latency histogram
+                // (`serve.query.core` / `.position` / `.member` /
+                // `.same`) sees real traffic.
+                let q = random_query(&mut rng, cfg.universe);
+                let positive = match q {
+                    Query::CoreContaining(v, k) => {
+                        service.try_core_containing(v, k, exec)?.value.is_some()
+                    }
+                    Query::HierarchyPosition(v) => {
+                        service.try_hierarchy_position(v, exec)?.value.is_some()
+                    }
+                    Query::InKCore(v, k) => service.try_in_k_core(v, k, exec)?.value,
+                    Query::SameKCore(u, v, k) => service.try_same_k_core(u, v, k, exec)?.value,
+                };
+                summary.queries += 1;
+                summary.single_queries += 1;
+                summary.positive_answers += positive as u64;
+            } else {
+                let queries: Vec<Query> = (0..cfg.batch_size)
+                    .map(|_| random_query(&mut rng, cfg.universe))
+                    .collect();
+                let batch = service.try_query_batch(&queries, exec)?;
+                summary.queries += batch.answers.len() as u64;
+                summary.query_batches += 1;
+                summary.positive_answers +=
+                    batch.answers.iter().filter(|a| is_positive(a)).count() as u64;
+            }
         } else {
             let updates: Vec<EdgeUpdate> = (0..cfg.batch_size)
                 .map(|_| random_update(&mut rng, cfg.universe))
@@ -139,6 +188,10 @@ pub fn run_workload(
             if resp.generation == before {
                 summary.noop_update_batches += 1;
             }
+        }
+        if progress_every > 0 && (op + 1) % progress_every == 0 {
+            summary.final_generation = service.generation();
+            progress(op + 1, &summary);
         }
     }
     summary.final_generation = service.generation();
@@ -183,7 +236,11 @@ mod tests {
             first.final_generation,
             first.update_batches - first.noop_update_batches
         );
-        assert_eq!(first.queries, first.query_batches * cfg.batch_size as u64);
+        assert_eq!(
+            first.queries,
+            first.query_batches * cfg.batch_size as u64 + first.single_queries
+        );
+        assert!(first.single_queries > 0, "no typed single queries ran");
     }
 
     #[test]
@@ -200,6 +257,31 @@ mod tests {
         let s = run_workload(&svc, &cfg, &exec).unwrap();
         assert_eq!(s.update_batches, 0);
         assert_eq!(s.final_generation, 0);
-        assert_eq!(s.queries, 40);
+        assert_eq!(s.query_batches + s.single_queries, 10, "every op is a read");
+        assert_eq!(
+            s.queries,
+            s.query_batches * cfg.batch_size as u64 + s.single_queries
+        );
+    }
+
+    #[test]
+    fn progress_hook_fires_on_schedule_without_changing_the_stream() {
+        let exec = Executor::sequential();
+        let svc = HcdService::new(&seed_graph(), &exec);
+        let cfg = WorkloadConfig {
+            ops: 10,
+            batch_size: 4,
+            universe: 16,
+            ..WorkloadConfig::default()
+        };
+        let baseline = run_workload(&svc, &cfg, &exec).unwrap();
+        let svc2 = HcdService::new(&seed_graph(), &exec);
+        let mut ticks = Vec::new();
+        let observed = run_workload_with(&svc2, &cfg, &exec, 3, |done, s| {
+            ticks.push((done, s.queries));
+        })
+        .unwrap();
+        assert_eq!(ticks.iter().map(|&(d, _)| d).collect::<Vec<_>>(), [3, 6, 9]);
+        assert_eq!(observed, baseline, "hook must not perturb the workload");
     }
 }

@@ -7,7 +7,7 @@
 //! hcd-cli core   <graph> -v VERTEX -k K                   # the k-core containing v
 //! hcd-cli dot    <graph> [-p P] [--order O]               # Graphviz DOT of the HCD
 //! hcd-cli gen    <model> <out> [--seed S]                 # generate a synthetic graph
-//! hcd-cli serve-bench <graph> [--durable DIR] [--seed S] [--ops N] [--batch B] [--read-ratio R] [-p P] [--timeout-ms T] [--metrics M.json] [--trace T.json]
+//! hcd-cli serve-bench <graph> [--durable DIR] [--seed S] [--ops N] [--batch B] [--read-ratio R] [--events E.jsonl] [--stats-interval N] [-p P] [--timeout-ms T] [--metrics M.json] [--trace T.json]
 //! hcd-cli wal-inspect <dir|wal.log>                       # scan a write-ahead log
 //! hcd-cli metrics-diff <old.json> <new.json> [--threshold X] [--abs-floor-ns N] [--counters-only]
 //! hcd-cli help                                            # usage and exit codes
@@ -80,7 +80,7 @@ const USAGE: &str = "usage:
   hcd-cli core   <graph> -v <vertex> -k <k>
   hcd-cli dot    <graph> [-p threads] [--order none|degree]
   hcd-cli gen    <rmat|ba|er|ws|tree> <out.txt> [--seed S]
-  hcd-cli serve-bench <graph> [--durable DIR] [--seed S] [--ops N] [--batch B] [--read-ratio R] [-p threads] [--timeout-ms T] [--metrics out.json] [--trace out.json]
+  hcd-cli serve-bench <graph> [--durable DIR] [--seed S] [--ops N] [--batch B] [--read-ratio R] [--events out.jsonl] [--stats-interval N] [-p threads] [--timeout-ms T] [--metrics out.json] [--trace out.json]
   hcd-cli wal-inspect <dir|wal.log>
   hcd-cli metrics-diff <old.json> <new.json> [--threshold X] [--abs-floor-ns N] [--counters-only]
   hcd-cli help
@@ -98,10 +98,24 @@ strides inside hot loops; on expiry the command exits with code 124.
 serve-bench stands up the snapshot-isolated query service on the input
 graph and drives a seeded mixed read/update workload against it
 (--ops operations of --batch queries or edge updates each, reads with
-probability --read-ratio, default 0.9). The operation stream is a pure
+probability --read-ratio, default 0.9; a quarter of the reads are
+single typed queries instead of full batches so every serve.query.*
+latency histogram gets traffic). The operation stream is a pure
 function of --seed, so counters are reproducible run-to-run with -p 1;
-combine with --metrics + metrics-diff --counters-only to gate the
-serve.* counters in CI.
+combine with --metrics + metrics-diff to gate the serve.* counters and
+p99 latencies in CI.
+
+serve-bench always arms metrics and latency histograms and finishes
+with a per-boundary latency report (p50/p99/p999/max for each
+serve.query.* read path and the writer-side apply / wal / fsync /
+checkpoint / repair / publish stages) read back out of the emitted
+hcd-metrics-v1 snapshot; --metrics additionally writes that snapshot
+to a file. --stats-interval N prints an in-flight one-line report
+every N operations while the workload runs. --events out.jsonl
+attaches a structured writer event log (schema hcd-events-v1, one
+JSON object per line): batch-applied / published / no-op / checkpoint
+/ recovery / fault-kept-old-snapshot records carrying the WAL seq,
+snapshot generation, affected-vertex count, and duration.
 
 --durable DIR makes the service crash-safe: every update batch is
 appended to a checksummed write-ahead log in DIR (fsynced before it is
@@ -115,9 +129,10 @@ with exit code 4 after the run; mid-log corruption refuses to recover
 with exit code 1.
 
 wal-inspect scans a write-ahead log (a durability directory or the
-wal.log file itself) without modifying it and reports its records and
-tail state: exit 0 for a clean log, 4 for a torn tail, 1 for
-corruption.
+wal.log file itself) without modifying it and reports its records,
+tail state, and a trailing one-line summary (record count, payload
+bytes, seq range, tail status): exit 0 for a clean log, 4 for a torn
+tail, 1 for corruption.
 
 --metrics writes per-region runtime observability (schema
 hcd-metrics-v1) as JSON; the file is written even when the command
@@ -129,10 +144,13 @@ Chrome trace-event JSON, loadable in Perfetto / chrome://tracing; like
 flag writes the document to stdout instead of a file.
 
 metrics-diff compares two hcd-metrics-v1 snapshots and exits 3 when
-any total, per-region time, imbalance, or counter regressed past the
-threshold (default 1.25x, ignoring deltas under --abs-floor-ns,
-default 100000). With --counters-only, timing and imbalance rows are
-reported but only counter regressions gate (for CI on noisy runners).
+any total, per-region time, imbalance, counter, or histogram p99
+regressed past the threshold (default 1.25x, ignoring deltas under
+--abs-floor-ns, default 100000; histogram p50/p999/max are reported
+but advisory). With --counters-only, timing, imbalance, and histogram
+rows are reported but only counter regressions gate (for CI on noisy
+runners). Top-level snapshot sections the parser does not recognize
+are skipped with a warning naming each one.
 
 exit codes:
   0    success
@@ -231,12 +249,15 @@ fn run(args: &[String]) -> Result<(), CliError> {
             args.get(2).ok_or_else(|| usage("missing output path"))?,
             flag_value(args, "--seed")?,
         ),
-        "serve-bench" => {
-            let path = args.get(1).ok_or_else(|| usage("missing graph path"))?;
-            with_metrics(args, exec_options(args)?, |exec| {
-                serve_bench(path, args, exec)
-            })
-        }
+        // serve-bench manages its own metrics/trace lifecycle (not
+        // `with_metrics`): it always arms metrics + histograms because
+        // the latency report below is sourced from the emitted
+        // snapshot, and it must drain the executor exactly once.
+        "serve-bench" => serve_bench(
+            args.get(1).ok_or_else(|| usage("missing graph path"))?,
+            args,
+            &exec_options(args)?,
+        ),
         "wal-inspect" => wal_inspect(args.get(1).ok_or_else(|| usage("missing wal path"))?),
         "metrics-diff" => metrics_diff(args),
         "help" | "--help" | "-h" => {
@@ -379,6 +400,14 @@ fn metrics_diff(args: &[String]) -> Result<(), CliError> {
     };
     let old = read_snapshot(old_path)?;
     let new = read_snapshot(new_path)?;
+    // Sections the parser does not understand are excluded from the
+    // comparison; say so, or schema drift between the two snapshots
+    // would pass silently.
+    for (path, snap) in [(old_path, &old), (new_path, &new)] {
+        for section in &snap.unknown_sections {
+            eprintln!("warning: {path}: ignoring unknown section `{section}`");
+        }
+    }
     let report = diff_metrics(&old, &new, &opts);
     print!("{report}");
     if report.regressed() {
@@ -501,10 +530,25 @@ where
     }
 }
 
+/// Renders nanoseconds in the most readable unit for its magnitude.
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.0}ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.1}us", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2}ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3}s", ns / 1_000_000_000.0)
+    }
+}
+
 /// `serve-bench <graph>` — builds the generation-0 snapshot, then drives
 /// the seeded mixed read/update workload from `hcd_serve::run_workload`
-/// through the shared executor, printing the summary. All `serve.*`
-/// regions and counters land in `--metrics` output.
+/// through the shared executor, printing the summary and a per-boundary
+/// latency report (p50/p99/p999) read back out of the emitted
+/// `hcd-metrics-v1` snapshot. Metrics and histograms are always armed;
+/// `--metrics` only controls whether the snapshot is also written out.
 fn serve_bench(path: &str, args: &[String], exec: &Executor) -> Result<(), CliError> {
     let g = load(path)?;
     let cfg = WorkloadConfig {
@@ -523,6 +567,18 @@ fn serve_bench(path: &str, args: &[String], exec: &Executor) -> Result<(), CliEr
         )));
     }
     let durable_dir = flag_value(args, "--durable")?;
+    let metrics_path = flag_value(args, "--metrics")?;
+    let trace_path = flag_value(args, "--trace")?;
+    let events_path = flag_value(args, "--events")?;
+    let stats_interval = num_flag(args, "--stats-interval", 0usize)?;
+    // The latency report is part of the bench output, so histograms
+    // (and the metrics they are drained through) are armed
+    // unconditionally — `--metrics` only adds the file write.
+    exec.set_metrics_enabled(true);
+    exec.arm_histograms();
+    if trace_path.is_some() {
+        exec.arm_trace();
+    }
     let mut recovery: Option<RecoveryReport> = None;
     let service = match &durable_dir {
         None => HcdService::try_new(&g, exec).map_err(par_err)?,
@@ -544,6 +600,13 @@ fn serve_bench(path: &str, args: &[String], exec: &Executor) -> Result<(), CliEr
                         ""
                     }
                 );
+                println!("replayed records = {}", report.replayed);
+                println!("bytes scanned    = {}", report.bytes_scanned);
+                println!("skipped ckpts    = {}", report.checkpoints_skipped);
+                println!(
+                    "recovery wall    = {:.3}ms",
+                    report.wall_ns as f64 / 1_000_000.0
+                );
                 recovery = Some(report);
                 svc
             } else {
@@ -552,9 +615,52 @@ fn serve_bench(path: &str, args: &[String], exec: &Executor) -> Result<(), CliEr
             }
         }
     };
+    if let Some(p) = &events_path {
+        let log = EventLog::create(p)
+            .map_err(|e| CliError::Runtime(format!("cannot create event log {p}: {e}")))?;
+        if let Some(r) = &recovery {
+            log.recovery(r);
+        }
+        service.attach_event_log(log);
+    }
     let start = std::time::Instant::now();
-    let summary = run_workload(&service, &cfg, exec).map_err(serve_err)?;
+    let run_result = run_workload_with(&service, &cfg, exec, stats_interval, |done, s| {
+        // Periodic in-flight report: peek (not drain) the histograms so
+        // the final snapshot still covers the whole run.
+        let mut parts: Vec<String> = Vec::new();
+        for h in exec.histogram_snapshots() {
+            if h.count > 0 && (h.name.starts_with("serve.query.") || h.name == "serve.apply") {
+                parts.push(format!(
+                    "{} p99={}",
+                    h.name.trim_start_matches("serve."),
+                    fmt_ns(h.quantile(0.99) as f64)
+                ));
+            }
+        }
+        println!(
+            "in-flight        = op {done}/{} gen {} | {}",
+            cfg.ops,
+            s.final_generation,
+            parts.join(" | ")
+        );
+    })
+    .map_err(serve_err);
     let elapsed = start.elapsed();
+    // Drain the executor exactly once; the same JSON document feeds the
+    // latency report below and the optional --metrics file, and — like
+    // `with_metrics` — is written even when the run failed.
+    let json = exec.take_metrics().to_json();
+    let mut doc_result: Result<(), CliError> = Ok(());
+    if let Some(p) = &metrics_path {
+        doc_result = doc_result.and(write_doc("metrics", p, &json));
+    }
+    if let Some(p) = &trace_path {
+        let trace_json = exec.take_trace().to_chrome_json();
+        doc_result = doc_result.and(write_doc("trace", p, &trace_json));
+    }
+    // A run failure takes precedence over an observability-write failure.
+    let summary = run_result?;
+    doc_result?;
     println!("graph            = {path}");
     if let Some(dir) = &durable_dir {
         println!("durable dir      = {dir}");
@@ -563,6 +669,7 @@ fn serve_bench(path: &str, args: &[String], exec: &Executor) -> Result<(), CliEr
     println!("batch size       = {}", cfg.batch_size);
     println!("read ratio       = {}", cfg.read_ratio);
     println!("queries          = {}", summary.queries);
+    println!("single queries   = {}", summary.single_queries);
     println!("query batches    = {}", summary.query_batches);
     println!("update batches   = {}", summary.update_batches);
     println!("no-op batches    = {}", summary.noop_update_batches);
@@ -571,6 +678,35 @@ fn serve_bench(path: &str, args: &[String], exec: &Executor) -> Result<(), CliEr
     println!("positive answers = {}", summary.positive_answers);
     println!("final generation = {}", summary.final_generation);
     println!("elapsed          = {:.3}s", elapsed.as_secs_f64());
+    // The latency report is read back out of the emitted JSON snapshot
+    // (not the live executor), so what is printed is exactly what a
+    // metrics-diff against the same file would gate on.
+    let snap = Snapshot::parse(&json)
+        .map_err(|e| CliError::Runtime(format!("emitted metrics snapshot did not parse: {e}")))?;
+    let mut hists: Vec<&SnapshotHistogram> = snap
+        .histograms
+        .iter()
+        .filter(|h| h.name.starts_with("serve."))
+        .collect();
+    hists.sort_by(|a, b| a.name.cmp(&b.name));
+    if !hists.is_empty() {
+        println!("latency (p50/p99/p999/max from the emitted hcd-metrics-v1 histograms)");
+        for h in hists {
+            println!(
+                "  {:<18} p50={:<8} p99={:<8} p999={:<8} max={:<8} n={}",
+                h.name,
+                fmt_ns(h.p50_ns),
+                fmt_ns(h.p99_ns),
+                fmt_ns(h.p999_ns),
+                fmt_ns(h.max_ns),
+                h.count as u64
+            );
+        }
+    }
+    if let Some(p) = &events_path {
+        let lines = std::fs::read_to_string(p).map_or(0, |s| s.lines().count());
+        println!("events           = {lines} line(s) -> {p}");
+    }
     // The run itself succeeded; surface a tail truncation as the
     // distinct warning exit code after everything is printed.
     if let Some(r) = recovery {
@@ -611,9 +747,32 @@ fn wal_inspect(path: &str) -> Result<(), CliError> {
         println!("seq range        = {}..={}", first.seq, last.seq);
     }
     println!("valid bytes      = {}", scan.valid_len());
+    // One trailing machine-grepable roll-up of everything above.
+    let payload_bytes: u64 = scan
+        .records
+        .iter()
+        .map(|r| hcd::serve::wal::encode_payload(r.seq, &r.updates).len() as u64)
+        .sum();
+    let seq_range = match (scan.records.first(), scan.records.last()) {
+        (Some(first), Some(last)) => format!("seq {}..={}", first.seq, last.seq),
+        _ => "seq -".to_string(),
+    };
+    let tail_word = match scan.tail {
+        TailStatus::Clean => "clean",
+        TailStatus::TornTail { .. } => "torn",
+        TailStatus::Corrupt { .. } => "corrupt",
+    };
+    let summary = format!(
+        "summary          = {} record(s), {} payload byte(s), {}, tail {}",
+        scan.records.len(),
+        payload_bytes,
+        seq_range,
+        tail_word
+    );
     match scan.tail {
         TailStatus::Clean => {
             println!("tail             = clean");
+            println!("{summary}");
             Ok(())
         }
         TailStatus::TornTail {
@@ -621,12 +780,14 @@ fn wal_inspect(path: &str) -> Result<(), CliError> {
             valid_len,
         } => {
             println!("tail             = torn ({torn_bytes} byte(s) past offset {valid_len})");
+            println!("{summary}");
             Err(CliError::TornTail(format!(
                 "torn WAL tail: {torn_bytes} byte(s) would be truncated on recovery"
             )))
         }
         TailStatus::Corrupt { offset, reason } => {
             println!("tail             = corrupt at byte {offset}: {reason}");
+            println!("{summary}");
             Err(CliError::Runtime(format!(
                 "corrupt WAL record at byte {offset}: {reason}"
             )))

@@ -23,8 +23,9 @@ pub use hcd_core::{
 
 pub use hcd_par::{
     diff_metrics, BuildError, CancelToken, CounterValue, CrashPoint, Deadline, DiffEntry,
-    DiffOptions, DiffReport, EventKind, Executor, Fault, FaultPlan, ParError, RegionMetrics,
-    RunMetrics, Snapshot, Trace, TraceEvent, CHECKPOINT_STRIDE, METRICS_SCHEMA, TRACE_SCHEMA,
+    DiffOptions, DiffReport, EventKind, Executor, Fault, FaultPlan, HistogramSnapshot, ParError,
+    RegionMetrics, RunMetrics, Snapshot, SnapshotHistogram, Trace, TraceEvent, CHECKPOINT_STRIDE,
+    METRICS_SCHEMA, TRACE_SCHEMA,
 };
 
 pub use hcd_search::bestk::{best_k, core_set_scores, try_best_k, try_core_set_scores};
@@ -44,9 +45,10 @@ pub use hcd_dynamic::{BatchReport, DynamicCore, DynamicGraph, EdgeUpdate};
 // `hcd_serve::Snapshot` is aliased to avoid colliding with the metrics
 // snapshot exported from `hcd_par`.
 pub use hcd_serve::{
-    run_workload, BatchAnswers, CheckpointError, DurabilityConfig, FsyncPolicy, HcdService, Query,
-    QueryAnswer, RecoverError, RecoveryReport, Response, ServeError, Snapshot as ServeSnapshot,
-    TailStatus, WalError, WalScan, WalWriter, WorkloadConfig, WorkloadSummary, WAL_FILE_NAME,
+    run_workload, run_workload_with, BatchAnswers, CheckpointError, DurabilityConfig, EventLog,
+    FsyncPolicy, HcdService, Query, QueryAnswer, RecoverError, RecoveryReport, Response,
+    ServeError, Snapshot as ServeSnapshot, TailStatus, WalError, WalScan, WalWriter,
+    WorkloadConfig, WorkloadSummary, EVENTS_SCHEMA, WAL_FILE_NAME,
 };
 
 pub use hcd_truss::{

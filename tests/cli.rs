@@ -670,3 +670,262 @@ fn serve_bench_recovery_flags_a_truncated_tail_with_exit_4() {
     std::fs::remove_file(&graph).ok();
     std::fs::remove_dir_all(&dir).ok();
 }
+
+/// A snapshot carrying a `histograms` section, with the `serve.query.batch`
+/// p99 parameterized so tests can doctor a latency regression.
+fn hist_snapshot_json(p99_ns: u64) -> String {
+    let max = p99_ns.saturating_mul(2);
+    format!(
+        r#"{{
+  "schema": "hcd-metrics-v1",
+  "total_wall_ns": 1000000,
+  "total_charged_ns": 1000000,
+  "regions": [
+    {{"name": "serve.query.batch", "invocations": 1, "chunks": 1, "wall_ns": 1000000, "chunk_sum_ns": 1000000, "chunk_max_ns": 1000000, "chunk_min_ns": 1, "imbalance": 1.0, "checkpoints": 0, "cancelled": 0, "deadline_exceeded": 0, "panicked": 0, "faults_injected": 0}}
+  ],
+  "counters": [],
+  "histograms": {{"version": 1, "sub_bits": 2, "entries": [
+    {{"name": "serve.query.batch", "count": 100, "sum_ns": 5000000, "min_ns": 1000, "max_ns": {max}, "p50_ns": 20000, "p90_ns": 30000, "p99_ns": {p99_ns}, "p999_ns": {max}, "buckets": [[40, 100]]}}
+  ]}}
+}}
+"#
+    )
+}
+
+#[test]
+fn metrics_diff_gates_a_doctored_histogram_p99() {
+    let old = tmp("hist_old.json");
+    let new = tmp("hist_new.json");
+    std::fs::write(&old, hist_snapshot_json(50_000)).unwrap();
+
+    // Self-diff of a histogram-bearing snapshot is clean.
+    let out = cli()
+        .args(["metrics-diff", old.to_str().unwrap(), old.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "self-diff: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    // A 1000x doctored p99 gates with the regression exit code and the
+    // report names the histogram quantile row.
+    std::fs::write(&new, hist_snapshot_json(50_000_000)).unwrap();
+    let out = cli()
+        .args(["metrics-diff", old.to_str().unwrap(), new.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(3), "doctored p99 must exit 3");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("REGRESSED"), "{text}");
+    assert!(text.contains("hist:serve.query.batch:p99_ns"), "{text}");
+
+    // Under --counters-only the same regression is advisory.
+    let out = cli()
+        .args([
+            "metrics-diff",
+            old.to_str().unwrap(),
+            new.to_str().unwrap(),
+            "--counters-only",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "p99 is advisory under --counters-only: {}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+
+    std::fs::remove_file(&old).ok();
+    std::fs::remove_file(&new).ok();
+}
+
+#[test]
+fn metrics_diff_warns_about_unknown_sections() {
+    let old = tmp("unk_old.json");
+    let new = tmp("unk_new.json");
+    std::fs::write(&old, snapshot_json(1_000_000, 100)).unwrap();
+    let doctored = snapshot_json(1_000_000, 100).replace(
+        "\"counters\":",
+        "\"zz_experimental\": {\"x\": 1},\n  \"counters\":",
+    );
+    assert!(doctored.contains("zz_experimental"), "replace failed");
+    std::fs::write(&new, doctored).unwrap();
+
+    // The unknown section is skipped — no false regression, exit 0 —
+    // but the skip is named on stderr so schema drift is visible.
+    let out = cli()
+        .args(["metrics-diff", old.to_str().unwrap(), new.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "{}",
+        String::from_utf8_lossy(&out.stdout)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("ignoring unknown section `zz_experimental`"),
+        "{err}"
+    );
+    assert!(
+        err.contains(new.to_str().unwrap()),
+        "warning names the offending file: {err}"
+    );
+
+    std::fs::remove_file(&old).ok();
+    std::fs::remove_file(&new).ok();
+}
+
+#[test]
+fn wal_inspect_prints_a_trailing_summary() {
+    let dir = tmp("summary_dir");
+    std::fs::remove_dir_all(&dir).ok();
+    let graph = durable_run("summary", &dir);
+
+    let out = cli()
+        .args(["wal-inspect", dir.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(0));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let summary = text
+        .lines()
+        .find(|l| l.starts_with("summary          = "))
+        .unwrap_or_else(|| panic!("no summary line: {text}"));
+    assert!(summary.contains("record(s)"), "{summary}");
+    assert!(summary.contains("payload byte(s)"), "{summary}");
+    assert!(summary.contains("seq 1..="), "{summary}");
+    assert!(summary.ends_with("tail clean"), "{summary}");
+
+    // The summary is the last stdout line even on the torn-tail path.
+    let wal = dir.join("wal.log");
+    let healthy = std::fs::read(&wal).unwrap();
+    std::fs::write(&wal, &healthy[..healthy.len() - 3]).unwrap();
+    let out = cli()
+        .args(["wal-inspect", wal.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(4));
+    let text = String::from_utf8_lossy(&out.stdout);
+    let last = text.lines().last().unwrap();
+    assert!(last.starts_with("summary          = "), "{text}");
+    assert!(last.ends_with("tail torn"), "{last}");
+
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn serve_bench_reports_latency_events_and_inflight_stats() {
+    let dir = tmp("events_dir");
+    std::fs::remove_dir_all(&dir).ok();
+    let graph = tmp("events.txt");
+    let events = tmp("events.jsonl");
+    let events2 = tmp("events2.jsonl");
+    assert!(cli()
+        .args(["gen", "ba", graph.to_str().unwrap(), "--seed", "3"])
+        .status()
+        .unwrap()
+        .success());
+    let out = cli()
+        .args([
+            "serve-bench",
+            graph.to_str().unwrap(),
+            "--durable",
+            dir.to_str().unwrap(),
+            "--ops",
+            "12",
+            "--batch",
+            "6",
+            "--read-ratio",
+            "0.4",
+            "--stats-interval",
+            "4",
+            "--events",
+            events.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    // Periodic in-flight reports fired on the --stats-interval schedule.
+    assert!(
+        text.lines()
+            .filter(|l| l.starts_with("in-flight        = op"))
+            .count()
+            >= 3,
+        "{text}"
+    );
+    // The percentile report is printed from the emitted snapshot.
+    assert!(
+        text.contains("latency (p50/p99/p999/max from the emitted hcd-metrics-v1 histograms)"),
+        "{text}"
+    );
+    assert!(
+        text.lines()
+            .any(|l| l.contains("serve.query.batch") && l.contains("p99=")),
+        "{text}"
+    );
+    assert!(text.contains("events           = "), "{text}");
+
+    // Every event line is schema-tagged JSONL, and the write-heavy run
+    // produced batch-applied + published records.
+    let log = std::fs::read_to_string(&events).unwrap();
+    assert!(log.lines().count() >= 2, "{log}");
+    for line in log.lines() {
+        assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        assert!(line.contains("\"schema\": \"hcd-events-v1\""), "{line}");
+        assert!(line.contains("\"kind\": \""), "{line}");
+    }
+    assert!(log.contains("\"kind\": \"batch-applied\""), "{log}");
+    assert!(log.contains("\"kind\": \"published\""), "{log}");
+
+    // A second run recovers: the recovery report is logged as the first
+    // event and printed in detail on stdout.
+    let out = cli()
+        .args([
+            "serve-bench",
+            graph.to_str().unwrap(),
+            "--durable",
+            dir.to_str().unwrap(),
+            "--ops",
+            "4",
+            "--batch",
+            "4",
+            "--read-ratio",
+            "0.5",
+            "--events",
+            events2.to_str().unwrap(),
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("recovered        = checkpoint seq"), "{text}");
+    assert!(text.contains("replayed records = "), "{text}");
+    assert!(text.contains("bytes scanned    = "), "{text}");
+    assert!(text.contains("skipped ckpts    = "), "{text}");
+    assert!(text.contains("recovery wall    = "), "{text}");
+    let log2 = std::fs::read_to_string(&events2).unwrap();
+    let first = log2.lines().next().unwrap();
+    assert!(first.contains("\"kind\": \"recovery\""), "{log2}");
+    assert!(first.contains("\"bytes_scanned\": "), "{first}");
+
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_file(&events).ok();
+    std::fs::remove_file(&events2).ok();
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -280,11 +280,13 @@ fn recovery_with_checkpoint_ahead_of_the_wal_keeps_checkpoint_cadence() {
         assert_eq!(resp.value.seq, expect_seq);
     }
     assert!(
-        !dir.join(hcd::serve::checkpoint::checkpoint_file_name(5)).exists(),
+        !dir.join(hcd::serve::checkpoint::checkpoint_file_name(5))
+            .exists(),
         "checkpoint written a batch early"
     );
     assert!(
-        dir.join(hcd::serve::checkpoint::checkpoint_file_name(6)).exists(),
+        dir.join(hcd::serve::checkpoint::checkpoint_file_name(6))
+            .exists(),
         "checkpoint cadence did not resume"
     );
     rec.snapshot().validate().unwrap();

@@ -108,6 +108,64 @@ fn validate_schema(doc: &Json) -> Vec<String> {
         let kind = c.get("kind").and_then(Json::str).unwrap();
         assert!(kind == "sum" || kind == "max", "{name}: kind {kind:?}");
     }
+
+    // Latency histograms (always-present, schema-versioned section):
+    // each entry carries exact count/sum/min/max plus precomputed
+    // quantiles that must be ordered and bracketed by min/max.
+    let hists = doc.get("histograms").expect("histograms section");
+    assert_eq!(
+        hists.get("version").and_then(Json::num),
+        Some(1.0),
+        "histograms.version"
+    );
+    assert_eq!(
+        hists.get("sub_bits").and_then(Json::num),
+        Some(2.0),
+        "histograms.sub_bits"
+    );
+    let entries = hists
+        .get("entries")
+        .and_then(Json::arr)
+        .expect("histograms.entries[]");
+    for h in entries {
+        let name = h.get("name").and_then(Json::str).expect("histogram name");
+        let field = |f: &str| {
+            h.get(f)
+                .and_then(Json::num)
+                .unwrap_or_else(|| panic!("{name}: missing {f}"))
+        };
+        let count = field("count");
+        assert!(count >= 1.0, "{name}: empty histogram emitted");
+        assert!(field("sum_ns") >= field("max_ns"), "{name}: sum < max");
+        let (min, max) = (field("min_ns"), field("max_ns"));
+        let qs = [
+            field("p50_ns"),
+            field("p90_ns"),
+            field("p99_ns"),
+            field("p999_ns"),
+        ];
+        assert!(
+            qs.windows(2).all(|w| w[0] <= w[1]),
+            "{name}: quantiles not monotone: {qs:?}"
+        );
+        assert!(
+            qs.iter().all(|&q| (min..=max).contains(&q)),
+            "{name}: quantile outside [min, max]: {qs:?} vs [{min}, {max}]"
+        );
+        let buckets = h
+            .get("buckets")
+            .and_then(Json::arr)
+            .unwrap_or_else(|| panic!("{name}: missing buckets"));
+        let bucket_total: f64 = buckets
+            .iter()
+            .map(|b| {
+                let pair = b.arr().unwrap_or_else(|| panic!("{name}: bucket pair"));
+                assert_eq!(pair.len(), 2, "{name}: bucket pair arity");
+                pair[1].num().unwrap()
+            })
+            .sum();
+        assert_eq!(bucket_total, count, "{name}: bucket counts don't sum");
+    }
     names
 }
 
@@ -311,6 +369,47 @@ fn serve_bench_metrics_cover_the_serving_layer() {
         .find(|(n, _, _)| *n == "serve.stale_reads")
         .unwrap_or_else(|| panic!("missing counter serve.stale_reads: {counters:?}"));
     assert_eq!(*kind, "max", "serve.stale_reads");
+    // Every serve-path boundary records a latency histogram: batched and
+    // single-query reads, the write path, and durability stages.
+    let hist_names: Vec<&str> = doc
+        .get("histograms")
+        .and_then(|h| h.get("entries"))
+        .and_then(Json::arr)
+        .unwrap()
+        .iter()
+        .map(|h| h.get("name").and_then(Json::str).unwrap())
+        .collect();
+    for hist in [
+        "serve.query.batch",
+        "serve.apply",
+        "serve.repair",
+        "serve.publish",
+        "serve.wal.append",
+        "serve.wal.fsync",
+    ] {
+        assert!(
+            hist_names.contains(&hist),
+            "missing histogram {hist}: {hist_names:?}"
+        );
+    }
+    assert!(
+        hist_names
+            .iter()
+            .any(|n| n.starts_with("serve.query.") && *n != "serve.query.batch"),
+        "no single-query-type histogram recorded: {hist_names:?}"
+    );
+    // The bench prints its latency report from this same document.
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.contains("latency (p50/p99/p999/max from the emitted hcd-metrics-v1 histograms)"),
+        "no latency report in output:\n{stdout}"
+    );
+    assert!(
+        stdout
+            .lines()
+            .any(|l| l.contains("serve.query.batch") && l.contains("p99=")),
+        "no per-query-type percentile line:\n{stdout}"
+    );
     std::fs::remove_file(&graph).ok();
     std::fs::remove_file(&metrics).ok();
     std::fs::remove_dir_all(&durable).ok();

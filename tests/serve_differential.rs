@@ -232,7 +232,11 @@ fn incremental_path_matches_naive_rebuild_across_modes() {
                     // published, nothing rebuilt, no swap.
                     assert_eq!(resp.generation, generation, "{ctx}: no-op generation");
                     assert!(m.get_counter("serve.swaps").is_none(), "{ctx}: no-op swap");
-                    assert_eq!(m.get_counter("serve.noop_batches").unwrap().value, 1, "{ctx}");
+                    assert_eq!(
+                        m.get_counter("serve.noop_batches").unwrap().value,
+                        1,
+                        "{ctx}"
+                    );
                     continue;
                 }
                 generation += 1;
