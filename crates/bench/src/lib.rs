@@ -5,10 +5,12 @@
 //!
 //! * `HCD_BENCH_SCALE` — `tiny` | `small` (default) | `full`: stand-in
 //!   dataset sizes.
-//! * `HCD_BENCH_MODE` — `sim` (default) | `real`: how parallel runtimes
-//!   are obtained. `sim` uses the work-span simulation of `hcd-par`
-//!   (required on single-core machines, see DESIGN.md substitution 1);
-//!   `real` measures wall time on actual rayon threads.
+//! * `HCD_BENCH_MODE` — `sim` (default) | `real` | `assist`: how
+//!   parallel runtimes are obtained. `sim` uses the work-span
+//!   simulation of `hcd-par` (required on single-core machines, see
+//!   DESIGN.md substitution 1); `real` measures wall time on actual
+//!   rayon threads with the static chunk schedule; `assist` measures
+//!   wall time on the work-assisting self-scheduling pool.
 //! * `HCD_BENCH_DATASETS` — comma-separated abbreviations to restrict
 //!   the dataset list.
 //! * `HCD_BENCH_REPS` — repetitions per measurement (default 1; the
@@ -38,8 +40,10 @@ pub const FIGURE_DATASETS: [&str; 6] = ["LJ", "H", "O", "FS", "SK", "UK"];
 pub enum BenchMode {
     /// Work-span simulation (single-core friendly).
     Sim,
-    /// Real wall time on rayon threads.
+    /// Real wall time on rayon threads (static chunk schedule).
     Real,
+    /// Real wall time on the work-assisting self-scheduling pool.
+    Assist,
 }
 
 impl BenchMode {
@@ -47,6 +51,7 @@ impl BenchMode {
     pub fn from_env() -> BenchMode {
         match std::env::var("HCD_BENCH_MODE").as_deref() {
             Ok("real") => BenchMode::Real,
+            Ok("assist") => BenchMode::Assist,
             _ => BenchMode::Sim,
         }
     }
@@ -71,6 +76,7 @@ pub fn executor(p: usize) -> Executor {
         match BenchMode::from_env() {
             BenchMode::Sim => Executor::simulated(p),
             BenchMode::Real => Executor::rayon(p),
+            BenchMode::Assist => Executor::assist(p),
         }
     };
     if metrics_base().is_some() {

@@ -2,7 +2,7 @@
 //!
 //! The paper evaluates its algorithms with OpenMP static loops on a
 //! 40-core machine. This crate reproduces that execution model in Rust
-//! with a single abstraction, [`Executor`], offering three modes:
+//! with a single abstraction, [`Executor`], offering four modes:
 //!
 //! * **Sequential** — everything runs inline on the calling thread.
 //! * **Rayon** — each parallel region is split into `p` statically
@@ -17,8 +17,17 @@
 //!   effects that shape the paper's speedup curves — serial sections
 //!   (Amdahl) and load imbalance across chunks — while not modeling memory
 //!   or atomic contention.
+//! * **Assist** — work-assisting self-scheduling (see the [`assist`
+//!   module docs](crate::Executor::assist)): the region publishes its
+//!   loop descriptor (region id, atomic next-chunk cursor, chunk table)
+//!   into a shared fixed-size assist array; every worker claims chunks
+//!   from the cursor, and idle pool workers join the busiest live loop
+//!   instead of parking. Chunk *tables* are unchanged, but chunk stats
+//!   record per-worker participation spans, so the recorded imbalance
+//!   ratio reflects scheduler-achieved per-worker balance. Optional
+//!   thread pinning via [`ExecutorConfig::pin_threads`].
 //!
-//! All three modes use identical chunk boundaries, so an algorithm's
+//! All modes use identical chunk boundaries, so an algorithm's
 //! behaviour (including any tie-breaking that depends on the work
 //! partition) is mode-independent.
 //!
@@ -72,6 +81,7 @@ use std::time::{Duration, Instant};
 
 use parking_lot::Mutex;
 
+mod assist;
 pub mod chunks;
 pub mod diff;
 pub mod epoch;
@@ -81,6 +91,7 @@ pub mod hist;
 pub mod metrics;
 pub mod trace;
 
+pub use assist::ExecutorConfig;
 pub use chunks::{split_even, split_weighted};
 pub use diff::{diff_metrics, DiffEntry, DiffOptions, DiffReport, Snapshot, SnapshotHistogram};
 pub use epoch::{EpochCell, EpochCounter};
@@ -135,6 +146,10 @@ enum Mode {
     Simulated {
         workers: usize,
         stats: Mutex<SimStats>,
+    },
+    Assist {
+        pool: assist::AssistPool,
+        workers: usize,
     },
 }
 
@@ -242,12 +257,63 @@ impl Executor {
         })
     }
 
+    /// Work-assisting self-scheduling execution with `workers` logical
+    /// workers on a dedicated pool (see the crate docs and the assist
+    /// module): chunk tables stay identical to the static modes, but
+    /// chunks are claimed dynamically through a published loop
+    /// descriptor and idle workers join the busiest live loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0` or the pool threads cannot be spawned.
+    /// Use [`Executor::try_assist`] for a fallible version.
+    pub fn assist(workers: usize) -> Self {
+        match Self::try_assist(workers) {
+            Ok(exec) => exec,
+            Err(BuildError::ZeroWorkers) => panic!("worker count must be positive"),
+            Err(e @ BuildError::Pool(_)) => panic!("{e}"),
+        }
+    }
+
+    /// Fallible version of [`Executor::assist`].
+    pub fn try_assist(workers: usize) -> Result<Self, BuildError> {
+        Self::try_assist_with(ExecutorConfig::new(workers))
+    }
+
+    /// Builds an assist-mode executor from an [`ExecutorConfig`],
+    /// including optional thread pinning
+    /// ([`ExecutorConfig::pin_threads`], graceful fallback where
+    /// `sched_setaffinity` is unavailable — see
+    /// [`Executor::pin_fallbacks`]).
+    pub fn try_assist_with(config: ExecutorConfig) -> Result<Self, BuildError> {
+        let workers = config.workers();
+        let pool = assist::AssistPool::new(workers, config.pinning())?;
+        Ok(Executor {
+            mode: Mode::Assist { pool, workers },
+            ctrl: Ctrl::default(),
+            metrics: Recorder::default(),
+            trace: TraceCtl::default(),
+            hist: HistRegistry::default(),
+        })
+    }
+
     /// The number of logical workers `p`.
     pub fn num_workers(&self) -> usize {
         match &self.mode {
             Mode::Sequential => 1,
             Mode::Rayon { workers, .. } => *workers,
             Mode::Simulated { workers, .. } => *workers,
+            Mode::Assist { workers, .. } => *workers,
+        }
+    }
+
+    /// In assist mode with [`ExecutorConfig::pin_threads`], the number
+    /// of pool workers that could not be pinned and run unpinned
+    /// (graceful fallback). Zero in every other configuration.
+    pub fn pin_fallbacks(&self) -> usize {
+        match &self.mode {
+            Mode::Assist { pool, .. } => pool.pin_fallbacks(),
+            _ => 0,
         }
     }
 
@@ -262,6 +328,7 @@ impl Executor {
             Mode::Sequential => "seq",
             Mode::Rayon { .. } => "rayon",
             Mode::Simulated { .. } => "sim",
+            Mode::Assist { .. } => "assist",
         }
     }
 
@@ -846,6 +913,30 @@ impl Executor {
                 st.measured += cstats.sum();
                 st.regions += 1;
             }
+            Mode::Assist { pool, .. } => {
+                // Work assisting: publish the loop descriptor and
+                // self-schedule chunks; the pool times per-worker
+                // participation spans into `cstats` itself (see the
+                // assist module docs), so the runner here carries only
+                // the trace spans and the chunk body.
+                let chunk_runner = |w: usize, range: Range<usize>| {
+                    if let Some(t) = &tracer {
+                        t.record(EventKind::ChunkBegin, name, w as u32, 0);
+                    }
+                    run_chunk_inner(w, range);
+                    if let Some(t) = &tracer {
+                        t.record(EventKind::ChunkEnd, name, w as u32, 0);
+                    }
+                };
+                let outcome = pool.run(region, ranges, &chunk_runner, timed.then_some(&cstats));
+                if metering {
+                    self.add_counter("par.assist.steals", outcome.steals);
+                    self.add_counter("par.assist.claim_cas_retries", outcome.cas_retries);
+                }
+                if outcome.max_assisting > 0 {
+                    self.gauge("par.assist.assisting_threads", outcome.max_assisting as u64);
+                }
+            }
         }
 
         let result = first_err.into_inner();
@@ -1100,6 +1191,7 @@ mod tests {
         assert_eq!(sum_with(&Executor::sequential(), n), expected);
         assert_eq!(sum_with(&Executor::rayon(4), n), expected);
         assert_eq!(sum_with(&Executor::simulated(4), n), expected);
+        assert_eq!(sum_with(&Executor::assist(4), n), expected);
     }
 
     #[test]
@@ -1108,6 +1200,7 @@ mod tests {
             Executor::sequential(),
             Executor::rayon(2),
             Executor::simulated(3),
+            Executor::assist(2),
         ] {
             assert_eq!(sum_with(&exec, 0), 0);
         }
@@ -1118,8 +1211,11 @@ mod tests {
         assert_eq!(Executor::sequential().num_workers(), 1);
         assert_eq!(Executor::rayon(3).num_workers(), 3);
         assert_eq!(Executor::simulated(7).num_workers(), 7);
+        assert_eq!(Executor::assist(5).num_workers(), 5);
         assert!(Executor::simulated(7).is_simulated());
         assert!(!Executor::rayon(2).is_simulated());
+        assert!(!Executor::assist(2).is_simulated());
+        assert_eq!(Executor::assist(2).mode_name(), "assist");
     }
 
     #[test]
@@ -1209,6 +1305,8 @@ mod tests {
         let a = record(&Executor::rayon(5));
         let b = record(&Executor::simulated(5));
         assert_eq!(a, b);
+        let c = record(&Executor::assist(5));
+        assert_eq!(a, c);
     }
 
     #[test]
@@ -1228,6 +1326,7 @@ mod fault_tests {
             Executor::sequential(),
             Executor::rayon(4),
             Executor::simulated(4),
+            Executor::assist(4),
         ]
     }
 
@@ -1241,8 +1340,13 @@ mod fault_tests {
             Executor::try_simulated(0),
             Err(BuildError::ZeroWorkers)
         ));
+        assert!(matches!(
+            Executor::try_assist(0),
+            Err(BuildError::ZeroWorkers)
+        ));
         assert_eq!(Executor::try_rayon(2).unwrap().num_workers(), 2);
         assert_eq!(Executor::try_simulated(3).unwrap().num_workers(), 3);
+        assert_eq!(Executor::try_assist(3).unwrap().num_workers(), 3);
     }
 
     #[test]
@@ -1488,6 +1592,7 @@ mod metrics_tests {
             Executor::sequential(),
             Executor::rayon(4),
             Executor::simulated(4),
+            Executor::assist(4),
         ]
     }
 
@@ -1512,6 +1617,8 @@ mod metrics_tests {
             assert_eq!(names, vec!["a.first", "b.second"], "{}", exec.mode_name());
             let a = m.get("a.first").unwrap();
             assert_eq!(a.invocations, 2);
+            // (In assist mode `chunks` counts per-worker participation
+            // spans — still at least one per invocation.)
             assert!(a.chunks >= 2, "{}", exec.mode_name());
             assert!(a.wall_ns > 0);
             assert!(a.chunk_max_ns <= a.chunk_sum_ns);
@@ -1684,6 +1791,7 @@ mod trace_tests {
             Executor::sequential(),
             Executor::rayon(4),
             Executor::simulated(4),
+            Executor::assist(4),
         ]
     }
 
@@ -1716,7 +1824,14 @@ mod trace_tests {
             let ends = trace.of_kind(EventKind::ChunkEnd).count();
             assert_eq!(begins, ends, "{mode}");
             assert_eq!(begins, exec.num_workers().min(1000), "{mode}");
-            assert_eq!(trace.of_kind(EventKind::Counter).count(), 1, "{mode}");
+            // Assist regions additionally sample the assisting-thread
+            // gauge into the counter track once per region.
+            let expected_counters = if mode == "assist" { 2 } else { 1 };
+            assert_eq!(
+                trace.of_kind(EventKind::Counter).count(),
+                expected_counters,
+                "{mode}"
+            );
             // The executor is reusable; a fresh arm starts clean.
             exec.arm_trace();
             assert!(exec.trace_armed());

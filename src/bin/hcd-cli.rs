@@ -74,19 +74,28 @@ fn main() -> ExitCode {
 }
 
 const USAGE: &str = "usage:
-  hcd-cli stats  <graph> [-p threads] [--order none|degree] [--metrics out.json] [--trace out.json]
-  hcd-cli build  <graph> -o <index.hcd> [-p threads] [--order none|degree] [--timeout-ms T] [--metrics out.json] [--trace out.json]
-  hcd-cli search <graph> [-m metric] [-p threads] [--order none|degree] [--timeout-ms T] [--metrics out.json] [--trace out.json]
+  hcd-cli stats  <graph> [-p threads] [--mode M] [--pin-threads] [--order none|degree] [--metrics out.json] [--trace out.json]
+  hcd-cli build  <graph> -o <index.hcd> [-p threads] [--mode M] [--pin-threads] [--order none|degree] [--timeout-ms T] [--metrics out.json] [--trace out.json]
+  hcd-cli search <graph> [-m metric] [-p threads] [--mode M] [--pin-threads] [--order none|degree] [--timeout-ms T] [--metrics out.json] [--trace out.json]
   hcd-cli core   <graph> -v <vertex> -k <k>
   hcd-cli dot    <graph> [-p threads] [--order none|degree]
   hcd-cli gen    <rmat|ba|er|ws|tree> <out.txt> [--seed S]
-  hcd-cli serve-bench <graph> [--durable DIR] [--seed S] [--ops N] [--batch B] [--read-ratio R] [--events out.jsonl] [--stats-interval N] [-p threads] [--timeout-ms T] [--metrics out.json] [--trace out.json]
+  hcd-cli serve-bench <graph> [--durable DIR] [--seed S] [--ops N] [--batch B] [--read-ratio R] [--events out.jsonl] [--stats-interval N] [-p threads] [--mode M] [--pin-threads] [--timeout-ms T] [--metrics out.json] [--trace out.json]
   hcd-cli wal-inspect <dir|wal.log>
   hcd-cli metrics-diff <old.json> <new.json> [--threshold X] [--abs-floor-ns N] [--counters-only]
   hcd-cli help
 
 metrics: average-degree internal-density cut-ratio conductance
          modularity clustering-coefficient (default: average-degree)
+
+--mode selects the executor: seq (single-threaded), rayon (static
+chunk schedule, the default for -p > 1), sim (deterministic simulated
+workers), assist (work-assisting self-scheduling: workers claim chunks
+from an atomic cursor and idle workers join the busiest live loop).
+All modes produce identical chunk boundaries, so algorithm counters
+are comparable across modes with metrics-diff --counters-only.
+--pin-threads (assist only) pins pool workers to cores when the OS
+supports it and silently falls back where it does not.
 
 --order degree relabels vertices hubs-first before construction for
 cache locality and union-find batching, then maps every output back to
@@ -303,10 +312,13 @@ fn load(path: &str) -> Result<CsrGraph, CliError> {
     g.map_err(|e| CliError::Runtime(format!("cannot read {path}: {e}")))
 }
 
-/// Builds the executor shared by a whole command from its `-p` and
-/// `--timeout-ms` flags: `-p 1` (or a single-core machine) selects the
-/// sequential mode, anything larger a dedicated thread pool, and a
-/// timeout arms a deadline that every parallel region checks.
+/// Builds the executor shared by a whole command from its `-p`,
+/// `--mode`, `--pin-threads`, and `--timeout-ms` flags: `-p 1` (or a
+/// single-core machine) selects the sequential mode, anything larger a
+/// dedicated thread pool — statically scheduled by default (`rayon`),
+/// work-assisting with `--mode assist` — and a timeout arms a deadline
+/// that every parallel region checks. This is the single place mode
+/// names are parsed; help text and tests key off the same list.
 fn exec_options(args: &[String]) -> Result<Executor, CliError> {
     let threads = match flag_value(args, "-p")? {
         Some(s) => s
@@ -314,12 +326,33 @@ fn exec_options(args: &[String]) -> Result<Executor, CliError> {
             .map_err(|e| usage(format!("bad -p: {e}")))?,
         None => std::thread::available_parallelism().map_or(1, |v| v.get()),
     };
-    let exec = if threads == 1 {
-        Executor::sequential()
-    } else {
-        // threads == 0 reaches try_rayon so the typed BuildError
-        // (ZeroWorkers) produces the usage message.
-        Executor::try_rayon(threads).map_err(|e| usage(format!("bad -p: {e}")))?
+    let mode = flag_value(args, "--mode")?;
+    let pin = has_flag(args, "--pin-threads");
+    if pin && !matches!(mode.as_deref(), Some("assist")) {
+        return Err(usage("--pin-threads requires --mode assist".to_string()));
+    }
+    // threads == 0 reaches the try_* constructors so the typed
+    // BuildError (ZeroWorkers) produces the usage message.
+    let exec = match mode.as_deref() {
+        None => {
+            if threads == 1 {
+                Executor::sequential()
+            } else {
+                Executor::try_rayon(threads).map_err(|e| usage(format!("bad -p: {e}")))?
+            }
+        }
+        Some("seq") => Executor::sequential(),
+        Some("rayon") => Executor::try_rayon(threads).map_err(|e| usage(format!("bad -p: {e}")))?,
+        Some("sim") => {
+            Executor::try_simulated(threads).map_err(|e| usage(format!("bad -p: {e}")))?
+        }
+        Some("assist") => Executor::try_assist_with(ExecutorConfig::new(threads).pin_threads(pin))
+            .map_err(|e| usage(format!("bad -p: {e}")))?,
+        Some(other) => {
+            return Err(usage(format!(
+                "bad --mode {other:?} (seq|rayon|sim|assist)"
+            )))
+        }
     };
     if let Some(ms) = flag_value(args, "--timeout-ms")? {
         let ms = ms

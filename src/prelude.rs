@@ -23,9 +23,9 @@ pub use hcd_core::{
 
 pub use hcd_par::{
     diff_metrics, BuildError, CancelToken, CounterValue, CrashPoint, Deadline, DiffEntry,
-    DiffOptions, DiffReport, EventKind, Executor, Fault, FaultPlan, HistogramSnapshot, ParError,
-    RegionMetrics, RunMetrics, Snapshot, SnapshotHistogram, Trace, TraceEvent, CHECKPOINT_STRIDE,
-    METRICS_SCHEMA, TRACE_SCHEMA,
+    DiffOptions, DiffReport, EventKind, Executor, ExecutorConfig, Fault, FaultPlan,
+    HistogramSnapshot, ParError, RegionMetrics, RunMetrics, Snapshot, SnapshotHistogram, Trace,
+    TraceEvent, CHECKPOINT_STRIDE, METRICS_SCHEMA, TRACE_SCHEMA,
 };
 
 pub use hcd_search::bestk::{best_k, core_set_scores, try_best_k, try_core_set_scores};

@@ -123,6 +123,57 @@ fn stats_and_dot_accept_thread_count() {
 }
 
 #[test]
+fn stats_accepts_every_executor_mode() {
+    let graph = tmp("modes.txt");
+    assert!(cli()
+        .args(["gen", "tree", graph.to_str().unwrap()])
+        .status()
+        .unwrap()
+        .success());
+    for mode in ["seq", "rayon", "sim", "assist"] {
+        let out = cli()
+            .args(["stats", graph.to_str().unwrap(), "-p", "2", "--mode", mode])
+            .output()
+            .unwrap();
+        assert!(
+            out.status.success(),
+            "stats --mode {mode}: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+    }
+    // Pinning is assist-only; elsewhere it is a usage error (exit 2).
+    let out = cli()
+        .args([
+            "stats",
+            graph.to_str().unwrap(),
+            "-p",
+            "2",
+            "--mode",
+            "assist",
+            "--pin-threads",
+        ])
+        .output()
+        .unwrap();
+    assert!(
+        out.status.success(),
+        "--pin-threads: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let out = cli()
+        .args([
+            "stats",
+            graph.to_str().unwrap(),
+            "--mode",
+            "rayon",
+            "--pin-threads",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    std::fs::remove_file(&graph).ok();
+}
+
+#[test]
 fn expired_timeout_exits_with_code_124() {
     let graph = tmp("timeout.txt");
     assert!(cli()
@@ -187,6 +238,8 @@ fn bad_flag_values_are_usage_errors() {
     for args in [
         vec!["search", "x.txt", "-p", "zero"],
         vec!["search", "x.txt", "--timeout-ms", "soon"],
+        vec!["search", "x.txt", "--mode", "openmp"],
+        vec!["search", "x.txt", "--mode", "assist", "-p", "0"],
         vec!["frobnicate"],
     ] {
         let out = cli().args(&args).output().unwrap();
@@ -384,6 +437,11 @@ fn help_documents_every_exit_code() {
             "4    recovered with a truncated WAL tail",
             "124  deadline exceeded",
         ] {
+            assert!(text.contains(needle), "{cmd} help missing {needle:?}");
+        }
+        // The executor mode list lives in one place; help must name
+        // every mode the parser accepts, including assist.
+        for needle in ["--mode", "seq", "rayon", "sim", "assist", "--pin-threads"] {
             assert!(text.contains(needle), "{cmd} help missing {needle:?}");
         }
     }

@@ -74,13 +74,14 @@ fn concurrent_search_is_stable_under_oversubscription() {
 // reference result. This is the "no poisoned shared state" acceptance
 // criterion of the failure model.
 
-/// The three executor modes, with enough workers that the first region
-/// of every algorithm has non-empty first/middle/last chunks.
+/// The executor modes, with enough workers that the first region of
+/// every algorithm has non-empty first/middle/last chunks.
 fn fault_modes() -> Vec<(&'static str, Executor)> {
     vec![
         ("seq", Executor::sequential()),
         ("rayon", Executor::rayon(4)),
         ("sim", Executor::simulated(4)),
+        ("assist", Executor::assist(4)),
     ]
 }
 
@@ -401,7 +402,11 @@ fn deterministic_counters_agree_across_modes() {
         pkc_core_decomposition(&g, e);
         phcd(&g, &cores, e);
     });
-    for exec in [Executor::rayon(4), Executor::simulated(4)] {
+    for exec in [
+        Executor::rayon(4),
+        Executor::simulated(4),
+        Executor::assist(4),
+    ] {
         let m = metered(&exec, |e| {
             pkc_core_decomposition(&g, e);
             phcd(&g, &cores, e);

@@ -31,6 +31,7 @@ fn executors() -> Vec<Executor> {
         Executor::sequential(),
         Executor::rayon(4),
         Executor::simulated(4),
+        Executor::assist(4),
     ]
 }
 

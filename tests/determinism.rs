@@ -12,6 +12,7 @@ fn phcd_output_is_bitwise_identical_across_modes_and_runs() {
             Executor::rayon(4),
             Executor::simulated(5),
             Executor::rayon(2),
+            Executor::assist(4),
         ] {
             let h = phcd(&g, &cores, &exec);
             assert_eq!(reference.nodes(), h.nodes());
@@ -72,6 +73,7 @@ fn ordered_build_is_bitwise_identical_to_unordered_across_modes() {
             Executor::sequential(),
             Executor::rayon(4),
             Executor::simulated(3),
+            Executor::assist(4),
         ] {
             let (cores, hcd) = build_with_order(&g, VertexOrder::Degree, &exec);
             assert_eq!(ref_cores, cores, "{abbrev} coreness ({})", exec.mode_name());

@@ -16,6 +16,7 @@ fn pipeline(g: &CsrGraph) {
         Executor::sequential(),
         Executor::rayon(4),
         Executor::simulated(3),
+        Executor::assist(4),
     ] {
         assert_eq!(phcd(g, &bz, &e).canonicalize(), truth);
     }

@@ -30,6 +30,7 @@ proptest! {
             Executor::sequential(),
             Executor::rayon(4),
             Executor::simulated(3),
+            Executor::assist(4),
         ] {
             // Vertex ids round-trip through the permutation.
             for v in g.vertices() {

@@ -45,6 +45,16 @@ fn random_updates(rng: &mut ChaCha8Rng, count: usize, universe: VertexId) -> Vec
         .collect()
 }
 
+/// Builds a fresh executor of the named mode — the soak runs once per
+/// mode, and readers construct their own instance per thread.
+fn mk_exec(mode: &str) -> Executor {
+    match mode {
+        "seq" => Executor::sequential(),
+        "assist" => Executor::assist(4),
+        other => panic!("unknown soak mode {other}"),
+    }
+}
+
 /// ≥ 4 reader threads hammer the service while a writer publishes
 /// `SWAPS` epochs (interleaved with deliberately failing, fault-injected
 /// publish attempts). Every response must name a really-published
@@ -53,9 +63,22 @@ fn random_updates(rng: &mut ChaCha8Rng, count: usize, universe: VertexId) -> Vec
 /// monotone.
 #[test]
 fn concurrent_readers_never_see_torn_or_unpublished_snapshots() {
+    soak("seq");
+}
+
+/// The same soak with the work-assisting executor on both sides: reader
+/// query batches and writer publishes run on independent assist pools
+/// whose idle workers join each other region's loops, so snapshot
+/// publication safety must hold while chunks migrate between threads.
+#[test]
+fn concurrent_readers_never_see_torn_snapshots_with_assist_executors() {
+    soak("assist");
+}
+
+fn soak(mode: &str) {
     let g0 = barabasi_albert(64, 3, 0x50A4);
     let universe = g0.num_vertices() as VertexId + 8;
-    let build_exec = Executor::sequential();
+    let build_exec = mk_exec(mode);
     let service = HcdService::try_new(&g0, &build_exec).unwrap();
 
     // generation -> fingerprint, recorded by the single writer at each
@@ -79,7 +102,7 @@ fn concurrent_readers_never_see_torn_or_unpublished_snapshots() {
             let announced = &announced;
             let done = &done;
             scope.spawn(move || {
-                let exec = Executor::sequential();
+                let exec = mk_exec(mode);
                 let mut rng = <ChaCha8Rng as rand::SeedableRng>::seed_from_u64(id as u64);
                 let mut last_gen = 0u64;
                 let mut reads = 0usize;
@@ -145,8 +168,8 @@ fn concurrent_readers_never_see_torn_or_unpublished_snapshots() {
         // The single writer: SWAPS successful publishes, with a
         // fault-injected failing attempt before every third one — the
         // failures must be invisible to readers.
-        let writer_exec = Executor::sequential();
-        let faulty_exec = Executor::sequential();
+        let writer_exec = mk_exec(mode);
+        let faulty_exec = mk_exec(mode);
         let mut rng = <ChaCha8Rng as rand::SeedableRng>::seed_from_u64(0xFEED);
         for i in 0..SWAPS {
             if i % 3 == 0 {
@@ -201,8 +224,20 @@ fn concurrent_readers_never_see_torn_or_unpublished_snapshots() {
 /// queryable; a later clean batch publishes the cumulative state.
 #[test]
 fn injected_faults_leave_the_previous_snapshot_serving() {
+    injected_faults_body("seq");
+}
+
+/// Identical chunk boundaries across modes mean the `(region, chunk)`
+/// fault sites land in the same place under the assist executor, even
+/// with assisting threads claiming neighbouring chunks concurrently.
+#[test]
+fn injected_faults_leave_the_previous_snapshot_serving_with_assist() {
+    injected_faults_body("assist");
+}
+
+fn injected_faults_body(mode: &str) {
     let g0 = gnp(40, 0.1, 0xFA17);
-    let clean = Executor::sequential();
+    let clean = mk_exec(mode);
     let service = HcdService::try_new(&g0, &clean).unwrap();
     service
         .try_apply_batch(
@@ -221,7 +256,7 @@ fn injected_faults_leave_the_previous_snapshot_serving() {
 
     // Panic inside dynamic.peel, the first region a batch with applied
     // updates opens (region 0 after the plan reset).
-    let exec = Executor::sequential();
+    let exec = mk_exec(mode);
     exec.set_fault_plan(FaultPlan::new().inject(0, 0, Fault::Panic));
     let err = service.try_apply_batch(&updates, &exec).unwrap_err();
     assert!(
@@ -232,7 +267,7 @@ fn injected_faults_leave_the_previous_snapshot_serving() {
     // Cancellation tripped one region downstream (the first
     // dynamic.promote round — or, for a batch applying nothing on a
     // stale forest, the first phcd region of the full-rebuild fallback).
-    let exec = Executor::sequential();
+    let exec = mk_exec(mode);
     exec.set_fault_plan(FaultPlan::new().inject(1, 0, Fault::Cancel));
     let err = service
         .try_apply_batch(&[EdgeUpdate::Insert(4, 5)], &exec)
@@ -243,7 +278,7 @@ fn injected_faults_leave_the_previous_snapshot_serving() {
     );
 
     // An already-expired deadline.
-    let exec = Executor::sequential();
+    let exec = mk_exec(mode);
     exec.set_deadline(Deadline::from_now(Duration::ZERO));
     let err = service
         .try_apply_batch(&[EdgeUpdate::Insert(6, 7)], &exec)
@@ -254,7 +289,7 @@ fn injected_faults_leave_the_previous_snapshot_serving() {
     );
 
     // Panic injected into a read region fails that query only.
-    let exec = Executor::sequential();
+    let exec = mk_exec(mode);
     exec.set_fault_plan(FaultPlan::new().inject(0, 0, Fault::Panic));
     let err = service
         .try_query_batch(&[Query::InKCore(0, 1)], &exec)
