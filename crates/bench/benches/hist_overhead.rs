@@ -33,6 +33,7 @@ fn main() {
         batch_size: 24,
         read_ratio: 0.75,
         universe: g.num_vertices() as u32 + 64,
+        hot_fraction: 0.0,
     };
 
     let mut disarmed_min = f64::INFINITY;

@@ -22,11 +22,17 @@
 //! `serve.checkpoints` counters are covered by the same gate: the WAL
 //! byte traffic is a pure function of the update stream, so it is as
 //! reproducible as the rest.
+//!
+//! The generation-keyed query cache is **armed** with a hot query set
+//! (`hot_fraction`), so `serve.cache.hits` / `serve.cache.misses` are
+//! nonzero, deterministic, and gated like every other counter: a cache
+//! that silently stops hitting (or starts hitting when it must not)
+//! moves a gated counter by far more than the threshold.
 
 use hcd_bench::banner;
 use hcd_datasets::barabasi_albert;
 use hcd_par::Executor;
-use hcd_serve::{run_workload, DurabilityConfig, HcdService, WorkloadConfig};
+use hcd_serve::{run_workload, CacheConfig, DurabilityConfig, HcdService, WorkloadConfig};
 
 fn main() {
     banner("serve baseline: BA-small mixed read/update workload metrics");
@@ -45,15 +51,19 @@ fn main() {
     let scratch = std::env::temp_dir().join(format!("hcd-serve-baseline-{}", std::process::id()));
     std::fs::remove_dir_all(&scratch).ok();
     let service = HcdService::try_new_durable(&g, &scratch, DurabilityConfig::default(), &exec)
-        .expect("initial build");
+        .expect("initial build")
+        .with_cache(CacheConfig::default());
     let cfg = WorkloadConfig {
         seed: 42,
         ops: 48,
         batch_size: 24,
         read_ratio: 0.75,
         universe: g.num_vertices() as u32 + 64,
+        hot_fraction: 0.5,
     };
     let summary = run_workload(&service, &cfg, &exec).expect("workload");
+    let cache = service.cache_stats().expect("cache is armed");
+    assert!(cache.hits > 0, "the hot set must produce cache hits");
     drop(service);
     std::fs::remove_dir_all(&scratch).ok();
 
@@ -64,13 +74,15 @@ fn main() {
     std::fs::write(&out, m.to_json()).expect("write baseline");
 
     println!(
-        "n={} m={} queries={} swaps={} applied={} final_gen={}",
+        "n={} m={} queries={} swaps={} applied={} final_gen={} cache_hits={} cache_misses={}",
         g.num_vertices(),
         g.num_edges(),
         summary.queries,
         summary.update_batches,
         summary.updates_applied,
         summary.final_generation,
+        cache.hits,
+        cache.misses,
     );
     println!(
         "wrote {out}: {} regions, {} counters, {} histograms",

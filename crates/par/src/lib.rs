@@ -88,6 +88,7 @@ pub mod epoch;
 pub mod error;
 pub mod fault;
 pub mod hist;
+pub mod intern;
 pub mod metrics;
 pub mod trace;
 
@@ -98,6 +99,7 @@ pub use epoch::{EpochCell, EpochCounter};
 pub use error::{BuildError, ParError};
 pub use fault::{CancelToken, CrashPoint, Deadline, Fault, FaultPlan};
 pub use hist::{HistogramSnapshot, LatencyTimer};
+pub use intern::intern;
 pub use metrics::{CounterValue, RegionMetrics, RunMetrics, METRICS_SCHEMA};
 pub use trace::{EventKind, Trace, TraceEvent, DEFAULT_EVENT_CAPACITY, TRACE_SCHEMA};
 

@@ -1,0 +1,98 @@
+//! Typed admission-control decisions for the ingress path.
+//!
+//! Shedding happens **before any work starts**: a rejected request has
+//! touched no snapshot, appended nothing to the WAL, and ticked no
+//! query counter — only its own `serve.shed.*` counter. That makes a
+//! shed observable, cheap, and (under a sequential executor with a
+//! fixed arrival schedule) fully deterministic, which the admission
+//! proptests rely on.
+
+use std::time::Duration;
+
+use hcd_par::Deadline;
+
+/// Why a request was refused at the door.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rejected {
+    /// The ingress queue was at or past its watermark; admitting more
+    /// would only grow latency for everyone already queued.
+    Overloaded {
+        /// Queue depth observed at the decision.
+        depth: usize,
+        /// The configured shed watermark.
+        watermark: usize,
+    },
+    /// The request's deadline had already expired on arrival (or by
+    /// drain time) — answering it would be wasted work by definition.
+    DeadlineExceeded,
+}
+
+impl std::fmt::Display for Rejected {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Rejected::Overloaded { depth, watermark } => {
+                write!(
+                    f,
+                    "overloaded: queue depth {depth} >= watermark {watermark}"
+                )
+            }
+            Rejected::DeadlineExceeded => write!(f, "deadline exceeded before admission"),
+        }
+    }
+}
+
+/// Knobs for the admission layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AdmissionConfig {
+    /// Enqueue attempts at this queue depth or beyond are shed with
+    /// [`Rejected::Overloaded`].
+    pub watermark: usize,
+    /// Default per-request deadline stamped on enqueues that carry
+    /// none (`None` = requests without an explicit deadline never
+    /// expire).
+    pub default_deadline: Option<Duration>,
+}
+
+impl Default for AdmissionConfig {
+    fn default() -> Self {
+        AdmissionConfig {
+            watermark: 1024,
+            default_deadline: None,
+        }
+    }
+}
+
+impl AdmissionConfig {
+    /// The deadline to stamp on a request that supplied `explicit`.
+    pub fn deadline_for(&self, explicit: Option<Deadline>) -> Option<Deadline> {
+        explicit.or_else(|| self.default_deadline.map(Deadline::from_now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejections_format_usefully() {
+        let o = Rejected::Overloaded {
+            depth: 9,
+            watermark: 8,
+        };
+        assert!(o.to_string().contains("depth 9"));
+        assert!(Rejected::DeadlineExceeded.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn default_deadline_applies_only_without_an_explicit_one() {
+        let cfg = AdmissionConfig {
+            watermark: 4,
+            default_deadline: Some(Duration::from_secs(60)),
+        };
+        assert!(cfg.deadline_for(None).is_some());
+        let explicit = Deadline::from_now(Duration::from_millis(1));
+        let got = cfg.deadline_for(Some(explicit)).unwrap();
+        // The explicit (short) deadline won, not the 60 s default.
+        assert!(got.remaining() <= Duration::from_millis(1));
+    }
+}

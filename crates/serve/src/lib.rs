@@ -40,19 +40,29 @@
 //! anything: the service keeps serving the previous snapshot, and the
 //! pending graph state is picked up by the next successful publication.
 
+pub mod admission;
+pub mod cache;
 pub mod checkpoint;
 pub mod events;
+pub mod ingress;
+pub mod openloop;
 #[cfg(test)]
 mod proptests;
 pub mod recover;
+pub mod registry;
 pub mod service;
 pub mod snapshot;
 pub mod wal;
 pub mod workload;
 
+pub use admission::{AdmissionConfig, Rejected};
+pub use cache::{CacheConfig, CacheKey, CacheStats, CachedAnswer, QueryCache};
 pub use checkpoint::CheckpointError;
 pub use events::{EventLog, EVENTS_SCHEMA};
+pub use ingress::{DrainReport, IngressQueue};
+pub use openloop::{run_open_loop, OpenLoopConfig, OpenLoopSummary};
 pub use recover::{RecoverError, RecoveryReport};
+pub use registry::{RegistryError, ServiceRegistry, TenantConfig};
 pub use service::{
     BatchAnswers, DurabilityConfig, HcdService, Query, QueryAnswer, Response, ServeError,
 };

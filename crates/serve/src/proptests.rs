@@ -126,3 +126,143 @@ proptest! {
         }
     }
 }
+
+// --- admission-control properties -------------------------------------
+//
+// Shedding must be boring: a pure function of the config under a
+// sequential executor (so CI can assert exact shed counts), and a
+// rejected request must leave zero footprint — no WAL append, no query
+// counter, no queue mutation — because admission runs before any work.
+
+mod admission_props {
+    use super::*;
+    use crate::admission::{AdmissionConfig, Rejected};
+    use crate::ingress::IngressQueue;
+    use crate::openloop::{run_open_loop, OpenLoopConfig};
+    use crate::service::{DurabilityConfig, HcdService, Query};
+    use hcd_graph::GraphBuilder;
+    use hcd_par::Executor;
+    use std::collections::BTreeMap;
+
+    fn seed_graph() -> hcd_graph::CsrGraph {
+        GraphBuilder::new()
+            .edges([(0, 1), (1, 2), (2, 0), (2, 3)])
+            .build()
+    }
+
+    fn counter_map(exec: &Executor) -> BTreeMap<&'static str, u64> {
+        exec.take_metrics()
+            .counters
+            .iter()
+            .map(|c| (c.name, c.value))
+            .collect()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        // The same open-loop config, run twice from scratch under
+        // sequential executors, makes identical shed decisions with
+        // identical accounting and identical counters — no drift.
+        // (Deadlines are restricted to the two deterministic regimes,
+        // `None` and already-expired `Some(0)`; anything in between
+        // races the wall clock by design.)
+        #[test]
+        fn shed_decisions_are_deterministic_under_seq(
+            seed in any::<u64>(),
+            offered_qps in 1..50_000u64,
+            ticks in 1..60u64,
+            drain_batch in 1..16usize,
+            watermark in 1..64usize,
+            zero_deadline in any::<bool>(),
+            hot in 0..101u32,
+        ) {
+            let cfg = OpenLoopConfig {
+                seed,
+                offered_qps,
+                ticks,
+                drain_batch,
+                watermark,
+                deadline_ms: if zero_deadline { Some(0) } else { None },
+                update_every: 7,
+                universe: 16,
+                hot_fraction: f64::from(hot) / 100.0,
+            };
+            let mut outcomes = Vec::new();
+            for _ in 0..2 {
+                let exec = Executor::sequential().with_metrics();
+                let svc = HcdService::new(&seed_graph(), &exec);
+                let ingress = IngressQueue::new(AdmissionConfig {
+                    watermark,
+                    default_deadline: None,
+                });
+                let s = run_open_loop(&svc, &ingress, &cfg, &exec).unwrap();
+                outcomes.push((s, counter_map(&exec)));
+            }
+            prop_assert_eq!(&outcomes[0], &outcomes[1]);
+            let (s, _) = &outcomes[0];
+            // Every offered arrival is accounted for exactly once.
+            prop_assert_eq!(s.offered, s.answered + s.shed());
+            prop_assert!(s.max_depth <= watermark);
+            if zero_deadline {
+                prop_assert_eq!(s.answered, 0);
+                prop_assert!(s.saturated());
+                prop_assert_eq!(s.shed_fraction(), 1.0);
+            }
+        }
+
+        // Overflowing a full queue is side-effect free: the rejection
+        // is typed, the WAL does not grow, no query or enqueue counter
+        // moves, and the queue itself is untouched.
+        #[test]
+        fn overload_rejection_is_typed_and_side_effect_free(
+            extra in 1..32usize,
+            watermark in 1..16usize,
+            vsel in any::<u32>(),
+        ) {
+            let exec = Executor::sequential().with_metrics();
+            let dir = std::env::temp_dir().join(format!(
+                "hcd-admission-prop-{}-{}",
+                std::process::id(),
+                vsel
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+            let svc = HcdService::try_new_durable(
+                &seed_graph(),
+                &dir,
+                DurabilityConfig::default(),
+                &exec,
+            )
+            .unwrap();
+            let _ = &svc; // admission must refuse before the service is touched
+            let wal = dir.join(crate::WAL_FILE_NAME);
+            let wal_len = std::fs::metadata(&wal).unwrap().len();
+            let q = IngressQueue::new(AdmissionConfig {
+                watermark,
+                default_deadline: None,
+            });
+            for _ in 0..watermark {
+                q.try_enqueue(Query::InKCore(0, 1), None, &exec).unwrap();
+            }
+            exec.take_metrics(); // isolate the overflow's footprint
+            for i in 0..extra {
+                let v = vsel.wrapping_add(i as u32) % 8;
+                let err = q
+                    .try_enqueue(Query::CoreContaining(v, 1), None, &exec)
+                    .unwrap_err();
+                prop_assert_eq!(err, Rejected::Overloaded { depth: watermark, watermark });
+            }
+            let counters = counter_map(&exec);
+            prop_assert_eq!(
+                counters.get("serve.shed.overloaded").copied(),
+                Some(extra as u64)
+            );
+            prop_assert!(!counters.contains_key("serve.queries"));
+            prop_assert!(!counters.contains_key("serve.ingress.enqueued"));
+            prop_assert!(!counters.contains_key("serve.wal_appends"));
+            prop_assert_eq!(std::fs::metadata(&wal).unwrap().len(), wal_len);
+            prop_assert_eq!(q.depth(), watermark);
+            std::fs::remove_dir_all(&dir).ok();
+        }
+    }
+}

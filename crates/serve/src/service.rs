@@ -6,10 +6,11 @@ use std::sync::Arc;
 use hcd_core::query::{core_containing, hierarchy_position, in_k_core, same_k_core};
 use hcd_dynamic::{BatchReport, DynamicCore, EdgeUpdate};
 use hcd_graph::{CsrGraph, VertexId};
-use hcd_par::{EpochCell, Executor, ParError, CHECKPOINT_STRIDE};
+use hcd_par::{intern, EpochCell, Executor, ParError, CHECKPOINT_STRIDE};
 use hcd_search::{try_pbks_on, BestCore, Metric};
 use parking_lot::Mutex;
 
+use crate::cache::{CacheConfig, CacheKey, CacheStats, CachedAnswer, QueryCache};
 use crate::checkpoint::{self, CheckpointError};
 use crate::events::EventLog;
 use crate::snapshot::Snapshot;
@@ -188,6 +189,93 @@ fn answer(snap: &Snapshot, q: &Query) -> QueryAnswer {
     }
 }
 
+/// The full set of counter and *region* names one service instance
+/// ticks. Single-tenant services use the historical global literals
+/// (so every existing test, baseline, and dashboard is untouched);
+/// tenant services swap in interned `serve.<tenant>.*` names wholesale,
+/// which is what isolates one tenant's metrics from another's.
+///
+/// **Histogram names are deliberately not here.** The histogram
+/// registry has a small fixed slot budget ([`hcd_par::hist`] caps
+/// distinct names), so latency histograms stay global — per-tenant
+/// latency splits come from the per-tenant counters and regions, while
+/// the histograms aggregate the process-wide latency distribution the
+/// p99 gate actually cares about.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct ServeNames {
+    pub(crate) queries: &'static str,
+    pub(crate) stale_reads: &'static str,
+    pub(crate) noop_batches: &'static str,
+    pub(crate) wal_appends: &'static str,
+    pub(crate) wal_bytes: &'static str,
+    pub(crate) wal_errors: &'static str,
+    pub(crate) batches: &'static str,
+    pub(crate) swaps: &'static str,
+    pub(crate) checkpoints: &'static str,
+    pub(crate) ckpt_errors: &'static str,
+    pub(crate) cache_hits: &'static str,
+    pub(crate) cache_misses: &'static str,
+    pub(crate) cache_evictions: &'static str,
+    pub(crate) cache_bytes: &'static str,
+    pub(crate) region_query_core: &'static str,
+    pub(crate) region_query_position: &'static str,
+    pub(crate) region_query_member: &'static str,
+    pub(crate) region_query_same: &'static str,
+    pub(crate) region_query_batch: &'static str,
+    pub(crate) region_rebuild: &'static str,
+}
+
+impl ServeNames {
+    pub(crate) const GLOBAL: ServeNames = ServeNames {
+        queries: "serve.queries",
+        stale_reads: "serve.stale_reads",
+        noop_batches: "serve.noop_batches",
+        wal_appends: "serve.wal_appends",
+        wal_bytes: "serve.wal_bytes",
+        wal_errors: "serve.wal_errors",
+        batches: "serve.batches",
+        swaps: "serve.swaps",
+        checkpoints: "serve.checkpoints",
+        ckpt_errors: "serve.ckpt_errors",
+        cache_hits: "serve.cache.hits",
+        cache_misses: "serve.cache.misses",
+        cache_evictions: "serve.cache.evictions",
+        cache_bytes: "serve.cache.bytes",
+        region_query_core: "serve.query.core",
+        region_query_position: "serve.query.position",
+        region_query_member: "serve.query.member",
+        region_query_same: "serve.query.same",
+        region_query_batch: "serve.query.batch",
+        region_rebuild: "serve.rebuild",
+    };
+
+    pub(crate) fn for_tenant(tenant: &str) -> ServeNames {
+        let n = |suffix: &str| intern(&format!("serve.{tenant}.{suffix}"));
+        ServeNames {
+            queries: n("queries"),
+            stale_reads: n("stale_reads"),
+            noop_batches: n("noop_batches"),
+            wal_appends: n("wal_appends"),
+            wal_bytes: n("wal_bytes"),
+            wal_errors: n("wal_errors"),
+            batches: n("batches"),
+            swaps: n("swaps"),
+            checkpoints: n("checkpoints"),
+            ckpt_errors: n("ckpt_errors"),
+            cache_hits: n("cache.hits"),
+            cache_misses: n("cache.misses"),
+            cache_evictions: n("cache.evictions"),
+            cache_bytes: n("cache.bytes"),
+            region_query_core: n("query.core"),
+            region_query_position: n("query.position"),
+            region_query_member: n("query.member"),
+            region_query_same: n("query.same"),
+            region_query_batch: n("query.batch"),
+            region_rebuild: n("rebuild"),
+        }
+    }
+}
+
 /// A snapshot-isolated HCD query service (see the crate docs).
 ///
 /// Reads and writes are fully decoupled:
@@ -228,6 +316,15 @@ pub struct HcdService {
     /// unless attached. Leaf lock: taken only while already holding the
     /// writer lock, released before returning.
     events: Mutex<Option<EventLog>>,
+    /// Counter/region names this instance ticks (global literals for
+    /// single-tenant services, `serve.<tenant>.*` for registry tenants).
+    names: ServeNames,
+    /// The tenant this service is registered as, when any.
+    tenant: Option<&'static str>,
+    /// Generation-keyed memo cache for expensive answers; `None` keeps
+    /// every query on the compute path (the cache-disarmed baseline the
+    /// differential tests compare against).
+    cache: Option<QueryCache>,
 }
 
 impl HcdService {
@@ -242,7 +339,51 @@ impl HcdService {
             stale_reads: std::sync::atomic::AtomicU64::new(0),
             writer_dirty: std::sync::atomic::AtomicBool::new(false),
             events: Mutex::new(None),
+            names: ServeNames::GLOBAL,
+            tenant: None,
+            cache: None,
         })
+    }
+
+    /// Re-namespaces this instance's counters and regions to
+    /// `serve.<tenant>.*` (interned once per distinct tenant). Latency
+    /// histograms stay global — see [`ServeNames`]. Call before the
+    /// service is shared; [`crate::ServiceRegistry`] does this for
+    /// every tenant it hosts.
+    pub fn with_tenant(mut self, tenant: &str) -> Self {
+        self.names = ServeNames::for_tenant(tenant);
+        self.tenant = Some(intern(tenant));
+        self
+    }
+
+    /// Arms the generation-keyed memo cache (see [`crate::cache`]).
+    /// Disarmed services compute every answer; armed services return
+    /// bit-identical answers (the differential harness proves it) while
+    /// skipping recomputation within a generation.
+    pub fn with_cache(mut self, cfg: CacheConfig) -> Self {
+        self.cache = Some(QueryCache::new(cfg));
+        self
+    }
+
+    /// The tenant name this service was registered under, if any.
+    pub fn tenant(&self) -> Option<&'static str> {
+        self.tenant
+    }
+
+    /// Whether the memo cache is armed.
+    pub fn cache_armed(&self) -> bool {
+        self.cache.is_some()
+    }
+
+    /// Point-in-time cache statistics (`None` when disarmed).
+    pub fn cache_stats(&self) -> Option<CacheStats> {
+        self.cache.as_ref().map(QueryCache::stats)
+    }
+
+    /// The armed cache, when any. Exposed so the negative-path tests
+    /// can plant doctored entries ([`QueryCache::doctor`]).
+    pub fn cache(&self) -> Option<&QueryCache> {
+        self.cache.as_ref()
     }
 
     /// [`HcdService::try_new`] plus durability: writes the seq-0
@@ -256,19 +397,37 @@ impl HcdService {
         cfg: DurabilityConfig,
         exec: &Executor,
     ) -> Result<Self, ServeError> {
+        let svc = Self::try_new(g, exec)?;
+        svc.try_attach_durability(dir, cfg, exec)?;
+        Ok(svc)
+    }
+
+    /// Makes an in-memory service durable after the fact: writes a
+    /// checkpoint of the current state at the writer's sequence number
+    /// and opens a fresh WAL in `dir` (created if missing, existing
+    /// durable state overwritten). The registry uses this to give each
+    /// tenant its own durability directory after namespacing.
+    pub fn try_attach_durability<P: AsRef<Path>>(
+        &self,
+        dir: P,
+        cfg: DurabilityConfig,
+        exec: &Executor,
+    ) -> Result<(), ServeError> {
+        let writer = self.writer.lock();
         let dir = dir.as_ref().to_path_buf();
         std::fs::create_dir_all(&dir).map_err(WalError::Io)?;
-        let svc = Self::try_new(g, exec)?;
-        checkpoint::write_checkpoint(&dir, 0, g, exec)?;
+        let seq = writer.seq();
+        let snap = self.cell.load();
+        checkpoint::write_checkpoint(&dir, seq, &snap.graph, exec)?;
         let wal = WalWriter::create(dir.join(WAL_FILE_NAME), cfg.fsync).map_err(WalError::Io)?;
-        *svc.durable.lock() = Some(Durable {
+        *self.durable.lock() = Some(Durable {
             dir,
             wal,
             cfg,
-            last_checkpoint_seq: 0,
+            last_checkpoint_seq: seq,
             poisoned: false,
         });
-        Ok(svc)
+        Ok(())
     }
 
     /// Assembles a recovered service: the snapshot keeps its replayed
@@ -287,6 +446,9 @@ impl HcdService {
             stale_reads: std::sync::atomic::AtomicU64::new(0),
             writer_dirty: std::sync::atomic::AtomicBool::new(false),
             events: Mutex::new(None),
+            names: ServeNames::GLOBAL,
+            tenant: None,
+            cache: None,
         }
     }
 
@@ -338,10 +500,13 @@ impl HcdService {
     /// Runs one closure-shaped query in a named `serve.query.*` region:
     /// the snapshot is loaded once, the closure runs under the
     /// executor's deadline/cancellation/fault plan, and the stale-read
-    /// counter ticks when a publication raced the query.
+    /// counter ticks when a publication raced the query. The region
+    /// name is per-tenant; `hist` is the global latency histogram the
+    /// sample lands in (see [`ServeNames`] on why they differ).
     fn try_query_one<T, F>(
         &self,
         region: &'static str,
+        hist: &'static str,
         exec: &Executor,
         f: F,
     ) -> Result<Response<T>, ParError>
@@ -349,7 +514,7 @@ impl HcdService {
         T: Send,
         F: Fn(&Snapshot) -> T + Sync,
     {
-        let _lat = exec.time(region);
+        let _lat = exec.time(hist);
         let snap = self.cell.load();
         let slot: Mutex<Option<T>> = Mutex::new(None);
         exec.region(region).try_for_each_chunk(
@@ -377,14 +542,23 @@ impl HcdService {
     /// (`add_counter` elides zero deltas).
     fn note_reads(&self, exec: &Executor, queries: u64, served_gen: u64) {
         use std::sync::atomic::Ordering;
-        exec.add_counter("serve.queries", queries);
+        exec.add_counter(self.names.queries, queries);
         if served_gen < self.cell.generation() {
             self.stale_reads.fetch_add(queries, Ordering::Relaxed);
         }
         exec.gauge(
-            "serve.stale_reads",
+            self.names.stale_reads,
             self.stale_reads.load(Ordering::Relaxed),
         );
+    }
+
+    /// Counter bookkeeping for one cache lookup round: `hits`/`misses`
+    /// tick as sums, the byte footprint goes out as a gauge (so a
+    /// shrinking cache is still visible — sums cannot go down).
+    fn note_cache(&self, exec: &Executor, cache: &QueryCache, hits: u64, misses: u64) {
+        exec.add_counter(self.names.cache_hits, hits);
+        exec.add_counter(self.names.cache_misses, misses);
+        exec.gauge(self.names.cache_bytes, cache.stats().bytes);
     }
 
     /// Total reads (so far) answered from a snapshot that had already
@@ -393,19 +567,59 @@ impl HcdService {
         self.stale_reads.load(std::sync::atomic::Ordering::Relaxed)
     }
 
-    /// The k-core containing `v` (region `serve.query.core`).
+    /// The k-core containing `v` (region `serve.query.core`). With the
+    /// cache armed, a repeat of the same `(v, k)` against the same
+    /// generation is answered from the memo — bit-identically, because
+    /// the cached value *is* the value computed from that immutable
+    /// snapshot.
     pub fn try_core_containing(
         &self,
         v: VertexId,
         k: u32,
         exec: &Executor,
     ) -> Result<Response<Option<Vec<VertexId>>>, ParError> {
-        self.try_query_one("serve.query.core", exec, |snap| {
-            match answer(snap, &Query::CoreContaining(v, k)) {
+        if let Some(cache) = &self.cache {
+            let key = CacheKey::Core(v, k);
+            let snap = self.cell.load();
+            let found = {
+                let _lat = exec.time("serve.cache.lookup");
+                cache.get(snap.generation, &key)
+            };
+            if let Some(CachedAnswer::Core(members)) = found {
+                self.note_cache(exec, cache, 1, 0);
+                self.note_reads(exec, 1, snap.generation);
+                return Ok(Response {
+                    generation: snap.generation,
+                    value: members,
+                });
+            }
+            let resp = self.try_query_one(
+                self.names.region_query_core,
+                "serve.query.core",
+                exec,
+                |snap| match answer(snap, &Query::CoreContaining(v, k)) {
+                    QueryAnswer::CoreContaining(m) => m,
+                    _ => unreachable!("answer() preserves the variant"),
+                },
+            )?;
+            // Key by the generation the answer was actually computed
+            // from — a publication racing the miss inserts under the
+            // *new* generation, never poisoning the old one.
+            let evicted =
+                cache.insert(resp.generation, key, CachedAnswer::Core(resp.value.clone()));
+            exec.add_counter(self.names.cache_evictions, evicted);
+            self.note_cache(exec, cache, 0, 1);
+            return Ok(resp);
+        }
+        self.try_query_one(
+            self.names.region_query_core,
+            "serve.query.core",
+            exec,
+            |snap| match answer(snap, &Query::CoreContaining(v, k)) {
                 QueryAnswer::CoreContaining(m) => m,
                 _ => unreachable!("answer() preserves the variant"),
-            }
-        })
+            },
+        )
     }
 
     /// `(depth, subtree size)` of `v`'s tree node (region
@@ -415,12 +629,15 @@ impl HcdService {
         v: VertexId,
         exec: &Executor,
     ) -> Result<Response<Option<(usize, usize)>>, ParError> {
-        self.try_query_one("serve.query.position", exec, |snap| {
-            match answer(snap, &Query::HierarchyPosition(v)) {
+        self.try_query_one(
+            self.names.region_query_position,
+            "serve.query.position",
+            exec,
+            |snap| match answer(snap, &Query::HierarchyPosition(v)) {
                 QueryAnswer::HierarchyPosition(p) => p,
                 _ => unreachable!("answer() preserves the variant"),
-            }
-        })
+            },
+        )
     }
 
     /// k-core membership of `v` (region `serve.query.member`).
@@ -430,12 +647,17 @@ impl HcdService {
         k: u32,
         exec: &Executor,
     ) -> Result<Response<bool>, ParError> {
-        self.try_query_one("serve.query.member", exec, |snap| {
-            matches!(
-                answer(snap, &Query::InKCore(v, k)),
-                QueryAnswer::InKCore(true)
-            )
-        })
+        self.try_query_one(
+            self.names.region_query_member,
+            "serve.query.member",
+            exec,
+            |snap| {
+                matches!(
+                    answer(snap, &Query::InKCore(v, k)),
+                    QueryAnswer::InKCore(true)
+                )
+            },
+        )
     }
 
     /// Whether `u` and `v` share a k-core (region `serve.query.same`).
@@ -446,12 +668,17 @@ impl HcdService {
         k: u32,
         exec: &Executor,
     ) -> Result<Response<bool>, ParError> {
-        self.try_query_one("serve.query.same", exec, move |snap| {
-            matches!(
-                answer(snap, &Query::SameKCore(u, v, k)),
-                QueryAnswer::SameKCore(true)
-            )
-        })
+        self.try_query_one(
+            self.names.region_query_same,
+            "serve.query.same",
+            exec,
+            move |snap| {
+                matches!(
+                    answer(snap, &Query::SameKCore(u, v, k)),
+                    QueryAnswer::SameKCore(true)
+                )
+            },
+        )
     }
 
     /// PBKS best-community search on the current snapshot under
@@ -462,9 +689,35 @@ impl HcdService {
         metric: &Metric,
         exec: &Executor,
     ) -> Result<Response<Option<BestCore>>, ParError> {
-        let _lat = exec.time("serve.query.pbks");
         let snap = self.cell.load();
-        let best = try_pbks_on(&snap.graph, &snap.cores, &snap.hcd, metric, exec)?;
+        if let Some(cache) = &self.cache {
+            let key = CacheKey::for_metric(metric);
+            let found = {
+                let _lat = exec.time("serve.cache.lookup");
+                cache.get(snap.generation, &key)
+            };
+            if let Some(CachedAnswer::Best(best)) = found {
+                self.note_cache(exec, cache, 1, 0);
+                self.note_reads(exec, 1, snap.generation);
+                return Ok(Response {
+                    generation: snap.generation,
+                    value: best,
+                });
+            }
+        }
+        let best = {
+            let _lat = exec.time("serve.query.pbks");
+            try_pbks_on(&snap.graph, &snap.cores, &snap.hcd, metric, exec)?
+        };
+        if let Some(cache) = &self.cache {
+            let evicted = cache.insert(
+                snap.generation,
+                CacheKey::for_metric(metric),
+                CachedAnswer::Best(best.clone()),
+            );
+            exec.add_counter(self.names.cache_evictions, evicted);
+            self.note_cache(exec, cache, 0, 1);
+        }
         self.note_reads(exec, 1, snap.generation);
         Ok(Response {
             generation: snap.generation,
@@ -484,24 +737,67 @@ impl HcdService {
         let snap = self.cell.load();
         let slots: Vec<Mutex<Option<QueryAnswer>>> =
             queries.iter().map(|_| Mutex::new(None)).collect();
-        exec.region("serve.query.batch").try_for_each_chunk(
-            queries.len(),
-            || (),
-            |_, _, range| {
-                for (done, i) in range.enumerate() {
-                    if done % CHECKPOINT_STRIDE == 0 {
-                        exec.checkpoint()?;
+        // Prefill cacheable answers from the memo before the region
+        // opens. The region still iterates every index with identical
+        // chunk boundaries and checkpoint cadence — a cache hit only
+        // skips the recomputation of an answer this same snapshot
+        // already produced, so armed and disarmed runs are
+        // bit-identical by construction.
+        let mut from_cache = vec![false; queries.len()];
+        let (mut hits, mut misses) = (0u64, 0u64);
+        if let Some(cache) = &self.cache {
+            let _lk = exec.time("serve.cache.lookup");
+            for (i, q) in queries.iter().enumerate() {
+                if let Some(key) = CacheKey::for_query(q) {
+                    match cache.get(snap.generation, &key) {
+                        Some(CachedAnswer::Core(m)) => {
+                            *slots[i].lock() = Some(QueryAnswer::CoreContaining(m));
+                            from_cache[i] = true;
+                            hits += 1;
+                        }
+                        _ => misses += 1,
                     }
-                    *slots[i].lock() = Some(answer(&snap, &queries[i]));
                 }
-                Ok(())
-            },
-        )?;
+            }
+        }
+        let from_cache_ref = &from_cache;
+        exec.region(self.names.region_query_batch)
+            .try_for_each_chunk(
+                queries.len(),
+                || (),
+                |_, _, range| {
+                    for (done, i) in range.enumerate() {
+                        if done % CHECKPOINT_STRIDE == 0 {
+                            exec.checkpoint()?;
+                        }
+                        if from_cache_ref[i] {
+                            continue;
+                        }
+                        *slots[i].lock() = Some(answer(&snap, &queries[i]));
+                    }
+                    Ok(())
+                },
+            )?;
         self.note_reads(exec, queries.len() as u64, snap.generation);
-        let answers = slots
+        let answers: Vec<QueryAnswer> = slots
             .into_iter()
             .map(|s| s.into_inner().expect("every query index was answered"))
             .collect();
+        if let Some(cache) = &self.cache {
+            let mut evicted = 0;
+            for (i, q) in queries.iter().enumerate() {
+                if from_cache[i] {
+                    continue;
+                }
+                if let (Some(key), QueryAnswer::CoreContaining(m)) =
+                    (CacheKey::for_query(q), &answers[i])
+                {
+                    evicted += cache.insert(snap.generation, key, CachedAnswer::Core(m.clone()));
+                }
+            }
+            exec.add_counter(self.names.cache_evictions, evicted);
+            self.note_cache(exec, cache, hits, misses);
+        }
         Ok(BatchAnswers {
             generation: snap.generation,
             answers,
@@ -558,7 +854,7 @@ impl HcdService {
             // Nothing would change and the published snapshot already
             // reflects the writer state exactly: acknowledge without
             // logging, bumping the sequence, or publishing.
-            exec.add_counter("serve.noop_batches", 1);
+            exec.add_counter(self.names.noop_batches, 1);
             self.with_events(|log| {
                 log.noop(writer.seq(), self.cell.generation(), updates.len() as u64)
             });
@@ -585,14 +881,14 @@ impl HcdService {
             // stamp, so replay and live application agree exactly.
             match d.wal.append(writer.seq() + 1, updates, exec) {
                 Ok(bytes) => {
-                    exec.add_counter("serve.wal_appends", 1);
-                    exec.add_counter("serve.wal_bytes", bytes);
+                    exec.add_counter(self.names.wal_appends, 1);
+                    exec.add_counter(self.names.wal_bytes, bytes);
                 }
                 Err(e) => {
                     if matches!(e, WalError::Crashed(_)) {
                         d.poisoned = true;
                     }
-                    exec.add_counter("serve.wal_errors", 1);
+                    exec.add_counter(self.names.wal_errors, 1);
                     let e = ServeError::Wal(e);
                     self.with_events(|log| {
                         log.fault_kept_old_snapshot(
@@ -626,7 +922,7 @@ impl HcdService {
                 return Err(e);
             }
         };
-        exec.add_counter("serve.batches", 1);
+        exec.add_counter(self.names.batches, 1);
         let affected = (report.changed.len() + report.touched.len()) as u64;
 
         // The published forest is exact for the pre-batch graph unless a
@@ -639,7 +935,7 @@ impl HcdService {
         let parts: Mutex<Option<(CsrGraph, _, Option<hcd_core::Hcd>)>> = Mutex::new(None);
         let writer_ref = &*writer;
         let report_ref = &report;
-        let rebuilt = exec.region("serve.rebuild").try_for_each_chunk(
+        let rebuilt = exec.region(self.names.region_rebuild).try_for_each_chunk(
             1,
             || (),
             |_, _, _| {
@@ -708,7 +1004,15 @@ impl HcdService {
         // stamped is the one the cell advanced to.
         debug_assert_eq!(published, generation);
         self.writer_dirty.store(false, Ordering::Relaxed);
-        exec.add_counter("serve.swaps", 1);
+        exec.add_counter(self.names.swaps, 1);
+        if let Some(cache) = &self.cache {
+            // Every pre-publication generation just became stale; the
+            // sweep is what guarantees no reader can be handed an old
+            // answer under the new generation's key.
+            let evicted = cache.evict_stale(published);
+            exec.add_counter(self.names.cache_evictions, evicted);
+            exec.gauge(self.names.cache_bytes, cache.stats().bytes);
+        }
         self.with_events(|log| log.published(report.seq, published, affected, elapsed_ns(started)));
 
         if let Some(d) = durable.as_mut() {
@@ -722,7 +1026,7 @@ impl HcdService {
                 match checkpoint::write_checkpoint(&d.dir, report.seq, &snapshot.graph, exec) {
                     Ok(_) => {
                         d.last_checkpoint_seq = report.seq;
-                        exec.add_counter("serve.checkpoints", 1);
+                        exec.add_counter(self.names.checkpoints, 1);
                         self.with_events(|log| {
                             log.checkpoint(report.seq, published, elapsed_ns(ckpt_started))
                         });
@@ -735,7 +1039,7 @@ impl HcdService {
                         d.poisoned = true;
                     }
                     Err(CheckpointError::Io(_)) => {
-                        exec.add_counter("serve.ckpt_errors", 1);
+                        exec.add_counter(self.names.ckpt_errors, 1);
                     }
                 }
             }

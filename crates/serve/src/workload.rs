@@ -32,6 +32,13 @@ pub struct WorkloadConfig {
     /// current vertex count: inserts grow the graph, and queries on
     /// not-yet-existing ids exercise the stale-id paths.
     pub universe: VertexId,
+    /// Probability in `[0, 1]` that a query draw is a *hot* query: a
+    /// `CoreContaining` probe on a small fixed vertex set. Hot traffic
+    /// is what a memo cache exists for — repeated identical probes
+    /// within one generation. `0.0` (the default) adds **no** RNG
+    /// draws, so the operation stream is byte-for-byte the historical
+    /// one.
+    pub hot_fraction: f64,
 }
 
 impl Default for WorkloadConfig {
@@ -42,6 +49,7 @@ impl Default for WorkloadConfig {
             batch_size: 32,
             read_ratio: 0.9,
             universe: 256,
+            hot_fraction: 0.0,
         }
     }
 }
@@ -79,6 +87,19 @@ pub struct WorkloadSummary {
 /// Fraction of read ops issued as one typed single query instead of a
 /// full batch.
 const SINGLE_QUERY_RATIO: f64 = 0.25;
+
+/// Vertices `0..HOT_SET` are the hot set `hot_fraction` concentrates
+/// on.
+const HOT_SET: VertexId = 8;
+
+pub(crate) fn random_query_mixed(rng: &mut ChaCha8Rng, cfg: &WorkloadConfig) -> Query {
+    if cfg.hot_fraction > 0.0 && rng.gen_bool(cfg.hot_fraction.clamp(0.0, 1.0)) {
+        let v = rng.gen_range(0..HOT_SET.min(cfg.universe));
+        let k = rng.gen_range(0..4u32);
+        return Query::CoreContaining(v, k);
+    }
+    random_query(rng, cfg.universe)
+}
 
 fn random_query(rng: &mut ChaCha8Rng, universe: VertexId) -> Query {
     let v = rng.gen_range(0..universe);
@@ -152,7 +173,7 @@ where
                 // per-query-type region and latency histogram
                 // (`serve.query.core` / `.position` / `.member` /
                 // `.same`) sees real traffic.
-                let q = random_query(&mut rng, cfg.universe);
+                let q = random_query_mixed(&mut rng, cfg);
                 let positive = match q {
                     Query::CoreContaining(v, k) => {
                         service.try_core_containing(v, k, exec)?.value.is_some()
@@ -168,7 +189,7 @@ where
                 summary.positive_answers += positive as u64;
             } else {
                 let queries: Vec<Query> = (0..cfg.batch_size)
-                    .map(|_| random_query(&mut rng, cfg.universe))
+                    .map(|_| random_query_mixed(&mut rng, cfg))
                     .collect();
                 let batch = service.try_query_batch(&queries, exec)?;
                 summary.queries += batch.answers.len() as u64;

@@ -7,7 +7,8 @@
 //! hcd-cli core   <graph> -v VERTEX -k K                   # the k-core containing v
 //! hcd-cli dot    <graph> [-p P] [--order O]               # Graphviz DOT of the HCD
 //! hcd-cli gen    <model> <out> [--seed S]                 # generate a synthetic graph
-//! hcd-cli serve-bench <graph> [--durable DIR] [--seed S] [--ops N] [--batch B] [--read-ratio R] [--events E.jsonl] [--stats-interval N] [-p P] [--timeout-ms T] [--metrics M.json] [--trace T.json]
+//! hcd-cli serve-bench <graph> [--durable DIR] [--seed S] [--ops N] [--batch B] [--read-ratio R] [--cache] [--hot-fraction F] [--events E.jsonl] [--stats-interval N] [-p P] [--timeout-ms T] [--metrics M.json] [--trace T.json]
+//! hcd-cli serve-bench <graph> --tenants N --offered-qps R [--ticks T] [--watermark W] [--deadline-ms D] [--no-cache] ...   # open-loop mode
 //! hcd-cli wal-inspect <dir|wal.log>                       # scan a write-ahead log
 //! hcd-cli metrics-diff <old.json> <new.json> [--threshold X] [--abs-floor-ns N] [--counters-only]
 //! hcd-cli help                                            # usage and exit codes
@@ -26,6 +27,7 @@
 //! | 2    | usage error (unknown command, bad flag, unknown metric) |
 //! | 3    | `metrics-diff` found a regression past the threshold |
 //! | 4    | recovered with a truncated WAL tail (torn-write warning) |
+//! | 5    | open-loop `serve-bench` run was fully shed (saturated) |
 //! | 124  | deadline exceeded or cancelled (`--timeout-ms` fired) |
 
 use std::process::ExitCode;
@@ -46,6 +48,11 @@ const EXIT_REGRESSION: u8 = 3;
 /// after a mid-write kill, so it is a warning (the state recovers to
 /// the last acknowledged batch), distinct from hard corruption (1).
 const EXIT_TORN_TAIL: u8 = 4;
+/// Exit code when an open-loop `serve-bench` run answered nothing —
+/// every offered request was shed. Distinct from success (the run
+/// completed, the shed machinery worked) and from failure (nothing
+/// broke); CI uses it to assert the fully-shed regime is reachable.
+const EXIT_SATURATED: u8 = 5;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -66,6 +73,10 @@ fn main() -> ExitCode {
             eprintln!("warning: {msg}");
             ExitCode::from(EXIT_TORN_TAIL)
         }
+        Err(CliError::Saturated) => {
+            eprintln!("warning: open loop saturated: every offered request was shed");
+            ExitCode::from(EXIT_SATURATED)
+        }
         Err(CliError::Timeout(msg)) => {
             eprintln!("error: {msg}");
             ExitCode::from(EXIT_TIMEOUT)
@@ -80,7 +91,8 @@ const USAGE: &str = "usage:
   hcd-cli core   <graph> -v <vertex> -k <k>
   hcd-cli dot    <graph> [-p threads] [--order none|degree]
   hcd-cli gen    <rmat|ba|er|ws|tree> <out.txt> [--seed S]
-  hcd-cli serve-bench <graph> [--durable DIR] [--seed S] [--ops N] [--batch B] [--read-ratio R] [--events out.jsonl] [--stats-interval N] [-p threads] [--mode M] [--pin-threads] [--timeout-ms T] [--metrics out.json] [--trace out.json]
+  hcd-cli serve-bench <graph> [--durable DIR] [--seed S] [--ops N] [--batch B] [--read-ratio R] [--cache] [--hot-fraction F] [--events out.jsonl] [--stats-interval N] [-p threads] [--mode M] [--pin-threads] [--timeout-ms T] [--metrics out.json] [--trace out.json]
+  hcd-cli serve-bench <graph> --tenants N --offered-qps R [--ticks T] [--watermark W] [--deadline-ms D] [--no-cache] [--hot-fraction F] [--durable DIR] [--seed S] [--batch B] [-p threads] [--mode M] [--metrics out.json]
   hcd-cli wal-inspect <dir|wal.log>
   hcd-cli metrics-diff <old.json> <new.json> [--threshold X] [--abs-floor-ns N] [--counters-only]
   hcd-cli help
@@ -126,6 +138,28 @@ JSON object per line): batch-applied / published / no-op / checkpoint
 / recovery / fault-kept-old-snapshot records carrying the WAL seq,
 snapshot generation, affected-vertex count, and duration.
 
+--cache arms the generation-keyed memo cache on the closed-loop
+service (answers are bit-identical to a disarmed run — the cache keys
+by snapshot generation, so invalidation is the epoch bump itself);
+--hot-fraction F (default 0 closed-loop, 0.5 open-loop) concentrates F
+of the query draws on a small hot vertex set so the cache sees repeat
+traffic.
+
+Giving --tenants and/or --offered-qps switches serve-bench into
+**open-loop** mode: N tenant copies of the graph are registered in one
+process (each with its own epoch cell, serve.<tenant>.* counter
+namespace, per-tenant cache, and — with --durable — its own WAL
+subdirectory), and a seeded open-loop generator offers --offered-qps
+arrivals per virtual second for --ticks 1 ms ticks through a bounded
+ingress queue (admission watermark --watermark, optional per-request
+deadline --deadline-ms; 0 means already-expired, the deterministic
+fully-shed regime). The report shows offered rate, achieved
+throughput, shed fraction, per-tenant generations and cache hits, and
+p50/p99 from the shared histogram layer. A fully-shed run (offered
+load, nothing answered) exits with the distinct code 5. The arrival
+schedule and queue dynamics are pure functions of the seed and config,
+so shed counts are reproducible with -p 1 --mode seq.
+
 --durable DIR makes the service crash-safe: every update batch is
 appended to a checksummed write-ahead log in DIR (fsynced before it is
 acknowledged) and snapshot checkpoints are written atomically in the
@@ -167,6 +201,7 @@ exit codes:
   2    usage error (unknown command, bad flag, unknown metric)
   3    metrics-diff found a regression past the threshold
   4    recovered with a truncated WAL tail (torn-write warning)
+  5    open-loop serve-bench was fully shed (saturated)
   124  deadline exceeded or cancelled (--timeout-ms fired)";
 
 /// Typed failure, mapped to a distinct process exit code in `main`.
@@ -182,6 +217,9 @@ enum CliError {
     /// A WAL ended in a torn record (truncated or truncatable at the
     /// last valid record): exit 4, a warning rather than a failure.
     TornTail(String),
+    /// An open-loop `serve-bench` run was fully shed: exit 5. The
+    /// summary has already been printed.
+    Saturated,
     /// A `--timeout-ms` deadline fired (or the run was cancelled): exit 124.
     Timeout(String),
 }
@@ -584,6 +622,11 @@ fn fmt_ns(ns: f64) -> String {
 /// `--metrics` only controls whether the snapshot is also written out.
 fn serve_bench(path: &str, args: &[String], exec: &Executor) -> Result<(), CliError> {
     let g = load(path)?;
+    // --tenants / --offered-qps switch to the open-loop multi-tenant
+    // driver; everything below is the historical closed loop.
+    if flag_value(args, "--tenants")?.is_some() || flag_value(args, "--offered-qps")?.is_some() {
+        return serve_bench_open_loop(path, &g, args, exec);
+    }
     let cfg = WorkloadConfig {
         seed: num_flag(args, "--seed", 42u64)?,
         ops: num_flag(args, "--ops", 64usize)?,
@@ -592,6 +635,7 @@ fn serve_bench(path: &str, args: &[String], exec: &Executor) -> Result<(), CliEr
         // Leave headroom above the current vertex count so inserts can
         // grow the graph and queries exercise unknown-id paths.
         universe: (g.num_vertices() as VertexId).max(2).saturating_mul(2),
+        hot_fraction: num_flag(args, "--hot-fraction", 0.0f64)?,
     };
     if !(0.0..=1.0).contains(&cfg.read_ratio) {
         return Err(usage(format!(
@@ -599,6 +643,13 @@ fn serve_bench(path: &str, args: &[String], exec: &Executor) -> Result<(), CliEr
             cfg.read_ratio
         )));
     }
+    if !(0.0..=1.0).contains(&cfg.hot_fraction) {
+        return Err(usage(format!(
+            "bad --hot-fraction {} (0..=1)",
+            cfg.hot_fraction
+        )));
+    }
+    let arm_cache = has_flag(args, "--cache");
     let durable_dir = flag_value(args, "--durable")?;
     let metrics_path = flag_value(args, "--metrics")?;
     let trace_path = flag_value(args, "--trace")?;
@@ -613,7 +664,7 @@ fn serve_bench(path: &str, args: &[String], exec: &Executor) -> Result<(), CliEr
         exec.arm_trace();
     }
     let mut recovery: Option<RecoveryReport> = None;
-    let service = match &durable_dir {
+    let mut service = match &durable_dir {
         None => HcdService::try_new(&g, exec).map_err(par_err)?,
         Some(dir) => {
             let dir = std::path::Path::new(dir);
@@ -648,6 +699,9 @@ fn serve_bench(path: &str, args: &[String], exec: &Executor) -> Result<(), CliEr
             }
         }
     };
+    if arm_cache {
+        service = service.with_cache(CacheConfig::default());
+    }
     if let Some(p) = &events_path {
         let log = EventLog::create(p)
             .map_err(|e| CliError::Runtime(format!("cannot create event log {p}: {e}")))?;
@@ -711,6 +765,12 @@ fn serve_bench(path: &str, args: &[String], exec: &Executor) -> Result<(), CliEr
     println!("positive answers = {}", summary.positive_answers);
     println!("final generation = {}", summary.final_generation);
     println!("elapsed          = {:.3}s", elapsed.as_secs_f64());
+    if let Some(stats) = service.cache_stats() {
+        println!(
+            "cache            = hits {} misses {} evictions {} entries {} bytes {}",
+            stats.hits, stats.misses, stats.evictions, stats.entries, stats.bytes
+        );
+    }
     // The latency report is read back out of the emitted JSON snapshot
     // (not the live executor), so what is printed is exactly what a
     // metrics-diff against the same file would gate on.
@@ -749,6 +809,185 @@ fn serve_bench(path: &str, args: &[String], exec: &Executor) -> Result<(), CliEr
                 r.truncated_bytes
             )));
         }
+    }
+    Ok(())
+}
+
+/// The open-loop multi-tenant `serve-bench` mode (`--tenants` /
+/// `--offered-qps`). Registers N tenant copies of the graph in one
+/// `ServiceRegistry` (each with its own epoch cell, `serve.<tenant>.*`
+/// counter namespace, optional per-tenant cache, and — with
+/// `--durable` — its own WAL subdirectory), then offers load at a
+/// fixed virtual rate through each tenant's bounded ingress queue.
+/// Reports offered rate, achieved throughput, shed fraction, cache
+/// hits, and p50/p99 from the shared histogram layer. The arrival
+/// schedule and every shed decision are pure functions of the seed and
+/// knobs under `--mode seq -p 1`; a fully-shed run exits 5.
+fn serve_bench_open_loop(
+    path: &str,
+    g: &CsrGraph,
+    args: &[String],
+    exec: &Executor,
+) -> Result<(), CliError> {
+    let tenants: usize = num_flag(args, "--tenants", 2usize)?;
+    if tenants == 0 || tenants > 64 {
+        return Err(usage(format!("bad --tenants {tenants} (1..=64)")));
+    }
+    let olcfg = OpenLoopConfig {
+        seed: num_flag(args, "--seed", 42u64)?,
+        offered_qps: num_flag(args, "--offered-qps", 10_000u64)?,
+        ticks: num_flag(args, "--ticks", 1000u64)?,
+        drain_batch: num_flag(args, "--batch", 32usize)?,
+        watermark: num_flag(args, "--watermark", 256usize)?,
+        deadline_ms: match flag_value(args, "--deadline-ms")? {
+            None => None,
+            Some(v) => Some(
+                v.parse()
+                    .map_err(|e| usage(format!("bad --deadline-ms: {e}")))?,
+            ),
+        },
+        update_every: num_flag(args, "--update-every", 100u64)?,
+        // Same headroom rule as the closed loop.
+        universe: (g.num_vertices() as VertexId).max(2).saturating_mul(2),
+        hot_fraction: num_flag(args, "--hot-fraction", 0.5f64)?,
+    };
+    if olcfg.offered_qps == 0 {
+        return Err(usage("--offered-qps must be > 0"));
+    }
+    if olcfg.ticks == 0 {
+        return Err(usage("--ticks must be > 0"));
+    }
+    if !(0.0..=1.0).contains(&olcfg.hot_fraction) {
+        return Err(usage(format!(
+            "bad --hot-fraction {} (0..=1)",
+            olcfg.hot_fraction
+        )));
+    }
+    let no_cache = has_flag(args, "--no-cache");
+    let durable_dir = flag_value(args, "--durable")?;
+    let metrics_path = flag_value(args, "--metrics")?;
+    exec.set_metrics_enabled(true);
+    exec.arm_histograms();
+    let mut reg = match &durable_dir {
+        Some(dir) => ServiceRegistry::with_base_dir(dir),
+        None => ServiceRegistry::new(),
+    };
+    let tcfg = TenantConfig {
+        cache: (!no_cache).then(CacheConfig::default),
+        durability: durable_dir.as_ref().map(|_| DurabilityConfig::default()),
+    };
+    let names: Vec<String> = (0..tenants).map(|i| format!("t{i}")).collect();
+    for name in &names {
+        reg.try_register(name, g, &tcfg, exec)
+            .map_err(|e| CliError::Runtime(format!("cannot register tenant {name}: {e}")))?;
+    }
+    println!("graph            = {path}");
+    if let Some(dir) = &durable_dir {
+        println!("durable dir      = {dir} (one subdirectory per tenant)");
+    }
+    println!("tenants          = {tenants}");
+    println!(
+        "offered          = {} qps x {:.3} virtual s per tenant",
+        olcfg.offered_qps,
+        olcfg.ticks as f64 / 1000.0
+    );
+    println!("drain batch      = {}", olcfg.drain_batch);
+    println!("watermark        = {}", olcfg.watermark);
+    println!(
+        "deadline         = {}",
+        olcfg
+            .deadline_ms
+            .map_or("none".to_string(), |ms| format!("{ms}ms"))
+    );
+    println!(
+        "cache            = {}",
+        if no_cache { "disarmed" } else { "armed" }
+    );
+    let start = std::time::Instant::now();
+    let mut rows: Vec<(String, OpenLoopSummary, Option<CacheStats>)> = Vec::new();
+    for (i, name) in names.iter().enumerate() {
+        let svc = reg.get(name).expect("registered above");
+        let ingress = IngressQueue::for_tenant(
+            AdmissionConfig {
+                watermark: olcfg.watermark,
+                default_deadline: None,
+            },
+            name,
+        );
+        // Per-tenant seed offset: distinct but reproducible streams.
+        let cfg = OpenLoopConfig {
+            seed: olcfg.seed.wrapping_add(i as u64),
+            ..olcfg
+        };
+        let s = run_open_loop(&svc, &ingress, &cfg, exec).map_err(serve_err)?;
+        rows.push((name.clone(), s, svc.cache_stats()));
+    }
+    let elapsed = start.elapsed();
+    // One drain feeds both the latency report and the optional file,
+    // exactly like the closed loop.
+    let json = exec.take_metrics().to_json();
+    if let Some(p) = &metrics_path {
+        write_doc("metrics", p, &json)?;
+    }
+    let (mut offered, mut answered, mut shed) = (0u64, 0u64, 0u64);
+    for (name, s, cache) in &rows {
+        offered += s.offered;
+        answered += s.answered;
+        shed += s.shed();
+        let cache_col = cache.map_or("-".to_string(), |c| {
+            format!("hits {}/{}", c.hits, c.hits + c.misses)
+        });
+        println!(
+            "tenant {name:<10}= offered {} answered {} shed {} ({:.2}%) maxdepth {} gen {} cache {}",
+            s.offered,
+            s.answered,
+            s.shed(),
+            100.0 * s.shed_fraction(),
+            s.max_depth,
+            s.final_generation,
+            cache_col
+        );
+    }
+    let virtual_secs = olcfg.ticks as f64 / 1000.0;
+    println!("offered total    = {offered}");
+    println!("answered total   = {answered}");
+    println!(
+        "achieved         = {:.1} qps per tenant (virtual time)",
+        answered as f64 / (tenants as f64 * virtual_secs)
+    );
+    println!(
+        "shed fraction    = {:.4}",
+        if offered == 0 {
+            0.0
+        } else {
+            shed as f64 / offered as f64
+        }
+    );
+    println!("elapsed          = {:.3}s (wall)", elapsed.as_secs_f64());
+    let snap = Snapshot::parse(&json)
+        .map_err(|e| CliError::Runtime(format!("emitted metrics snapshot did not parse: {e}")))?;
+    let mut hists: Vec<&SnapshotHistogram> = snap
+        .histograms
+        .iter()
+        .filter(|h| h.name.starts_with("serve."))
+        .collect();
+    hists.sort_by(|a, b| a.name.cmp(&b.name));
+    if !hists.is_empty() {
+        println!("latency (p50/p99/p999/max from the emitted hcd-metrics-v1 histograms)");
+        for h in hists {
+            println!(
+                "  {:<18} p50={:<8} p99={:<8} p999={:<8} max={:<8} n={}",
+                h.name,
+                fmt_ns(h.p50_ns),
+                fmt_ns(h.p99_ns),
+                fmt_ns(h.p999_ns),
+                fmt_ns(h.max_ns),
+                h.count as u64
+            );
+        }
+    }
+    if offered > 0 && answered == 0 {
+        return Err(CliError::Saturated);
     }
     Ok(())
 }

@@ -22,7 +22,7 @@ pub use hcd_core::{
 };
 
 pub use hcd_par::{
-    diff_metrics, BuildError, CancelToken, CounterValue, CrashPoint, Deadline, DiffEntry,
+    diff_metrics, intern, BuildError, CancelToken, CounterValue, CrashPoint, Deadline, DiffEntry,
     DiffOptions, DiffReport, EventKind, Executor, ExecutorConfig, Fault, FaultPlan,
     HistogramSnapshot, ParError, RegionMetrics, RunMetrics, Snapshot, SnapshotHistogram, Trace,
     TraceEvent, CHECKPOINT_STRIDE, METRICS_SCHEMA, TRACE_SCHEMA,
@@ -45,10 +45,12 @@ pub use hcd_dynamic::{BatchReport, DynamicCore, DynamicGraph, EdgeUpdate};
 // `hcd_serve::Snapshot` is aliased to avoid colliding with the metrics
 // snapshot exported from `hcd_par`.
 pub use hcd_serve::{
-    run_workload, run_workload_with, BatchAnswers, CheckpointError, DurabilityConfig, EventLog,
-    FsyncPolicy, HcdService, Query, QueryAnswer, RecoverError, RecoveryReport, Response,
-    ServeError, Snapshot as ServeSnapshot, TailStatus, WalError, WalScan, WalWriter,
-    WorkloadConfig, WorkloadSummary, EVENTS_SCHEMA, WAL_FILE_NAME,
+    run_open_loop, run_workload, run_workload_with, AdmissionConfig, BatchAnswers, CacheConfig,
+    CacheKey, CacheStats, CachedAnswer, CheckpointError, DrainReport, DurabilityConfig, EventLog,
+    FsyncPolicy, HcdService, IngressQueue, OpenLoopConfig, OpenLoopSummary, Query, QueryAnswer,
+    QueryCache, RecoverError, RecoveryReport, RegistryError, Rejected, Response, ServeError,
+    ServiceRegistry, Snapshot as ServeSnapshot, TailStatus, TenantConfig, WalError, WalScan,
+    WalWriter, WorkloadConfig, WorkloadSummary, EVENTS_SCHEMA, WAL_FILE_NAME,
 };
 
 pub use hcd_truss::{

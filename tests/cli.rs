@@ -435,6 +435,7 @@ fn help_documents_every_exit_code() {
             "2    usage error",
             "3    metrics-diff found a regression",
             "4    recovered with a truncated WAL tail",
+            "5    open-loop serve-bench was fully shed",
             "124  deadline exceeded",
         ] {
             assert!(text.contains(needle), "{cmd} help missing {needle:?}");
@@ -442,6 +443,18 @@ fn help_documents_every_exit_code() {
         // The executor mode list lives in one place; help must name
         // every mode the parser accepts, including assist.
         for needle in ["--mode", "seq", "rayon", "sim", "assist", "--pin-threads"] {
+            assert!(text.contains(needle), "{cmd} help missing {needle:?}");
+        }
+        // The open-loop serving knobs are documented too.
+        for needle in [
+            "--tenants",
+            "--offered-qps",
+            "--watermark",
+            "--deadline-ms",
+            "--no-cache",
+            "--hot-fraction",
+            "--cache",
+        ] {
             assert!(text.contains(needle), "{cmd} help missing {needle:?}");
         }
     }
@@ -986,4 +999,148 @@ fn serve_bench_reports_latency_events_and_inflight_stats() {
     std::fs::remove_file(&events).ok();
     std::fs::remove_file(&events2).ok();
     std::fs::remove_dir_all(&dir).ok();
+}
+
+/// The open-loop mode prints the offered/achieved/shed report with a
+/// per-tenant line each, and — run twice with the same seed under the
+/// sequential executor — makes bit-identical shed decisions.
+#[test]
+fn open_loop_serve_bench_reports_shed_fraction_deterministically() {
+    let graph = tmp("cli_openloop.txt");
+    let out = cli()
+        .args(["gen", "ba", graph.to_str().unwrap(), "--seed", "9"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let run = || {
+        cli()
+            .args([
+                "serve-bench",
+                graph.to_str().unwrap(),
+                "--tenants",
+                "2",
+                "--offered-qps",
+                "40000",
+                "--ticks",
+                "50",
+                "--watermark",
+                "16",
+                "--batch",
+                "8",
+                "--mode",
+                "seq",
+                "-p",
+                "1",
+            ])
+            .output()
+            .unwrap()
+    };
+    let first = run();
+    assert!(
+        first.status.success(),
+        "{}",
+        String::from_utf8_lossy(&first.stderr)
+    );
+    let text = String::from_utf8_lossy(&first.stdout);
+    for needle in [
+        "tenants          = 2",
+        "tenant t0        = offered ",
+        "tenant t1        = offered ",
+        "offered total    = ",
+        "answered total   = ",
+        "achieved         = ",
+        "shed fraction    = ",
+    ] {
+        assert!(text.contains(needle), "missing {needle:?}:\n{text}");
+    }
+    // Overloaded on purpose: some load must actually shed, and the
+    // per-tenant cache must actually hit.
+    let shed_line = text
+        .lines()
+        .find(|l| l.starts_with("shed fraction"))
+        .unwrap();
+    let shed: f64 = shed_line
+        .rsplit('=')
+        .next()
+        .unwrap()
+        .trim()
+        .parse()
+        .unwrap();
+    assert!(shed > 0.0 && shed < 1.0, "{shed_line}");
+    assert!(
+        text.lines()
+            .any(|l| l.starts_with("tenant t0") && l.contains("cache hits ")),
+        "{text}"
+    );
+    // Determinism: the shed decisions (whole tenant lines) reproduce.
+    let second = run();
+    let text2 = String::from_utf8_lossy(&second.stdout);
+    for prefix in ["tenant t0", "tenant t1", "offered total", "shed fraction"] {
+        let a = text.lines().find(|l| l.starts_with(prefix)).unwrap();
+        let b = text2.lines().find(|l| l.starts_with(prefix)).unwrap();
+        assert_eq!(a, b, "{prefix} line drifted between identical runs");
+    }
+    std::fs::remove_file(&graph).ok();
+}
+
+/// `--deadline-ms 0` stamps an already-expired deadline on every
+/// arrival: everything sheds, and the run exits with the distinct
+/// saturated code 5 (not success, not failure).
+#[test]
+fn fully_shed_open_loop_exits_with_code_5() {
+    let graph = tmp("cli_saturated.txt");
+    let out = cli()
+        .args(["gen", "tree", graph.to_str().unwrap(), "--seed", "3"])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    let out = cli()
+        .args([
+            "serve-bench",
+            graph.to_str().unwrap(),
+            "--tenants",
+            "1",
+            "--offered-qps",
+            "5000",
+            "--ticks",
+            "20",
+            "--deadline-ms",
+            "0",
+            "--mode",
+            "seq",
+            "-p",
+            "1",
+        ])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(5), "saturated exit code");
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("shed fraction    = 1.0000"), "{text}");
+    assert!(text.contains("answered total   = 0"), "{text}");
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("saturated"), "{err}");
+    std::fs::remove_file(&graph).ok();
+}
+
+/// Open-loop flag validation stays a usage error (exit 2).
+#[test]
+fn open_loop_bad_flags_are_usage_errors() {
+    let graph = tmp("cli_openloop_bad.txt");
+    let out = cli()
+        .args(["gen", "tree", graph.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success());
+    for bad in [
+        vec!["--tenants", "0"],
+        vec!["--tenants", "2", "--offered-qps", "0"],
+        vec!["--tenants", "2", "--hot-fraction", "1.5"],
+        vec!["--tenants", "2", "--ticks", "0"],
+    ] {
+        let mut args = vec!["serve-bench", graph.to_str().unwrap()];
+        args.extend(bad.iter());
+        let out = cli().args(&args).output().unwrap();
+        assert_eq!(out.status.code(), Some(2), "{bad:?} must be a usage error");
+    }
+    std::fs::remove_file(&graph).ok();
 }

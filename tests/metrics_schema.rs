@@ -459,3 +459,175 @@ fn without_the_flag_no_metrics_file_appears() {
     assert!(!metrics.exists());
     std::fs::remove_file(&graph).ok();
 }
+
+#[test]
+fn closed_loop_cache_flag_emits_cache_counters_and_lookup_histogram() {
+    let graph = gen_graph("cache.txt", "ba");
+    let metrics = tmp("cache.json");
+    let out = cli()
+        .args([
+            "serve-bench",
+            graph.to_str().unwrap(),
+            "--cache",
+            "--hot-fraction",
+            "0.6",
+            "--ops",
+            "24",
+            "--batch",
+            "8",
+            "--mode",
+            "seq",
+            "-p",
+            "1",
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run serve-bench --cache");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&metrics).expect("metrics file written");
+    let doc = Json::parse(&text).expect("valid JSON");
+    validate_schema(&doc);
+    let counters: Vec<(&str, f64)> = doc
+        .get("counters")
+        .and_then(Json::arr)
+        .unwrap()
+        .iter()
+        .map(|c| {
+            (
+                c.get("name").and_then(Json::str).unwrap(),
+                c.get("value").and_then(Json::num).unwrap(),
+            )
+        })
+        .collect();
+    for counter in ["serve.cache.hits", "serve.cache.misses"] {
+        let (_, value) = counters
+            .iter()
+            .find(|(n, _)| *n == counter)
+            .unwrap_or_else(|| panic!("missing counter {counter}: {counters:?}"));
+        assert!(*value >= 1.0, "{counter} never ticked");
+    }
+    let hist_names: Vec<&str> = doc
+        .get("histograms")
+        .and_then(|h| h.get("entries"))
+        .and_then(Json::arr)
+        .unwrap()
+        .iter()
+        .map(|h| h.get("name").and_then(Json::str).unwrap())
+        .collect();
+    assert!(
+        hist_names.contains(&"serve.cache.lookup"),
+        "missing serve.cache.lookup: {hist_names:?}"
+    );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout
+            .lines()
+            .any(|l| l.starts_with("cache            = hits ")),
+        "no cache summary line:\n{stdout}"
+    );
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_file(&metrics).ok();
+}
+
+#[test]
+fn open_loop_serve_bench_emits_tenant_namespaced_metrics() {
+    let graph = gen_graph("openloop.txt", "ba");
+    let metrics = tmp("openloop.json");
+    // Offered far above drain capacity with a low watermark, so the
+    // shed counters are guaranteed traffic; hot queries arm the caches.
+    let out = cli()
+        .args([
+            "serve-bench",
+            graph.to_str().unwrap(),
+            "--tenants",
+            "2",
+            "--offered-qps",
+            "50000",
+            "--ticks",
+            "60",
+            "--watermark",
+            "16",
+            "--batch",
+            "8",
+            "--hot-fraction",
+            "0.6",
+            "--mode",
+            "seq",
+            "-p",
+            "1",
+            "--metrics",
+            metrics.to_str().unwrap(),
+        ])
+        .output()
+        .expect("run open-loop serve-bench");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let text = std::fs::read_to_string(&metrics).expect("metrics file written");
+    let doc = Json::parse(&text).expect("valid JSON");
+    let names = validate_schema(&doc);
+    // Regions are tenant-namespaced; the un-namespaced serving regions
+    // must NOT appear (nothing ran outside a tenant).
+    for region in ["serve.t0.query.batch", "serve.t1.query.batch"] {
+        assert!(
+            names.iter().any(|n| n == region),
+            "missing region {region}: {names:?}"
+        );
+    }
+    assert!(
+        !names.iter().any(|n| n == "serve.query.batch"),
+        "un-namespaced serving region leaked: {names:?}"
+    );
+    let counters: Vec<&str> = doc
+        .get("counters")
+        .and_then(Json::arr)
+        .unwrap()
+        .iter()
+        .map(|c| c.get("name").and_then(Json::str).unwrap())
+        .collect();
+    for counter in [
+        "serve.t0.queries",
+        "serve.t1.queries",
+        "serve.t0.ingress.enqueued",
+        "serve.t0.shed.overloaded",
+        "serve.t1.shed.overloaded",
+        "serve.t0.cache.hits",
+        "serve.t1.cache.hits",
+    ] {
+        assert!(
+            counters.contains(&counter),
+            "missing counter {counter}: {counters:?}"
+        );
+    }
+    for leaked in ["serve.queries", "serve.shed.overloaded", "serve.cache.hits"] {
+        assert!(
+            !counters.contains(&leaked),
+            "un-namespaced counter leaked: {leaked}"
+        );
+    }
+    // Histogram names stay global (the 32-slot histogram table is
+    // shared), so the latency report aggregates across tenants.
+    let hist_names: Vec<&str> = doc
+        .get("histograms")
+        .and_then(|h| h.get("entries"))
+        .and_then(Json::arr)
+        .unwrap()
+        .iter()
+        .map(|h| h.get("name").and_then(Json::str).unwrap())
+        .collect();
+    for hist in ["serve.query.batch", "serve.cache.lookup"] {
+        assert!(
+            hist_names.contains(&hist),
+            "missing histogram {hist}: {hist_names:?}"
+        );
+    }
+    std::fs::remove_file(&graph).ok();
+    std::fs::remove_file(&metrics).ok();
+}

@@ -324,3 +324,234 @@ fn injected_faults_body(mode: &str) {
     assert!(edges.contains(&(6, 7)), "pending insert lost");
     assert!(!edges.contains(&(0, 1)), "pending removal lost");
 }
+
+// ---------------------------------------------------------------------
+// Multi-tenant soak: three tenant services in one registry, hammered by
+// concurrent readers while each tenant's own writer publishes (and
+// fault-injected attempts fail). Proves two things the single-tenant
+// soak cannot: zero cross-tenant bleed (every observation matches the
+// *owning* tenant's published fingerprint, and tenants' fingerprints
+// are pairwise distinct at every generation) and zero torn reads
+// through failed publishes — with every tenant's cache armed, so a
+// shared or leaky cache would surface as a bleed.
+// ---------------------------------------------------------------------
+
+const TENANT_SWAPS: u64 = 8;
+const READERS_PER_TENANT: usize = 2;
+
+#[test]
+fn multi_tenant_soak_has_zero_bleed_and_zero_torn_reads() {
+    multi_tenant_soak("seq");
+}
+
+#[test]
+fn multi_tenant_soak_has_zero_bleed_with_assist_executors() {
+    multi_tenant_soak("assist");
+}
+
+fn multi_tenant_soak(mode: &str) {
+    // Deliberately different sizes/families so any bleed (a reader
+    // handed another tenant's snapshot, or a cache entry crossing
+    // services) produces a fingerprint that cannot match.
+    let graphs: Vec<(&str, CsrGraph)> = vec![
+        ("alpha", barabasi_albert(56, 3, 0xA1FA)),
+        ("beta", gnp(72, 0.08, 0xBE7A)),
+        ("gamma", rmat(6, 3, None, 0x9A33)),
+    ];
+    let build_exec = mk_exec(mode);
+    let mut registry = ServiceRegistry::new();
+    let tenant_cfg = TenantConfig {
+        cache: Some(CacheConfig::default()),
+        durability: None,
+    };
+    for (name, g) in &graphs {
+        registry
+            .try_register(name, g, &tenant_cfg, &build_exec)
+            .unwrap();
+    }
+
+    struct Tenant {
+        name: &'static str,
+        service: std::sync::Arc<HcdService>,
+        published: Mutex<HashMap<u64, Fingerprint>>,
+        announced: AtomicU64,
+        universe: VertexId,
+    }
+    let tenants: Vec<Tenant> = graphs
+        .iter()
+        .map(|(name, g)| {
+            let service = registry.get(name).unwrap();
+            let published = Mutex::new(HashMap::new());
+            published
+                .lock()
+                .unwrap()
+                .insert(0, fingerprint(&service.snapshot()));
+            Tenant {
+                name,
+                service,
+                published,
+                announced: AtomicU64::new(0),
+                universe: g.num_vertices() as VertexId + 8,
+            }
+        })
+        .collect();
+    let done = AtomicBool::new(false);
+
+    type Observed = Vec<(usize, u64, Fingerprint)>; // (tenant idx, gen, fp)
+    let observations: Vec<Mutex<Observed>> = (0..tenants.len() * READERS_PER_TENANT)
+        .map(|_| Mutex::new(Vec::new()))
+        .collect();
+
+    std::thread::scope(|scope| {
+        for (reader, slot) in observations.iter().enumerate() {
+            let tenants = &tenants;
+            let done = &done;
+            scope.spawn(move || {
+                let exec = mk_exec(mode);
+                let home = reader % tenants.len();
+                let mut rng = <ChaCha8Rng as rand::SeedableRng>::seed_from_u64(reader as u64);
+                let mut last_gen = 0u64;
+                let mut reads = 0usize;
+                while !done.load(Ordering::Acquire) || reads < MIN_READS {
+                    let t = &tenants[home];
+                    let snap = t.service.snapshot();
+                    assert!(
+                        snap.generation <= t.announced.load(Ordering::Acquire),
+                        "reader {reader}: unannounced generation on {}",
+                        t.name
+                    );
+                    slot.lock()
+                        .unwrap()
+                        .push((home, snap.generation, fingerprint(&snap)));
+                    // Coherence probe through the (cached) read path.
+                    let v = rng.gen_range(0..t.universe);
+                    let k = rng.gen_range(0..5u32);
+                    let batch = t
+                        .service
+                        .try_query_batch(
+                            &[Query::InKCore(v, k), Query::CoreContaining(v, k)],
+                            &exec,
+                        )
+                        .unwrap();
+                    assert!(
+                        batch.generation >= last_gen,
+                        "reader {reader} went back in time on {}",
+                        t.name
+                    );
+                    last_gen = batch.generation;
+                    match (&batch.answers[0], &batch.answers[1]) {
+                        (QueryAnswer::InKCore(b), QueryAnswer::CoreContaining(m)) => {
+                            assert_eq!(*b, m.is_some(), "reader {reader}: torn read on {}", t.name);
+                        }
+                        other => panic!("variant mismatch: {other:?}"),
+                    }
+                    reads += 1;
+                }
+            });
+        }
+
+        // One writer per tenant, each with its own fault-injected
+        // failing attempt before every third successful publish.
+        for (idx, t) in tenants.iter().enumerate() {
+            scope.spawn(move || {
+                let writer_exec = mk_exec(mode);
+                let mut rng = <ChaCha8Rng as rand::SeedableRng>::seed_from_u64(0xF00D + idx as u64);
+                // A monotone vertex frontier guarantees every batch
+                // (including the fault-injected ones) applies at least
+                // one genuinely new edge: an all-skipped batch would
+                // take the no-op fast path, never open a region, and
+                // neither fire the fault nor bump the generation.
+                let mut fresh = t.universe + 64;
+                for i in 0..TENANT_SWAPS {
+                    if i % 3 == 0 {
+                        let mut updates = random_updates(&mut rng, 5, t.universe);
+                        updates.push(EdgeUpdate::Insert(fresh, fresh + 1));
+                        fresh += 2;
+                        let faulty = mk_exec(mode);
+                        faulty.set_fault_plan(FaultPlan::new().inject(0, 0, Fault::Panic));
+                        let err = t.service.try_apply_batch(&updates, &faulty).unwrap_err();
+                        assert!(matches!(err, ServeError::Par(ParError::Panicked { .. })));
+                        assert_eq!(
+                            t.service.generation(),
+                            i,
+                            "failed publish swapped {}",
+                            t.name
+                        );
+                    }
+                    let mut updates = random_updates(&mut rng, 5, t.universe);
+                    updates.push(EdgeUpdate::Insert(fresh, fresh + 1));
+                    fresh += 2;
+                    t.announced.store(i + 1, Ordering::Release);
+                    let resp = t.service.try_apply_batch(&updates, &writer_exec).unwrap();
+                    assert_eq!(resp.generation, i + 1, "{}", t.name);
+                    t.published
+                        .lock()
+                        .unwrap()
+                        .insert(resp.generation, fingerprint(&t.service.snapshot()));
+                    std::thread::sleep(Duration::from_millis(2));
+                }
+            });
+        }
+        // Writers run to completion; readers stop after them.
+        // (scope joins writer threads when the closure below runs last.)
+        scope.spawn(|| {
+            // Busy-wait until every tenant reached its final generation,
+            // then release the readers.
+            loop {
+                if tenants.iter().all(|t| {
+                    t.announced.load(Ordering::Acquire) == TENANT_SWAPS
+                        && t.service.generation() == TENANT_SWAPS
+                }) {
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            done.store(true, Ordering::Release);
+        });
+    });
+
+    // Per-tenant bookkeeping is complete and caches saw traffic.
+    for t in &tenants {
+        assert_eq!(t.service.generation(), TENANT_SWAPS, "{}", t.name);
+        assert_eq!(
+            t.published.lock().unwrap().len() as u64,
+            TENANT_SWAPS + 1,
+            "{}",
+            t.name
+        );
+        let stats = t.service.cache_stats().unwrap();
+        assert!(stats.hits + stats.misses > 0, "{}: cache untouched", t.name);
+    }
+    // Zero cross-tenant bleed: every observation matches the *owning*
+    // tenant's record for that generation...
+    for (reader, slot) in observations.iter().enumerate() {
+        let observed = slot.lock().unwrap();
+        assert!(observed.len() >= MIN_READS, "reader {reader} barely read");
+        for &(home, gen, fp) in observed.iter() {
+            let t = &tenants[home];
+            let published = t.published.lock().unwrap();
+            let expected = published
+                .get(&gen)
+                .unwrap_or_else(|| panic!("reader {reader} observed unpublished {}:{gen}", t.name));
+            assert_eq!(fp, *expected, "reader {reader}: torn read {}:{gen}", t.name);
+        }
+    }
+    // ...and no two tenants could ever have satisfied each other's
+    // checks: their fingerprints are pairwise distinct at every
+    // generation both published.
+    for a in 0..tenants.len() {
+        for b in (a + 1)..tenants.len() {
+            let pa = tenants[a].published.lock().unwrap();
+            let pb = tenants[b].published.lock().unwrap();
+            for (gen, fp) in pa.iter() {
+                if let Some(other) = pb.get(gen) {
+                    assert_ne!(
+                        fp, other,
+                        "tenants {} and {} are indistinguishable at generation {gen}",
+                        tenants[a].name, tenants[b].name
+                    );
+                }
+            }
+        }
+    }
+}
